@@ -1,0 +1,84 @@
+// Fig. 12 — packet loss rate over time while replaying the time-varying
+// traffic matrices, with and without fast failover, on Internet2 / GEANT /
+// UNIV1 (Sec. IX-E).
+//
+// The placement is computed once from the *mean* matrix; the snapshot
+// series (diurnal pattern + noise + injected bursts, the small-time-scale
+// dynamics) is then replayed in time order. Shape to reproduce: loss stays
+// much lower with fast failover across all three topologies, and only a
+// few extra ClickOS cores are used (the paper reports < 17 on average).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "traffic/stats.h"
+
+int main() {
+  using namespace apple;
+  bench::print_header(
+      "Fig. 12: packet loss rate over time, with vs without fast failover");
+
+  for (const auto& tc : bench::stress_topologies()) {
+    core::ControllerConfig cfg;
+    cfg.engine.strategy = core::PlacementStrategy::kGreedy;
+    cfg.snapshot_duration = 1.0;
+    cfg.tick = 0.025;
+    cfg.poll_interval = 0.05;
+    cfg.policied_fraction = bench::kPoliciedFraction;
+    cfg.reoptimize_every = 24;  // periodic Optimization Engine runs (Sec. VI)
+    const core::AppleController controller(
+        tc.topo, vnf::default_policy_chains(), cfg);
+
+    // Mild diurnal drift (the periodic Optimization Engine tracks it) plus
+    // sharp bursts — the small-time-scale dynamics fast failover exists
+    // for (Sec. VI).
+    const traffic::TrafficMatrix base = traffic::make_gravity_matrix(
+        tc.topo.num_nodes(), {.total_mbps = tc.total_mbps, .seed = 30});
+    traffic::DiurnalConfig diurnal;
+    diurnal.num_snapshots = 96;
+    diurnal.diurnal_amplitude = 0.15;
+    diurnal.noise_sigma = 0.08;
+    diurnal.seed = 31;
+    auto series = traffic::make_diurnal_series(base, diurnal);
+    traffic::BurstConfig bursts;
+    bursts.probability = 0.2;
+    bursts.magnitude = 4.0;
+    bursts.duration = 3;
+    traffic::inject_bursts(series, bursts);
+
+    const traffic::TrafficMatrix mean = traffic::mean_matrix(series);
+    const core::Epoch epoch = controller.optimize(mean);
+    const core::ReplayReport off = controller.replay(epoch, series, false);
+    const core::ReplayReport on = controller.replay(epoch, series, true);
+
+    std::printf("\n%s  (%zu snapshots, placement from the mean matrix, %llu"
+                " instances)\n",
+                tc.label.c_str(), series.size(),
+                static_cast<unsigned long long>(epoch.plan.total_instances()));
+    std::printf("  %-22s %-12s %-12s\n", "", "mean loss", "max loss");
+    std::printf("  %-22s %-12.4f %-12.4f\n", "without fast failover",
+                off.mean_loss, off.max_loss);
+    std::printf("  %-22s %-12.4f %-12.4f\n", "with fast failover",
+                on.mean_loss, on.max_loss);
+    std::printf("  failover: %zu overload events, %zu ClickOS launches, "
+                "extra cores avg %.1f / peak %.0f\n",
+                on.failover.overload_events, on.failover.instances_launched,
+                on.failover.mean_extra_cores(),
+                on.failover.peak_extra_cores);
+
+    // Downsampled loss timeline (mean over 8-snapshot bins).
+    std::printf("  timeline (loss per 8-snapshot bin, off | on):\n");
+    for (std::size_t bin = 0; bin + 8 <= off.snapshot_loss.size(); bin += 8) {
+      double loss_off = 0.0, loss_on = 0.0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        loss_off += off.snapshot_loss[bin + k];
+        loss_on += on.snapshot_loss[bin + k];
+      }
+      std::printf("    t=%3zu..%3zu  %.4f | %.4f\n", bin, bin + 7,
+                  loss_off / 8.0, loss_on / 8.0);
+    }
+  }
+  std::printf(
+      "\nPaper Fig. 12: loss remains much lower with fast failover on all\n"
+      "three topologies; < 17 additional cores on average support it.\n");
+  return 0;
+}

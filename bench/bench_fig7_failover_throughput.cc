@@ -1,0 +1,77 @@
+// Fig. 7 — throughput timeline when forwarding rules are flipped to a new
+// ClickOS VM *before* it finishes booting (Sec. VIII-B).
+//
+// The prototype measured the boot gap this way: rules install in ~70 ms,
+// but OpenStack + OpenDaylight take 3.9-4.6 s to bring the VM up, so the
+// UDP flow's throughput drops to zero for the whole boot window. The bench
+// replays exactly that race in the fluid simulator and reports the gap
+// across 10 runs.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "orch/resource_orchestrator.h"
+#include "sim/flow_sim.h"
+
+int main() {
+  using namespace apple;
+
+  bench::print_header(
+      "Fig. 7: throughput gap when rules flip before the ClickOS VM is up");
+
+  const net::Topology topo = net::make_line(3, 64.0);
+  const orch::OrchestrationTimings timings;
+
+  std::printf("%-6s %-16s %-16s\n", "run", "boot time (s)", "gap seen (s)");
+  bench::print_rule();
+  double min_gap = 1e9, max_gap = 0.0, sum_gap = 0.0;
+  const int kRuns = 10;
+  // One orchestrator across runs: its launch counter drives the per-boot
+  // jitter within the measured 3.9-4.6 s band.
+  orch::ResourceOrchestrator orch(topo, timings);
+  for (int run = 0; run < kRuns; ++run) {
+    sim::FlowSimulation sim(0.01);
+    // Old instance serves until the rules flip at t = 0.5 s (+70 ms rule
+    // install); the replacement is launched through OpenStack at t = 0.5.
+    const auto old_inst = orch.launch(vnf::NfType::kFirewall, 1, -10.0);
+    const double flip_at = 0.5 + timings.rule_install;
+    const auto fresh =
+        orch.launch(vnf::NfType::kFirewall, 1, 0.5,
+                    orch::LaunchPath::kOpenStack);
+    sim.add_instance(old_inst.instance, 0.0);
+    sim.add_instance(fresh.instance, fresh.ready_at);
+
+    sim.set_class_rate(0, 120.0);  // 10 Kpps of 1500-byte packets
+    dataplane::SubclassPlan via_old;
+    via_old.class_id = 0;
+    via_old.weight = 1.0;
+    via_old.itinerary = {{1, {old_inst.instance.id}}};
+    sim.install_class_plans(0, {via_old});
+
+    double gap = 0.0;
+    bool flipped = false;
+    while (sim.now() < 7.0) {
+      if (!flipped && sim.now() >= flip_at) {
+        dataplane::SubclassPlan via_new = via_old;
+        via_new.itinerary = {{1, {fresh.instance.id}}};
+        sim.install_class_plans(0, {via_new});
+        flipped = true;
+      }
+      const auto stats = sim.step();
+      if (stats.loss_rate > 0.99) gap += sim.tick_seconds();
+    }
+    std::printf("%-6d %-16.3f %-16.3f\n", run + 1, fresh.ready_at - 0.5, gap);
+    orch.cancel(old_inst.instance.id);
+    orch.cancel(fresh.instance.id);
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+    sum_gap += gap;
+  }
+  bench::print_rule();
+  std::printf("gap: min %.2f s, mean %.2f s, max %.2f s\n", min_gap,
+              sum_gap / kRuns, max_gap);
+  std::printf(
+      "\nPaper Sec. VIII-B: approximate booting time 3.9-4.6 s (mean 4.2 s);\n"
+      "the throughput drops to zero for the whole boot window.\n");
+  return 0;
+}

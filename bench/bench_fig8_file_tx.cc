@@ -1,0 +1,85 @@
+// Fig. 8 — CDF of the time to transfer a 20 MB file over TCP, with and
+// without a failover happening mid-transfer (Secs. VIII-C, VIII-D).
+//
+// Three scenarios, 10 runs each:
+//   * no failover                 — clean transfer;
+//   * wait-for-five-seconds       — VM creation requested mid-transfer, but
+//                                   rules flip only 5 s later, after the
+//                                   3.9-4.6 s boot completed: no loss;
+//   * reconfigure existing VM     — rules flip after the 30 ms ClickOS
+//                                   reconfiguration: no loss either.
+// The paper's point: all three CDFs coincide (differences are noise); only
+// the naive flip-before-boot (Fig. 7) hurts.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "orch/timings.h"
+#include "sim/tcp_transfer.h"
+#include "traffic/stats.h"
+
+int main() {
+  using namespace apple;
+
+  bench::print_header(
+      "Fig. 8: distribution of 20 MB file transmission time (TCP)");
+
+  const orch::OrchestrationTimings timings;
+  sim::TcpTransferConfig cfg;  // 20 MB over a ~94 Mbps bottleneck
+
+  const int kRuns = 10;
+  std::vector<double> none, wait5, reconfig, naive;
+  for (int run = 0; run < kRuns; ++run) {
+    // Per-run, per-scenario rate jitter models the statistical fluctuation
+    // between the prototype's repetitions (Sec. VIII-C: "their differences
+    // are due to the statistical fluctuation").
+    const auto jittered = [&](int scenario) {
+      sim::TcpTransferConfig c = cfg;
+      const int wobble = (run * 13 + scenario * 7) % 9 - 4;
+      c.bottleneck_mbps = cfg.bottleneck_mbps * (1.0 + 0.005 * wobble);
+      return c;
+    };
+
+    none.push_back(
+        sim::simulate_tcp_transfer(jittered(0), [](double) { return 0.0; }));
+
+    // wait-5s: VM requested at t=0.3; rules flip at t=5.3, boot finished at
+    // 0.3 + ~4.2 < 5.3 -> no loss window.
+    wait5.push_back(
+        sim::simulate_tcp_transfer(jittered(1), [](double) { return 0.0; }));
+
+    // reconfigure: 30 ms reconfiguration during which the *old* instance
+    // still serves; the flip happens after -> no loss window.
+    reconfig.push_back(
+        sim::simulate_tcp_transfer(jittered(2), [](double) { return 0.0; }));
+
+    sim::TcpTransferConfig c = jittered(3);
+
+    // For contrast (the Fig. 7 pathology): flip at 0.3 s before boot ends.
+    const double boot = orch::openstack_boot_time(timings, run);
+    naive.push_back(sim::simulate_tcp_transfer(c, [boot](double t) {
+      return (t >= 0.3 && t < 0.3 + boot) ? 1.0 : 0.0;
+    }));
+  }
+
+  const auto print_cdf = [](const char* label, std::vector<double>& xs) {
+    const auto cdf = traffic::empirical_cdf(xs);
+    std::printf("%-22s", label);
+    for (const auto& point : cdf) std::printf(" %6.2f", point.value);
+    std::printf("   (s, sorted)\n");
+  };
+  std::printf("%-22s %s\n", "scenario", "per-run transfer times");
+  bench::print_rule();
+  print_cdf("no failover", none);
+  print_cdf("wait five seconds", wait5);
+  print_cdf("reconfigure (30 ms)", reconfig);
+  print_cdf("naive flip (Fig. 7)", naive);
+  bench::print_rule();
+  std::printf("means: none %.2f s, wait-5s %.2f s, reconfigure %.2f s, naive %.2f s\n",
+              traffic::mean(none), traffic::mean(wait5),
+              traffic::mean(reconfig), traffic::mean(naive));
+  std::printf(
+      "\nPaper Fig. 8: the three safe strategies have indistinguishable CDFs\n"
+      "(UDP loss 0%% in every run); only flipping before boot adds seconds.\n");
+  return 0;
+}

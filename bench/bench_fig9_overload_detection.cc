@@ -1,0 +1,151 @@
+// Fig. 9 — overloading detection and mitigation timeline (Sec. VIII-E).
+//
+// A pktgen source sends 1500-byte UDP packets through a ClickOS passive
+// monitor. Sending rate: 1 Kpps -> (burst) 10 Kpps -> 1 Kpps. The monitor
+// overloads above 8.5 Kpps and rolls back below 4 Kpps. On detection,
+// APPLE reconfigures an idle ClickOS VM (30 ms) and installs rules (70 ms)
+// to absorb half the traffic; on rollback the spare is released.
+// Reproduction target: overload detected within one poll, 0% packet loss
+// throughout, and an ablation showing per-flow (1 s delayed) counters
+// detect later than per-port counters.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "orch/resource_orchestrator.h"
+#include "sim/detector.h"
+#include "sim/flow_sim.h"
+#include "vnf/capacity_model.h"
+
+namespace {
+
+using namespace apple;
+
+struct TimelineResult {
+  double detect_at = -1.0;
+  double rollback_at = -1.0;
+  double max_loss = 0.0;
+};
+
+TimelineResult run_timeline(double counter_delay, bool verbose) {
+  const net::Topology topo = net::make_line(3, 64.0);
+  orch::ResourceOrchestrator orch(topo);
+  sim::FlowSimulation sim(0.01);
+
+  const double cap_mbps =
+      vnf::pps_to_mbps(vnf::kMonitorCapacityPps, vnf::kMonitorPacketBytes);
+  // Monitor plus an idle ClickOS VM available for reconfiguration.
+  const auto monitor = orch.launch(vnf::NfType::kFirewall, 1, -10.0);
+  const auto spare = orch.launch(vnf::NfType::kFirewall, 1, -10.0);
+  sim.add_instance(
+      {monitor.instance.id, monitor.instance.type, 1, cap_mbps}, 0.0);
+
+  sim::DetectorConfig dcfg;
+  dcfg.poll_interval = 0.1;
+  dcfg.counter_delay = counter_delay;
+  dcfg.overload_threshold = 1.0;  // 8.5 Kpps is the loss knee
+  dcfg.clear_threshold = vnf::kMonitorRollbackPps / vnf::kMonitorCapacityPps;
+  sim::OverloadDetector detector(dcfg);
+
+  dataplane::SubclassPlan solo;
+  solo.class_id = 0;
+  solo.weight = 1.0;
+  solo.itinerary = {{1, {monitor.instance.id}}};
+
+  sim.install_class_plans(0, {solo});
+  TimelineResult result;
+  bool mitigated = false;
+  double next_poll = 0.0;
+  double shift_at = -1.0;  // pending 50/50 split once the spare serves
+  std::vector<dataplane::SubclassPlan> pending_plans;
+  if (verbose) {
+    std::printf("%-8s %-12s %-10s %-10s %-8s\n", "t (s)", "rate (Kpps)",
+                "monitors", "loss", "event");
+    bench::print_rule();
+  }
+  while (sim.now() < 15.0) {
+    const double t = sim.now();
+    const double rate_pps = (t < 5.0) ? 1000.0 : (t < 10.0 ? 10000.0 : 1000.0);
+    sim.set_class_rate(
+        0, vnf::pps_to_mbps(rate_pps, vnf::kMonitorPacketBytes));
+    if (shift_at >= 0.0 && t >= shift_at) {
+      sim.install_class_plans(0, pending_plans);
+      shift_at = -1.0;
+    }
+    const auto stats = sim.step();
+    result.max_loss = std::max(result.max_loss, stats.loss_rate);
+
+    if (t + 1e-9 >= next_poll) {
+      next_poll += dcfg.poll_interval;
+      const auto event = detector.sample(
+          t, monitor.instance.id,
+          sim.instance_offered_mbps(monitor.instance.id), cap_mbps);
+      if (event && event->kind == sim::LoadEventKind::kOverloaded &&
+          !mitigated) {
+        result.detect_at = t;
+        // Reconfigure the idle ClickOS VM (30 ms) + install rules (70 ms),
+        // then split the sub-class 50/50.
+        const auto ready = orch.reconfigure(spare.instance.id,
+                                            vnf::NfType::kFirewall, t);
+        const double active_at =
+            ready.ready_at + orch.timings().rule_install;
+        sim.add_instance({spare.instance.id, vnf::NfType::kFirewall, 1,
+                          cap_mbps},
+                         active_at);
+        dataplane::SubclassPlan half = solo, other = solo;
+        half.weight = 0.5;
+        other.weight = 0.5;
+        other.subclass_id = 1;
+        other.itinerary = {{1, {spare.instance.id}}};
+        // The shift waits until the spare is serving (no blackholing).
+        sim.set_ready_at(spare.instance.id, active_at);
+        pending_plans = {half, other};
+        shift_at = active_at;
+        mitigated = true;
+        if (verbose) {
+          std::printf("%-8.2f %-12.1f %-10d %-10.4f overload -> +1 monitor\n",
+                      t, rate_pps / 1000.0, 2, stats.loss_rate);
+        }
+      }
+      if (event && event->kind == sim::LoadEventKind::kCleared && mitigated) {
+        result.rollback_at = t;
+        shift_at = -1.0;
+        sim.install_class_plans(0, {solo});
+        sim.remove_instance(spare.instance.id);
+        mitigated = false;
+        if (verbose) {
+          std::printf("%-8.2f %-12.1f %-10d %-10.4f rollback -> 1 monitor\n",
+                      t, rate_pps / 1000.0, 1, stats.loss_rate);
+        }
+      }
+    }
+    if (verbose && std::fmod(t + 1e-9, 2.5) < sim.tick_seconds()) {
+      std::printf("%-8.2f %-12.1f %-10d %-10.4f\n", t, rate_pps / 1000.0,
+                  mitigated ? 2 : 1, stats.loss_rate);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apple;
+  bench::print_header("Fig. 9: overloading detection timeline (1 -> 10 -> 1 Kpps)");
+  const TimelineResult per_port = run_timeline(/*counter_delay=*/0.0, true);
+  bench::print_rule();
+  std::printf("per-port counters: detected %.2f s after burst onset (t=5 s), "
+              "rollback at t=%.2f s, max loss %.4f\n",
+              per_port.detect_at - 5.0, per_port.rollback_at,
+              per_port.max_loss);
+
+  const TimelineResult per_flow = run_timeline(/*counter_delay=*/1.0, false);
+  std::printf("per-flow counters (1 s lag): detected %.2f s after onset "
+              "(ablation, Sec. VII-B)\n",
+              per_flow.detect_at - 5.0);
+  std::printf(
+      "\nPaper Fig. 9 / Sec. VIII-E: overloading detected immediately, a\n"
+      "second monitor configured in tens of ms, 0%% packet loss throughout,\n"
+      "rollback once the rate drops to 4 Kpps.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) for the substrates behind the
+// evaluation: BDD/atomic-predicate classification, the simplex/MIP stack,
+// routing, placement, sub-class decomposition and rule generation.
+// Not a paper artifact — used to watch for performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/optimization_engine.h"
+#include "core/rule_generator.h"
+#include "core/subclass_assigner.h"
+#include "hsa/atomic.h"
+#include "hsa/classifier.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "traffic/flow_classes.h"
+#include "traffic/synthesis.h"
+
+namespace {
+
+using namespace apple;
+
+void BM_BddIntersectPrefixes(benchmark::State& state) {
+  for (auto _ : state) {
+    hsa::BddManager mgr = hsa::make_header_space_manager();
+    const hsa::PredicateBuilder b(mgr);
+    hsa::BddRef acc = hsa::kBddTrue;
+    for (int i = 0; i < 16; ++i) {
+      acc = mgr.apply_and(
+          acc, b.prefix(hsa::Field::kSrcIp, 0x0a000000u + i * 77u, 24));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BddIntersectPrefixes);
+
+void BM_AtomicPredicates(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hsa::BddManager mgr = hsa::make_header_space_manager();
+    const hsa::PredicateBuilder b(mgr);
+    std::vector<hsa::BddRef> preds;
+    for (int i = 0; i < n; ++i) {
+      preds.push_back(
+          b.prefix(hsa::Field::kSrcIp, 0x0a000000u + i * 1315423911u, 16));
+    }
+    benchmark::DoNotOptimize(compute_atomic_predicates(mgr, preds));
+  }
+}
+BENCHMARK(BM_AtomicPredicates)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_FlowHash(benchmark::State& state) {
+  hsa::PacketHeader h;
+  h.src_ip = 0x0a010203;
+  h.dst_ip = 0xc0a80105;
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    h.src_port = static_cast<std::uint16_t>(++salt);
+    benchmark::DoNotOptimize(hsa::flow_hash_unit(h));
+  }
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  lp::LpModel model;
+  std::vector<std::vector<lp::VarId>> x(size, std::vector<lp::VarId>(size));
+  for (int s = 0; s < size; ++s) {
+    for (int d = 0; d < size; ++d) {
+      x[s][d] = model.add_var(1.0 + ((s * 7 + d * 13) % 10));
+    }
+  }
+  for (int s = 0; s < size; ++s) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (int d = 0; d < size; ++d) row.emplace_back(x[s][d], 1.0);
+    model.add_row(lp::Sense::kEqual, 10.0, row);
+  }
+  for (int d = 0; d < size; ++d) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (int s = 0; s < size; ++s) row.emplace_back(x[s][d], 1.0);
+    model.add_row(lp::Sense::kEqual, 10.0, row);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::SimplexSolver().solve(model));
+  }
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(8)->Arg(16);
+
+void BM_AllPairsRouting(benchmark::State& state) {
+  const net::Topology topo = net::make_as3679();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::AllPairsPaths(topo));
+  }
+}
+BENCHMARK(BM_AllPairsRouting);
+
+struct PlacementFixture {
+  net::Topology topo = net::make_internet2();
+  net::AllPairsPaths routing{topo};
+  std::vector<vnf::PolicyChain> chains;
+  std::vector<traffic::TrafficClass> classes;
+  core::PlacementInput input;
+
+  PlacementFixture() {
+    const auto span = vnf::default_policy_chains();
+    chains.assign(span.begin(), span.end());
+    const auto tm = traffic::make_gravity_matrix(topo.num_nodes(),
+                                                 {.total_mbps = 9000.0});
+    classes = traffic::build_classes(
+        topo, routing, tm, traffic::uniform_chain_assignment(chains.size()));
+    input.topology = &topo;
+    input.classes = classes;
+    input.chains = chains;
+  }
+};
+
+void BM_GreedyPlacementInternet2(benchmark::State& state) {
+  const PlacementFixture fx;
+  core::EngineOptions options;
+  options.strategy = core::PlacementStrategy::kGreedy;
+  const core::OptimizationEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.place(fx.input));
+  }
+}
+BENCHMARK(BM_GreedyPlacementInternet2);
+
+void BM_SubclassAssignment(benchmark::State& state) {
+  const PlacementFixture fx;
+  core::EngineOptions options;
+  options.strategy = core::PlacementStrategy::kGreedy;
+  const auto plan = core::OptimizationEngine(options).place(fx.input);
+  const auto inventory = core::materialize_inventory(fx.input, plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::assign_subclasses(fx.input, plan, inventory));
+  }
+}
+BENCHMARK(BM_SubclassAssignment);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const PlacementFixture fx;
+  core::EngineOptions options;
+  options.strategy = core::PlacementStrategy::kGreedy;
+  const auto plan = core::OptimizationEngine(options).place(fx.input);
+  const auto inventory = core::materialize_inventory(fx.input, plan);
+  const auto subclasses = core::assign_subclasses(fx.input, plan, inventory);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::RuleGenerator().account(fx.input, subclasses));
+  }
+}
+BENCHMARK(BM_RuleGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table I — comparison of NF orchestration frameworks.
+//
+// The property matrix is *derived mechanically*: each framework model from
+// src/baselines runs on a shared Internet2 scenario and the three desired
+// properties of Sec. I (policy enforcement, interference freedom, VM
+// isolation) are checked on the result, not asserted.
+#include <cstdio>
+
+#include "baselines/properties.h"
+#include "bench_common.h"
+#include "net/routing.h"
+#include "traffic/flow_classes.h"
+#include "vnf/nf_types.h"
+
+int main() {
+  using namespace apple;
+
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  const auto chains = vnf::default_policy_chains();
+  const traffic::TrafficMatrix tm =
+      traffic::make_gravity_matrix(topo.num_nodes(), {.total_mbps = 9000.0});
+  const auto classes = traffic::build_classes(
+      topo, routing, tm, bench::evaluation_chain_assignment(chains.size()));
+
+  core::PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+
+  bench::print_header(
+      "Table I: comparison of NF orchestration frameworks (derived)");
+  std::printf("%-38s %-12s %-14s %-10s\n", "Framework", "Policy", "Interference",
+              "Isolation");
+  std::printf("%-38s %-12s %-14s %-10s\n", "", "Enforcement", "Free", "");
+  bench::print_rule();
+  for (const auto& row : baseline::evaluate_frameworks(input, routing)) {
+    std::printf("%-38s %-12s %-14s %-10s\n", row.framework.c_str(),
+                row.policy_enforcement ? "yes" : "NO",
+                row.interference_free ? "yes" : "NO",
+                row.isolation ? "yes" : "NO");
+  }
+  std::printf(
+      "\nPaper Table I: SIMPLE/StEERING lack interference freedom, PACE lacks\n"
+      "policy enforcement, CoMb lacks isolation; APPLE provides all three.\n");
+  return 0;
+}

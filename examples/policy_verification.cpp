@@ -1,0 +1,109 @@
+// Policy verification: the atomic-predicate pipeline end to end.
+//
+// Defines header-space policies ("http from the campus subnet goes through
+// FW -> IDS -> Proxy"), classifies concrete packets with the BDD-backed
+// atomic-predicate classifier (paper Sec. IV-A), and then proves policy
+// enforcement by walking packets through the generated data plane: the NF
+// types traversed must equal the policy chain, on the unchanged path.
+//
+//   ./build/examples/policy_verification
+#include <cstdio>
+
+#include "core/optimization_engine.h"
+#include "core/rule_generator.h"
+#include "core/subclass_assigner.h"
+#include "dataplane/data_plane.h"
+#include "hsa/classifier.h"
+#include "net/topologies.h"
+
+int main() {
+  using namespace apple;
+
+  // --- Header-space policies -> chains (Sec. IV-A) -----------------------
+  hsa::BddManager mgr = hsa::make_header_space_manager();
+  const hsa::PredicateBuilder b(mgr);
+
+  const std::vector<vnf::PolicyChain> chains{
+      {vnf::NfType::kFirewall, vnf::NfType::kIds, vnf::NfType::kProxy},  // 0
+      {vnf::NfType::kNat, vnf::NfType::kFirewall},                       // 1
+  };
+  const std::vector<hsa::PolicyRule> rules{
+      // http from the campus subnet -> full security chain.
+      {mgr.apply_and(b.cidr(hsa::Field::kSrcIp, "10.1.0.0/16"),
+                     mgr.apply_and(b.exact(hsa::Field::kProto, 6),
+                                   b.exact(hsa::Field::kDstPort, 80))),
+       0},
+      // everything else leaving the campus -> NAT + firewall.
+      {b.cidr(hsa::Field::kSrcIp, "10.1.0.0/16"), 1},
+  };
+  const hsa::FlowClassifier classifier(mgr, rules);
+  std::printf("atomic predicates: %zu equivalence classes from %zu rules\n",
+              classifier.num_atoms(), rules.size());
+
+  // --- Concrete packets --------------------------------------------------
+  hsa::PacketHeader http;
+  http.src_ip = hsa::parse_ipv4("10.1.7.9");
+  http.dst_ip = hsa::parse_ipv4("93.184.216.34");
+  http.dst_port = 80;
+  http.proto = 6;
+  hsa::PacketHeader ssh = http;
+  ssh.dst_port = 22;
+  hsa::PacketHeader external = http;
+  external.src_ip = hsa::parse_ipv4("172.16.0.1");
+
+  const auto describe = [&](const char* name, const hsa::PacketHeader& h) {
+    const auto chain = classifier.chain_of(h);
+    std::printf("  %-10s -> atom %zu, chain %s\n", name, classifier.atom_of(h),
+                chain ? vnf::chain_to_string(chains[*chain]).c_str()
+                      : "(unpolicied)");
+    return chain;
+  };
+  std::printf("classification:\n");
+  const auto http_chain = describe("http", http);
+  const auto ssh_chain = describe("ssh", ssh);
+  describe("external", external);
+
+  // --- Enforce on a topology and verify by walking packets ---------------
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  std::vector<traffic::TrafficClass> classes(2);
+  const net::NodeId src = topo.find_node("LOSA");
+  const net::NodeId dst = topo.find_node("NYCM");
+  classes[0] = {0, src, dst, *routing.path(src, dst), *http_chain, 600.0};
+  classes[1] = {1, src, dst, *routing.path(src, dst), *ssh_chain, 300.0};
+
+  core::PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+  core::EngineOptions options;
+  options.strategy = core::PlacementStrategy::kGreedy;
+  const auto plan = core::OptimizationEngine(options).place(input);
+  const auto inventory = core::materialize_inventory(input, plan);
+  const auto subclasses = core::assign_subclasses(input, plan, inventory);
+  dataplane::DataPlane dp(topo);
+  core::RuleGenerator().install(input, subclasses, inventory, dp);
+
+  std::printf("\nenforcement check (LOSA -> NYCM):\n");
+  for (const auto& [name, header, cls] :
+       {std::tuple{"http", http, traffic::ClassId{0}},
+        std::tuple{"ssh", ssh, traffic::ClassId{1}}}) {
+    const auto walk = dp.walk(cls, header);
+    if (!walk.delivered) {
+      std::printf("  %-5s WALK FAILED: %s\n", name, walk.error.c_str());
+      return 1;
+    }
+    std::printf("  %-5s traversed:", name);
+    for (const vnf::NfType t : dp.traversed_types(walk.packet)) {
+      std::printf(" %s", std::string(vnf::to_string(t)).c_str());
+    }
+    const bool path_ok = walk.packet.switch_trace == classes[cls].path;
+    const bool chain_ok =
+        dp.traversed_types(walk.packet) == chains[classes[cls].chain_id];
+    std::printf("  [chain %s, path %s]\n", chain_ok ? "OK" : "VIOLATED",
+                path_ok ? "unchanged" : "CHANGED");
+    if (!path_ok || !chain_ok) return 1;
+  }
+  std::printf("\nall policies enforced in order, interference-free.\n");
+  return 0;
+}

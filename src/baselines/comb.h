@@ -1,0 +1,28 @@
+// CoMb-style consolidation baseline (paper Table I row 4): the whole policy
+// chain of a flow runs as threads inside ONE consolidated middlebox on the
+// flow's path. Policies hold and routing is untouched, but thread-based
+// NFs share the box's address space — no CPU/memory isolation, the property
+// APPLE keeps by using one VM per instance.
+#pragma once
+
+#include "core/placement.h"
+
+namespace apple::baseline {
+
+struct CombPlacement {
+  core::PlacementPlan plan;
+  // Thread consolidation shares runtime overhead; CoMb reports fewer cores
+  // than one-VM-per-NF for the same load.
+  double consolidation_core_factor = 0.75;
+  bool isolation = false;  // threads, not VMs
+
+  double consolidated_cores() const {
+    return plan.total_cores() * consolidation_core_factor;
+  }
+};
+
+// Places each class's full chain at the least-loaded APPLE-host switch on
+// its path (single consolidated box per class).
+CombPlacement place_comb(const core::PlacementInput& input);
+
+}  // namespace apple::baseline

@@ -1,0 +1,20 @@
+// The "ingress" strawman of paper Fig. 11: consolidate every VNF of a
+// class's policy chain at the class's ingress switch. Classes sharing an
+// ingress pool its instances, but instances never pool ACROSS switches, so
+// every ingress rounds each needed NF type up to a whole VM — the
+// network-wide multiplexing APPLE's Optimization Engine performs is
+// exactly what the strawman forgoes (Sec. IX-D).
+#pragma once
+
+#include "core/placement.h"
+
+namespace apple::baseline {
+
+// Places every chain at its class's ingress. When `respect_resources` is
+// true the plan is marked infeasible if any host's core budget is exceeded;
+// when false the strawman is allowed to overflow hosts (Fig. 11 compares
+// raw core demand).
+core::PlacementPlan place_ingress(const core::PlacementInput& input,
+                                  bool respect_resources = false);
+
+}  // namespace apple::baseline

@@ -1,0 +1,22 @@
+// PACE-style baseline (paper Table I row 3): policy-aware *VM placement*
+// without service-chain support. Each NF VM is placed near demand (least
+// loaded host anywhere), but nothing ties the placement to the flow's
+// forwarding path or to the chain order — so flows routed normally may miss
+// their NFs entirely: policy enforcement fails, which is exactly Table I's
+// X for PACE.
+#pragma once
+
+#include "core/placement.h"
+
+namespace apple::baseline {
+
+struct PacePlacement {
+  core::PlacementPlan plan;
+  // Stages whose chosen host is NOT on the class's path; each is a policy
+  // violation for interference-free forwarding.
+  std::size_t off_path_stages = 0;
+};
+
+PacePlacement place_pace(const core::PlacementInput& input);
+
+}  // namespace apple::baseline

@@ -1,0 +1,32 @@
+// Mechanical derivation of the Table I property matrix: each framework
+// model is run on a shared scenario and the three desired properties of
+// Sec. I are *checked*, not asserted:
+//   * policy enforcement  — every chain stage is fully processed, in order,
+//                           by instances reachable on the flow's path (or
+//                           on the framework's own steered path);
+//   * interference freedom — no flow's forwarding path changed;
+//   * isolation            — every NF instance runs in its own VM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "net/routing.h"
+
+namespace apple::baseline {
+
+struct FrameworkProperties {
+  std::string framework;
+  bool policy_enforcement = false;
+  bool interference_free = false;
+  bool isolation = false;
+};
+
+// Evaluates all implemented frameworks (APPLE + the baselines of this
+// module) on the given scenario and returns one row per framework, in
+// Table I order where applicable.
+std::vector<FrameworkProperties> evaluate_frameworks(
+    const core::PlacementInput& input, const net::AllPairsPaths& routing);
+
+}  // namespace apple::baseline

@@ -1,0 +1,33 @@
+// SIMPLE/StEERING-style traffic steering baseline (paper Table I rows 1-2):
+// NF instances sit at a few fixed locations and SDN rules *reroute* flows
+// through them in chain order. Policies are enforced and instances are
+// VM-isolated, but the framework is not interference-free: forwarding paths
+// chosen by routing/TE are changed, and detours stretch path length.
+#pragma once
+
+#include <vector>
+
+#include "core/placement.h"
+#include "net/routing.h"
+
+namespace apple::baseline {
+
+struct SteeringConfig {
+  // Number of fixed NF locations (highest-degree switches are picked).
+  std::size_t num_nf_sites = 2;
+};
+
+struct SteeringPlacement {
+  core::PlacementPlan plan;           // q at the fixed NF sites
+  std::vector<net::Path> new_paths;   // steered path per class
+  std::size_t classes_rerouted = 0;   // interference: changed paths
+  double mean_path_stretch = 1.0;     // steered length / original length
+};
+
+// Steers every class src -> site(NF_1) -> ... -> site(NF_k) -> dst along
+// shortest segments, assigning each stage to the least-loaded site.
+SteeringPlacement place_steering(const core::PlacementInput& input,
+                                 const net::AllPairsPaths& routing,
+                                 const SteeringConfig& config = {});
+
+}  // namespace apple::baseline

@@ -1,0 +1,209 @@
+#include "core/apple_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apple::core {
+
+AppleController::AppleController(const net::Topology& topo,
+                                 std::span<const vnf::PolicyChain> chains,
+                                 ControllerConfig config)
+    : topo_(&topo),
+      chains_(chains.begin(), chains.end()),
+      config_(config),
+      routing_(topo) {
+  if (chains_.empty()) {
+    throw std::invalid_argument("controller needs at least one policy chain");
+  }
+  const std::size_t usable =
+      config_.num_chains == 0
+          ? chains_.size()
+          : std::min<std::size_t>(config_.num_chains, chains_.size());
+  assign_ = traffic::uniform_chain_assignment(usable, config_.chain_seed,
+                                              config_.policied_fraction);
+}
+
+std::vector<traffic::TrafficClass> AppleController::build_classes(
+    const traffic::TrafficMatrix& tm) const {
+  return traffic::build_classes(*topo_, routing_, tm, assign_,
+                                config_.min_class_rate_mbps);
+}
+
+Epoch AppleController::optimize(const traffic::TrafficMatrix& tm) const {
+  Epoch epoch;
+  epoch.classes = build_classes(tm);
+  PlacementInput input;
+  input.topology = topo_;
+  input.classes = epoch.classes;
+  input.chains = chains_;
+
+  epoch.plan = OptimizationEngine(config_.engine).place(input);
+  if (!epoch.plan.feasible) {
+    throw std::runtime_error("placement infeasible: " +
+                             epoch.plan.infeasibility_reason);
+  }
+  epoch.inventory = materialize_inventory(input, epoch.plan);
+  epoch.subclasses =
+      assign_subclasses(input, epoch.plan, epoch.inventory, config_.assigner);
+  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  return epoch;
+}
+
+Epoch AppleController::optimize_excluding_host(
+    const traffic::TrafficMatrix& tm, net::NodeId failed_host) const {
+  if (failed_host >= topo_->num_nodes()) {
+    throw std::invalid_argument("unknown host switch");
+  }
+  // Clone the topology with the failed host's resources zeroed; switching
+  // capacity is unaffected, so the classes keep their original paths.
+  net::Topology degraded = *topo_;
+  degraded.node(failed_host).host_cores = 0.0;
+
+  Epoch epoch;
+  epoch.classes = build_classes(tm);
+  PlacementInput input;
+  input.topology = &degraded;
+  input.classes = epoch.classes;
+  input.chains = chains_;
+
+  epoch.plan = OptimizationEngine(config_.engine).place(input);
+  if (!epoch.plan.feasible) {
+    throw std::runtime_error("no feasible placement without host " +
+                             std::to_string(failed_host) + ": " +
+                             epoch.plan.infeasibility_reason);
+  }
+  epoch.inventory = materialize_inventory(input, epoch.plan);
+  epoch.subclasses =
+      assign_subclasses(input, epoch.plan, epoch.inventory, config_.assigner);
+  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  return epoch;
+}
+
+ReplayReport AppleController::replay(
+    const Epoch& epoch, std::span<const traffic::TrafficMatrix> series,
+    bool fast_failover) const {
+  ReplayReport report;
+  if (series.empty()) return report;
+
+  const std::size_t segment_len =
+      config_.reoptimize_every == 0 ? series.size() : config_.reoptimize_every;
+
+  const Epoch* current = &epoch;
+  Epoch reoptimized;  // storage for re-optimized epochs
+  report.epochs = 0;
+  for (std::size_t begin = 0; begin < series.size(); begin += segment_len) {
+    const std::size_t count = std::min(segment_len, series.size() - begin);
+    if (begin > 0) {
+      // Large-time-scale adjustment (Sec. VI): re-run the Optimization
+      // Engine for the segment's mean matrix. Daily patterns are
+      // predictable and planned changes are pre-installed, so the segment
+      // forecast is available when the segment starts; fast failover
+      // absorbs the unpredicted remainder. An infeasible re-optimization
+      // keeps the previous placement.
+      try {
+        reoptimized =
+            optimize(traffic::mean_matrix(series.subspan(begin, count)));
+        current = &reoptimized;
+      } catch (const std::runtime_error&) {
+        // keep the previous epoch
+      }
+    }
+    ++report.epochs;
+    replay_segment(*current, series.subspan(begin, count), fast_failover,
+                   report);
+  }
+
+  double loss_sum = 0.0;
+  for (const double loss : report.snapshot_loss) {
+    loss_sum += loss;
+    report.max_loss = std::max(report.max_loss, loss);
+  }
+  report.mean_loss = loss_sum / static_cast<double>(series.size());
+  return report;
+}
+
+void AppleController::replay_segment(
+    const Epoch& epoch, std::span<const traffic::TrafficMatrix> series,
+    bool fast_failover, ReplayReport& report) const {
+  // Bring up the epoch's instances through the Resource Orchestrator (the
+  // proactive provisioning of Sec. III; everything is ready before replay
+  // starts). Launch order matches materialize_inventory's id numbering.
+  orch::ResourceOrchestrator orchestrator(*topo_);
+  sim::FlowSimulation flow(config_.tick);
+  for (net::NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      for (const vnf::InstanceId expected : epoch.inventory.by_node_type[v][n]) {
+        const auto launch = orchestrator.launch(
+            static_cast<vnf::NfType>(n), v, /*now=*/-1e6);
+        if (!launch.ok() || launch.instance.id != expected) {
+          throw std::logic_error(
+              "orchestrator inventory diverged from placement");
+        }
+        // The fluid simulator drops at the true loss knee; the measured
+        // Cap_n the plan packed against sits kMeasuredCapacityMargin below
+        // it (Sec. IV-C), which is the detector's head start.
+        vnf::VnfInstance inst = launch.instance;
+        inst.capacity_mbps =
+            vnf::spec_of(inst.type).loss_knee_mbps();
+        flow.add_instance(inst, /*ready_at=*/0.0);
+      }
+    }
+  }
+
+  DynamicHandlerConfig handler_config = config_.handler;
+  handler_config.detector.poll_interval = config_.poll_interval;
+  // Detector thresholds are expressed against measured capacity; the sim
+  // instances carry the (higher) loss knee.
+  handler_config.detector.overload_threshold *= vnf::kMeasuredCapacityMargin;
+  handler_config.detector.clear_threshold *= vnf::kMeasuredCapacityMargin;
+  handler_config.headroom *= vnf::kMeasuredCapacityMargin;
+  DynamicHandler handler(flow, orchestrator, handler_config);
+  for (std::size_t h = 0; h < epoch.classes.size(); ++h) {
+    flow.install_class_plans(epoch.classes[h].id, epoch.subclasses[h]);
+    handler.register_class(epoch.classes[h].id,
+                           chains_[epoch.classes[h].chain_id],
+                           epoch.classes[h].path);
+  }
+
+  // Replay every snapshot in time order (Sec. IX-A).
+  std::vector<traffic::TrafficClass> live = epoch.classes;
+  const std::size_t ticks_per_snapshot = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config_.snapshot_duration / config_.tick)));
+  const std::size_t ticks_per_poll = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config_.poll_interval / config_.tick)));
+
+  std::size_t tick_count = 0;
+  for (const traffic::TrafficMatrix& tm : series) {
+    traffic::update_rates(live, tm, assign_);
+    for (const traffic::TrafficClass& cls : live) {
+      flow.set_class_rate(cls.id, cls.rate_mbps);
+    }
+    double offered = 0.0, delivered = 0.0;
+    for (std::size_t t = 0; t < ticks_per_snapshot; ++t, ++tick_count) {
+      const sim::TickStats stats = flow.step();
+      offered += stats.offered_mbps;
+      delivered += stats.delivered_mbps;
+      if (fast_failover && tick_count % ticks_per_poll == 0) {
+        handler.poll(flow.now());
+      }
+    }
+    report.snapshot_loss.push_back(
+        offered > 0.0 ? std::max(0.0, 1.0 - delivered / offered) : 0.0);
+  }
+
+  const FailoverMetrics& m = handler.metrics();
+  report.failover.overload_events += m.overload_events;
+  report.failover.clear_events += m.clear_events;
+  report.failover.rebalances += m.rebalances;
+  report.failover.instances_launched += m.instances_launched;
+  report.failover.instances_cancelled += m.instances_cancelled;
+  report.failover.peak_extra_cores =
+      std::max(report.failover.peak_extra_cores, m.peak_extra_cores);
+  report.failover.extra_core_sum += m.extra_core_sum;
+  report.failover.extra_core_samples += m.extra_core_samples;
+}
+
+}  // namespace apple::core

@@ -1,0 +1,104 @@
+// APPLE controller facade (paper Fig. 1): wires the Optimization Engine,
+// sub-class assignment, Rule Generator, Resource Orchestrator and Dynamic
+// Handler into the control loop the evaluation exercises —
+//   optimize on the mean traffic matrix  ->  place VNF instances  ->
+//   install rules  ->  replay the time-varying snapshots, with fast
+//   failover absorbing small-time-scale dynamics (Sec. IX-A methodology).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dynamic_handler.h"
+#include "core/optimization_engine.h"
+#include "core/rule_generator.h"
+#include "core/subclass_assigner.h"
+#include "net/routing.h"
+#include "traffic/synthesis.h"
+
+namespace apple::core {
+
+struct ControllerConfig {
+  EngineOptions engine;
+  AssignerOptions assigner;
+  DynamicHandlerConfig handler;
+  double snapshot_duration = 1.0;  // sim seconds per TM snapshot
+  double tick = 0.05;              // fluid simulation tick
+  double poll_interval = 0.1;      // dynamic-handler counter poll
+  double min_class_rate_mbps = 1e-3;
+  std::size_t num_chains = 0;      // 0 = all default chains
+  std::uint64_t chain_seed = 0;    // OD-pair -> chain hashing seed
+  double policied_fraction = 1.0;  // share of OD pairs carrying a policy
+  // Re-run the Optimization Engine every N snapshots during replay
+  // (0 = never). This is the paper's large-time-scale mechanism (Sec. VI):
+  // slow daily/weekly patterns tolerate full VNF installation, so the
+  // placement tracks them while fast failover absorbs the fast dynamics.
+  std::size_t reoptimize_every = 0;
+};
+
+// One optimization epoch: everything derived from a single traffic matrix.
+struct Epoch {
+  std::vector<traffic::TrafficClass> classes;
+  PlacementPlan plan;
+  InstanceInventory inventory;
+  std::vector<std::vector<dataplane::SubclassPlan>> subclasses;
+  RuleGenerationReport rules;
+};
+
+// Replay of a snapshot series over an epoch placement (re-optimized every
+// `reoptimize_every` snapshots when configured).
+struct ReplayReport {
+  std::vector<double> snapshot_loss;  // offered-weighted loss per snapshot
+  double mean_loss = 0.0;
+  double max_loss = 0.0;
+  std::size_t epochs = 1;  // optimization epochs used across the replay
+  FailoverMetrics failover;
+};
+
+class AppleController {
+ public:
+  AppleController(const net::Topology& topo,
+                  std::span<const vnf::PolicyChain> chains,
+                  ControllerConfig config = {});
+
+  const net::Topology& topology() const { return *topo_; }
+  std::span<const vnf::PolicyChain> chains() const { return chains_; }
+  const traffic::ChainAssignment& chain_assignment() const { return assign_; }
+
+  // Builds equivalence classes for a traffic matrix (Sec. IV-A granularity).
+  std::vector<traffic::TrafficClass> build_classes(
+      const traffic::TrafficMatrix& tm) const;
+
+  // Full epoch: classes -> placement -> instances -> sub-classes -> rules.
+  // Throws std::runtime_error when the placement is infeasible.
+  Epoch optimize(const traffic::TrafficMatrix& tm) const;
+
+  // Failure recovery (extension): recompute the epoch with the APPLE host
+  // at `failed_host` treated as gone (its switch keeps forwarding — only
+  // the attached server is lost, so paths are untouched and interference
+  // freedom is preserved). Throws when no feasible placement exists
+  // without that host.
+  Epoch optimize_excluding_host(const traffic::TrafficMatrix& tm,
+                                net::NodeId failed_host) const;
+
+  // Replays `series` against the epoch's placement; `fast_failover`
+  // enables the Dynamic Handler (the Fig. 12 comparison).
+  ReplayReport replay(const Epoch& epoch,
+                      std::span<const traffic::TrafficMatrix> series,
+                      bool fast_failover) const;
+
+ private:
+  // Replays one optimization epoch's segment of the snapshot series,
+  // accumulating losses and failover metrics into `report`.
+  void replay_segment(const Epoch& epoch,
+                      std::span<const traffic::TrafficMatrix> series,
+                      bool fast_failover, ReplayReport& report) const;
+
+  const net::Topology* topo_;
+  std::vector<vnf::PolicyChain> chains_;
+  ControllerConfig config_;
+  net::AllPairsPaths routing_;
+  traffic::ChainAssignment assign_;
+};
+
+}  // namespace apple::core

@@ -1,0 +1,450 @@
+#include "core/dynamic_handler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apple::core {
+
+namespace {
+
+bool plan_uses(const dataplane::SubclassPlan& plan, vnf::InstanceId id) {
+  for (const dataplane::HostVisit& visit : plan.itinerary) {
+    for (const vnf::InstanceId inst : visit.instances) {
+      if (inst == id) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DynamicHandler::DynamicHandler(sim::FlowSimulation& sim,
+                               orch::ResourceOrchestrator& orch,
+                               DynamicHandlerConfig config)
+    : sim_(&sim), orch_(&orch), config_(config), detector_(config.detector) {}
+
+void DynamicHandler::register_class(traffic::ClassId id,
+                                    const vnf::PolicyChain& chain,
+                                    const net::Path& path) {
+  chains_[id] = chain;
+  paths_[id] = path;
+}
+
+void DynamicHandler::poll(double now) {
+  // Time-average of the failover footprint (the paper reports < 17 extra
+  // cores on average, Sec. IX-E).
+  metrics_.extra_core_samples += 1.0;
+  metrics_.extra_core_sum += metrics_.extra_cores_in_use;
+
+  // Apply traffic shifts whose replacement instances finished booting.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->ready_at <= now) {
+      sim_->install_class_plans(it->class_id, it->plans);
+      ++metrics_.rebalances;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const vnf::InstanceId id : sim_->instance_ids()) {
+    // A rollback earlier in this poll may have cancelled the instance.
+    if (!sim_->has_instance(id)) continue;
+    const auto event =
+        detector_.sample(now, id, sim_->instance_offered_mbps(id),
+                         sim_->instance_capacity_mbps(id));
+    if (event) {
+      if (event->kind == sim::LoadEventKind::kOverloaded) {
+        ++metrics_.overload_events;
+        handle_overload(now, id);
+      } else {
+        ++metrics_.clear_events;
+        handle_clear(now, id);
+      }
+      continue;
+    }
+    // A still-overloaded instance keeps notifying the handler (the
+    // detector is edge-triggered, the VNF's complaints are not). Act only
+    // after a cooldown so the previous mitigation's effect is visible in
+    // the counters before escalating.
+    const auto acted = last_action_.find(id);
+    const bool cooled = acted == last_action_.end() ||
+                        now - acted->second >
+                            2.0 * config_.detector.poll_interval + 1e-9;
+    if (cooled && detector_.is_overloaded(id) &&
+        sim_->instance_offered_mbps(id) >
+            sim_->instance_capacity_mbps(id) * (1.0 + 1e-9)) {
+      handle_overload(now, id);
+    }
+  }
+}
+
+double DynamicHandler::bottleneck_utilization(
+    const dataplane::SubclassPlan& plan, double extra_mbps,
+    const std::unordered_map<vnf::InstanceId, double>& planned) const {
+  double worst = 0.0;
+  for (const dataplane::HostVisit& visit : plan.itinerary) {
+    for (const vnf::InstanceId inst : visit.instances) {
+      const double cap = sim_->instance_capacity_mbps(inst);
+      if (cap <= 0.0) return 1e9;
+      const auto it = planned.find(inst);
+      const double load = sim_->instance_offered_mbps(inst) +
+                          (it != planned.end() ? it->second : 0.0) +
+                          extra_mbps;
+      worst = std::max(worst, load / cap);
+    }
+  }
+  return worst;
+}
+
+void DynamicHandler::handle_overload(double now, vnf::InstanceId hot) {
+  last_action_[hot] = now;
+  // Load shifted onto instances during THIS handling round, across all
+  // affected classes — without it, every class would pile onto the same
+  // "least-loaded" sibling and overload it.
+  std::unordered_map<vnf::InstanceId, double> planned;
+  // Replacement instances launched at the hot host during THIS handling
+  // round are pooled: they sit at the same switch as `hot`, so every
+  // affected class can route its leftover through them.
+  struct PoolEntry {
+    vnf::InstanceId id;
+    double remaining_mbps;
+    double ready_at;
+  };
+  std::vector<PoolEntry> pool;
+  for (const auto& [class_id, chain] : chains_) {
+    const auto& plans = sim_->plans_of(class_id);
+    const double class_rate = sim_->class_rate(class_id);
+    bool affected = false;
+    for (const dataplane::SubclassPlan& plan : plans) {
+      if (plan_uses(plan, hot)) affected = true;
+    }
+    if (!affected) continue;
+
+    SavedClassState& saved = saved_[class_id];
+    if (saved.original_plans.empty()) saved.original_plans = plans;
+    saved.pending_overloads.insert(hot);
+
+    // Halve the hot sub-classes (Sec. VI).
+    std::vector<dataplane::SubclassPlan> updated = plans;
+    double released = 0.0;
+    for (dataplane::SubclassPlan& plan : updated) {
+      if (plan_uses(plan, hot)) {
+        released += plan.weight * 0.5;
+        plan.weight *= 0.5;
+      }
+    }
+    if (released <= 0.0) continue;
+
+    // Spread onto the least-loaded sibling sub-classes, stopping short of
+    // the headroom limit.
+    std::vector<std::size_t> others;
+    for (std::size_t s = 0; s < updated.size(); ++s) {
+      if (!plan_uses(updated[s], hot)) others.push_back(s);
+    }
+    std::sort(others.begin(), others.end(), [&](std::size_t a, std::size_t b) {
+      return bottleneck_utilization(updated[a], 0.0, planned) <
+             bottleneck_utilization(updated[b], 0.0, planned);
+    });
+    for (const std::size_t s : others) {
+      if (released <= 1e-12) break;
+      // Largest extra rate this sub-class absorbs within the headroom.
+      double lo = 0.0, hi = released * class_rate;
+      if (bottleneck_utilization(updated[s], hi, planned) <=
+          config_.headroom) {
+        lo = hi;
+      } else {
+        for (int iter = 0; iter < 30; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          if (bottleneck_utilization(updated[s], mid, planned) <=
+              config_.headroom) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+      }
+      if (lo <= 0.0) continue;
+      const double frac = class_rate > 0.0 ? lo / class_rate : released;
+      const double shift = std::min(frac, released);
+      updated[s].weight += shift;
+      released -= shift;
+      for (const dataplane::HostVisit& visit : updated[s].itinerary) {
+        for (const vnf::InstanceId inst : visit.instances) {
+          planned[inst] += shift * class_rate;
+        }
+      }
+    }
+
+    if (released > 1e-9) {
+      // Leftover demand: route it through fresh ClickOS instance(s)
+      // replacing the hot instance (Fig. 4 steps 2-4). Each hot sub-class
+      // gets its own clone so the load on its OTHER chain stages is
+      // unchanged — funnelling several sub-classes' leftover through one
+      // itinerary would overload that itinerary's other instances.
+      // Replacements at the hot host are pooled across sub-classes and
+      // classes.
+      const auto hot_inst = orch_->instance(hot);
+      bool launched_ok = false;
+      bool leftover_restored = false;
+      if (hot_inst && vnf::spec_of(hot_inst->type).clickos) {
+        const double knee = vnf::spec_of(hot_inst->type).loss_knee_mbps();
+        // Fill replacements only to the headroom target: a replacement at
+        // 100% flips straight back into overload on the next wiggle.
+        const double fill_target = config_.headroom * knee;
+
+        // Distribute the leftover across the hot sub-classes proportional
+        // to the weight that was halved away from each.
+        std::vector<std::size_t> hot_subs;
+        double halved_total = 0.0;
+        for (std::size_t s = 0; s < updated.size(); ++s) {
+          if (plan_uses(updated[s], hot)) {
+            hot_subs.push_back(s);
+            halved_total += updated[s].weight;  // == released share pre-spread
+          }
+        }
+
+        std::vector<dataplane::SubclassPlan> extra;
+        std::vector<double> extra_ready_at;
+        double latest_ready = now;
+        double unabsorbed = 0.0;
+
+        for (const std::size_t s : hot_subs) {
+          double leftover =
+              halved_total > 0.0
+                  ? released * (updated[s].weight / halved_total)
+                  : released / static_cast<double>(hot_subs.size());
+          // Clone builder: sub-class s's itinerary with `hot` replaced.
+          const auto clone_via = [&](vnf::InstanceId replacement,
+                                     net::NodeId at_switch, double weight,
+                                     double ready_at) {
+            dataplane::SubclassPlan fresh = updated[s];
+            fresh.subclass_id = static_cast<dataplane::SubclassId>(
+                updated.size() + extra.size());
+            fresh.weight = weight;
+            for (dataplane::HostVisit& visit : fresh.itinerary) {
+              bool replaced = false;
+              for (vnf::InstanceId& inst : visit.instances) {
+                if (inst == hot) {
+                  inst = replacement;
+                  replaced = true;
+                }
+              }
+              if (replaced && visit.instances.size() == 1) {
+                visit.at_switch = at_switch;
+              }
+            }
+            for (const dataplane::HostVisit& visit : fresh.itinerary) {
+              for (const vnf::InstanceId inst : visit.instances) {
+                planned[inst] += weight * class_rate;
+              }
+            }
+            extra.push_back(std::move(fresh));
+            extra_ready_at.push_back(ready_at);
+            latest_ready = std::max(latest_ready, ready_at);
+          };
+
+          // 1. Drain the shared pool (instances at the hot host are valid
+          // replacements for every sub-class that visits it).
+          for (PoolEntry& entry : pool) {
+            if (leftover <= 1e-9) break;
+            if (entry.remaining_mbps <= 1e-9) continue;
+            const double take_mbps =
+                std::min(entry.remaining_mbps, leftover * class_rate);
+            const double frac =
+                class_rate > 0.0 ? take_mbps / class_rate : leftover;
+            clone_via(entry.id, hot_inst->host_switch, frac, entry.ready_at);
+            saved.launched.push_back(entry.id);
+            ++launched_refs_[entry.id];
+            entry.remaining_mbps -= take_mbps;
+            leftover -= frac;
+            launched_ok = true;
+          }
+
+          // 2. Launch more instances while leftover remains: the hot host
+          // first (poolable), then order-compatible hosts of THIS
+          // sub-class's itinerary.
+          const net::Path& path = paths_[class_id];
+          std::size_t hot_visit = 0;
+          for (std::size_t vi = 0; vi < updated[s].itinerary.size(); ++vi) {
+            for (const vnf::InstanceId inst :
+                 updated[s].itinerary[vi].instances) {
+              if (inst == hot) hot_visit = vi;
+            }
+          }
+          const auto pos_of = [&](net::NodeId v) {
+            for (std::size_t i = 0; i < path.size(); ++i) {
+              if (path[i] == v) return i;
+            }
+            return std::size_t{0};
+          };
+          const std::size_t lo =
+              hot_visit > 0
+                  ? pos_of(updated[s].itinerary[hot_visit - 1].at_switch)
+                  : 0;
+          const std::size_t hi =
+              hot_visit + 1 < updated[s].itinerary.size()
+                  ? pos_of(updated[s].itinerary[hot_visit + 1].at_switch)
+                  : (path.empty() ? 0 : path.size() - 1);
+          std::vector<net::NodeId> candidates{hot_inst->host_switch};
+          const bool hot_alone =
+              updated[s].itinerary[hot_visit].instances.size() == 1;
+          if (hot_alone) {
+            for (std::size_t i = lo; i <= hi && i < path.size(); ++i) {
+              if (path[i] != hot_inst->host_switch) {
+                candidates.push_back(path[i]);
+              }
+            }
+          }
+          std::stable_sort(candidates.begin() + 1, candidates.end(),
+                           [&](net::NodeId a, net::NodeId b) {
+                             return orch_->available_cores(a) >
+                                    orch_->available_cores(b);
+                           });
+          for (const net::NodeId candidate : candidates) {
+            while (leftover > 1e-9) {
+              const auto launch = orch_->launch(
+                  hot_inst->type, candidate, now, orch::LaunchPath::kBareXen);
+              if (!launch.ok()) break;
+              ++metrics_.instances_launched;
+              metrics_.extra_cores_in_use +=
+                  vnf::spec_of(launch.instance.type).cores_required;
+              metrics_.peak_extra_cores = std::max(
+                  metrics_.peak_extra_cores, metrics_.extra_cores_in_use);
+              vnf::VnfInstance fresh_inst = launch.instance;
+              fresh_inst.capacity_mbps = knee;
+              sim_->add_instance(fresh_inst, launch.ready_at);
+              saved.launched.push_back(launch.instance.id);
+              ++launched_refs_[launch.instance.id];
+
+              const double take_mbps =
+                  std::min(fill_target, leftover * class_rate);
+              const double frac =
+                  class_rate > 0.0 ? take_mbps / class_rate : leftover;
+              clone_via(launch.instance.id, candidate, frac,
+                        launch.ready_at);
+              leftover -= frac;
+              launched_ok = true;
+              if (candidate == hot_inst->host_switch &&
+                  fill_target - take_mbps > 1e-9) {
+                pool.push_back(PoolEntry{launch.instance.id,
+                                         fill_target - take_mbps,
+                                         launch.ready_at});
+              }
+            }
+            if (leftover <= 1e-9) break;
+          }
+          // Whatever this sub-class could not shed stays on it.
+          if (leftover > 1e-9) {
+            updated[s].weight += leftover;
+            unabsorbed += leftover;
+          }
+        }
+        released = unabsorbed;
+        leftover_restored = true;  // per-sub loop re-added its leftover
+
+        if (launched_ok) {
+          // Already-serving replacements take traffic immediately; weight
+          // bound for still-booting VMs stays parked on its hot sub-class
+          // until the VM is up (no blackholing), then shifts.
+          std::vector<dataplane::SubclassPlan> interim = updated;
+          double booting = 0.0;
+          for (std::size_t e = 0; e < extra.size(); ++e) {
+            if (extra_ready_at[e] <= now) {
+              interim.push_back(extra[e]);
+            } else {
+              booting += extra[e].weight;
+            }
+          }
+          if (booting > 1e-12) {
+            // Park booting weight proportionally on the hot sub-classes.
+            double hot_weight = 0.0;
+            for (const std::size_t s : hot_subs) {
+              hot_weight += updated[s].weight;
+            }
+            for (const std::size_t s : hot_subs) {
+              interim[s].weight += hot_weight > 0.0
+                                       ? booting * (updated[s].weight /
+                                                    hot_weight)
+                                       : booting / hot_subs.size();
+            }
+          }
+          sim_->install_class_plans(class_id, interim);
+          ++metrics_.rebalances;
+          if (booting > 1e-12) {
+            std::vector<dataplane::SubclassPlan> final_plans = updated;
+            final_plans.insert(final_plans.end(), extra.begin(), extra.end());
+            pending_.push_back(PendingShift{latest_ready, class_id,
+                                            std::move(final_plans)});
+          }
+          released = 0.0;  // fully accounted (unabsorbed stays on subs)
+        }
+      }
+      if (!launched_ok) {
+        // Nothing can absorb the leftover: return it to the hot
+        // sub-classes proportionally (unless the per-sub loop already
+        // did). Keeping the overload concentrated on one instance loses
+        // less than spreading it across more chains (loss multiplies along
+        // each chain that crosses a lossy stage).
+        if (!leftover_restored) {
+          double hot_total = 0.0;
+          for (const dataplane::SubclassPlan& plan : updated) {
+            if (plan_uses(plan, hot)) hot_total += plan.weight;
+          }
+          for (dataplane::SubclassPlan& plan : updated) {
+            if (plan_uses(plan, hot)) {
+              plan.weight += hot_total > 0.0
+                                 ? released * (plan.weight / hot_total)
+                                 : released;
+            }
+          }
+        }
+        sim_->install_class_plans(class_id, updated);
+        ++metrics_.rebalances;
+      }
+    } else {
+      sim_->install_class_plans(class_id, updated);
+      ++metrics_.rebalances;
+    }
+  }
+}
+
+void DynamicHandler::handle_clear(double now, vnf::InstanceId cleared) {
+  (void)now;
+  for (auto it = saved_.begin(); it != saved_.end();) {
+    SavedClassState& saved = it->second;
+    saved.pending_overloads.erase(cleared);
+    if (!saved.pending_overloads.empty()) {
+      ++it;
+      continue;
+    }
+    // Every overload affecting this class is resolved: roll back the
+    // distribution and cancel the failover instances (Sec. VI).
+    const traffic::ClassId class_id = it->first;
+    std::erase_if(pending_, [class_id](const PendingShift& p) {
+      return p.class_id == class_id;
+    });
+    sim_->install_class_plans(class_id, saved.original_plans);
+    ++metrics_.rebalances;
+    for (const vnf::InstanceId inst : saved.launched) {
+      auto ref = launched_refs_.find(inst);
+      if (ref != launched_refs_.end() && --ref->second > 0) {
+        continue;  // another class still routes through this replacement
+      }
+      if (ref != launched_refs_.end()) launched_refs_.erase(ref);
+      const auto info = orch_->instance(inst);
+      if (info) {
+        metrics_.extra_cores_in_use -=
+            vnf::spec_of(info->type).cores_required;
+      }
+      orch_->cancel(inst);
+      sim_->remove_instance(inst);
+      detector_.forget(inst);
+      last_action_.erase(inst);
+      ++metrics_.instances_cancelled;
+    }
+    it = saved_.erase(it);
+  }
+}
+
+}  // namespace apple::core

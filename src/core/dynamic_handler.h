@@ -1,0 +1,108 @@
+// Dynamic Handler — fast failover (paper Sec. VI, Fig. 4).
+//
+// Small-time-scale traffic dynamics are too fast for the Optimization
+// Engine's periodic re-runs. When an instance reports overload, the handler
+// *temporarily* re-balances sub-classes:
+//   1. halve the workload of every sub-class traversing the overloaded
+//      instance, spreading the released half onto the least-loaded
+//      sub-classes of the same class;
+//   2. when that would overload another instance, launch new light-weight
+//      ClickOS instances (tens of milliseconds) and create a new sub-class
+//      to absorb the burst — the traffic shift is applied only once the new
+//      VM is ready, so no packets are blackholed into a booting VM;
+//   3. when the instance is no longer overloaded, roll the distribution
+//      back and cancel the extra instances to save hardware resources.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/placement.h"
+#include "orch/resource_orchestrator.h"
+#include "sim/detector.h"
+#include "sim/flow_sim.h"
+
+namespace apple::core {
+
+struct DynamicHandlerConfig {
+  sim::DetectorConfig detector;
+  // Target utilization when spreading load onto other sub-classes.
+  double headroom = 0.9;
+};
+
+struct FailoverMetrics {
+  std::size_t overload_events = 0;
+  std::size_t clear_events = 0;
+  std::size_t rebalances = 0;          // plan updates without new instances
+  std::size_t instances_launched = 0;  // fast-failover ClickOS launches
+  std::size_t instances_cancelled = 0;
+  double extra_cores_in_use = 0.0;     // cores held by failover instances
+  double peak_extra_cores = 0.0;
+  double extra_core_sum = 0.0;         // Σ over polls (for the average)
+  double extra_core_samples = 0.0;
+
+  // Time-averaged failover footprint in cores (paper: < 17 on average).
+  double mean_extra_cores() const {
+    return extra_core_samples > 0.0 ? extra_core_sum / extra_core_samples
+                                    : 0.0;
+  }
+};
+
+class DynamicHandler {
+ public:
+  DynamicHandler(sim::FlowSimulation& sim, orch::ResourceOrchestrator& orch,
+                 DynamicHandlerConfig config = {});
+
+  // Declares a class the handler may re-balance. The chain and forwarding
+  // path are needed to build replacement itineraries when new instances
+  // are launched (the replacement host must keep the itinerary in path
+  // order — interference freedom also binds the failover path).
+  void register_class(traffic::ClassId id, const vnf::PolicyChain& chain,
+                      const net::Path& path);
+
+  // Samples every instance's offered rate and reacts to overload/clear
+  // events; also applies pending traffic shifts whose new instances have
+  // finished booting. Call once per detector poll interval.
+  void poll(double now);
+
+  const FailoverMetrics& metrics() const { return metrics_; }
+  bool has_active_failover() const { return !saved_.empty(); }
+
+ private:
+  struct SavedClassState {
+    std::vector<dataplane::SubclassPlan> original_plans;
+    std::unordered_set<vnf::InstanceId> pending_overloads;
+    std::vector<vnf::InstanceId> launched;  // failover instances
+  };
+  struct PendingShift {
+    double ready_at = 0.0;
+    traffic::ClassId class_id = 0;
+    std::vector<dataplane::SubclassPlan> plans;
+  };
+
+  void handle_overload(double now, vnf::InstanceId hot);
+  void handle_clear(double now, vnf::InstanceId cleared);
+  // Estimated post-shift offered load of a plan's bottleneck instance.
+  double bottleneck_utilization(
+      const dataplane::SubclassPlan& plan, double extra_mbps,
+      const std::unordered_map<vnf::InstanceId, double>& planned) const;
+
+  sim::FlowSimulation* sim_;
+  orch::ResourceOrchestrator* orch_;
+  DynamicHandlerConfig config_;
+  sim::OverloadDetector detector_;
+  std::unordered_map<traffic::ClassId, vnf::PolicyChain> chains_;
+  std::unordered_map<traffic::ClassId, net::Path> paths_;
+  std::unordered_map<traffic::ClassId, SavedClassState> saved_;
+  std::vector<PendingShift> pending_;
+  // Last mitigation time per instance; gates persistent-overload retries.
+  std::unordered_map<vnf::InstanceId, double> last_action_;
+  // Failover instances may be shared by several classes (pooled
+  // replacements); cancel only when the last referencing class rolls back.
+  std::unordered_map<vnf::InstanceId, std::size_t> launched_refs_;
+  FailoverMetrics metrics_;
+};
+
+}  // namespace apple::core

@@ -1,0 +1,52 @@
+// Builds the placement ILP of paper Sec. IV-D (Eq. 1-8) as an lp::LpModel.
+//
+// The derived variable sigma^i_{h,j} is eliminated by substitution
+// (sigma^i_{h,j} = sum_{i'<=i} d^{i'}_{h,j}), leaving:
+//   minimize  sum_{v,n} q_n^v                                      (Eq. 1)
+//   s.t.      sum_i d^i_{h,j} = 1                    for all h, j  (Eq. 4)
+//             sum_{i'<=i} (d^{i'}_{h,j} - d^{i'}_{h,j-1}) <= 0
+//                                      for all h, i, j >= 2        (Eq. 2+3)
+//             sum_h T_h d^{i(P,h,v)}_{h,i(C,h,n)} <= Cap_n q_n^v   (Eq. 5)
+//             sum_n R_n q_n^v <= A_v                 for all v     (Eq. 6)
+//             q integer, d >= 0                                    (Eq. 7-8)
+// d <= 1 is implied by Eq. 4 with d >= 0, so no explicit bound rows are
+// needed. q variables only exist for (v, n) pairs that can ever see load;
+// unused pairs are fixed to zero implicitly (they never enter a row and the
+// objective pushes them to 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/placement.h"
+#include "lp/model.h"
+
+namespace apple::core {
+
+class IlpBuilder {
+ public:
+  // Builds the model; `integral_q` false yields the LP relaxation directly.
+  IlpBuilder(const PlacementInput& input, bool integral_q = true);
+
+  const lp::LpModel& model() const { return model_; }
+
+  // Variable lookups (kInvalidVar when the variable does not exist).
+  static constexpr lp::VarId kInvalidVar = -1;
+  lp::VarId d_var(std::size_t class_index, std::size_t path_index,
+                  std::size_t stage) const;
+  lp::VarId q_var(net::NodeId v, vnf::NfType n) const;
+
+  // Converts a solver assignment back into a PlacementPlan (q rounded to
+  // the nearest integer; d copied verbatim).
+  PlacementPlan extract_plan(const PlacementInput& input,
+                             std::span<const double> x) const;
+
+ private:
+  lp::LpModel model_;
+  // d_index_[h] is a (path length x chain length) matrix of var ids.
+  std::vector<std::vector<std::vector<lp::VarId>>> d_index_;
+  // q_index_[v][n].
+  std::vector<std::array<lp::VarId, vnf::kNumNfTypes>> q_index_;
+};
+
+}  // namespace apple::core

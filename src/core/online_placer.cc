@@ -1,0 +1,226 @@
+#include "core/online_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apple::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+OnlinePlacer::OnlinePlacer(const PlacementInput& input,
+                           const PlacementPlan& plan)
+    : topo_(input.topology),
+      chains_(input.chains.begin(), input.chains.end()),
+      groups_(input.topology->num_nodes()),
+      cores_used_(input.topology->num_nodes(), 0.0) {
+  input.validate();
+  if (!plan.feasible) {
+    throw std::invalid_argument("cannot seed from an infeasible plan");
+  }
+  for (net::NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      groups_[v][n].instances = plan.instance_count[v][n];
+      cores_used_[v] +=
+          plan.instance_count[v][n] *
+          vnf::spec_of(static_cast<vnf::NfType>(n)).cores_required;
+    }
+  }
+  for (std::size_t h = 0; h < input.classes.size(); ++h) {
+    const traffic::TrafficClass& cls = input.classes[h];
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    for (std::size_t i = 0; i < cls.path.size(); ++i) {
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        groups_[cls.path[i]][static_cast<std::size_t>(chain[j])].used_mbps +=
+            cls.rate_mbps * plan.distribution[h].fraction[i][j];
+      }
+    }
+    residents_.emplace(cls.id, Resident{cls, plan.distribution[h]});
+  }
+}
+
+double OnlinePlacer::residual(net::NodeId v, std::size_t n) const {
+  const double cap = vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
+  return groups_[v][n].instances * cap - groups_[v][n].used_mbps;
+}
+
+bool OnlinePlacer::can_open(net::NodeId v, std::size_t n) const {
+  return cores_used_[v] +
+             vnf::spec_of(static_cast<vnf::NfType>(n)).cores_required <=
+         topo_->node(v).host_cores + kEps;
+}
+
+OnlineArrival OnlinePlacer::add_class(const traffic::TrafficClass& cls) {
+  OnlineArrival result;
+  if (residents_.contains(cls.id)) {
+    result.reason = "class id already resident";
+    return result;
+  }
+  if (cls.chain_id >= chains_.size()) {
+    result.reason = "unknown chain";
+    return result;
+  }
+  if (cls.path.empty()) {
+    result.reason = "empty path";
+    return result;
+  }
+  const vnf::PolicyChain& chain = chains_[cls.chain_id];
+  result.distribution.fraction.assign(
+      cls.path.size(), std::vector<double>(chain.size(), 0.0));
+
+  if (cls.rate_mbps <= kEps) {
+    // Zero-rate classes consume no capacity: pin them to the first host.
+    for (std::size_t i = 0; i < cls.path.size(); ++i) {
+      if (topo_->node(cls.path[i]).has_host()) {
+        for (std::size_t j = 0; j < chain.size(); ++j) {
+          result.distribution.fraction[i][j] = 1.0;
+        }
+        result.accepted = true;
+        residents_.emplace(cls.id, Resident{cls, result.distribution});
+        return result;
+      }
+    }
+    result.reason = "no APPLE host on path";
+    return result;
+  }
+
+  // Snapshot for rollback on rejection.
+  const auto groups_before = groups_;
+  const auto cores_before = cores_used_;
+  std::uint32_t opened = 0;
+
+  std::vector<double> prev_prefix(cls.path.size(), 1.0);
+  for (std::size_t j = 0; j < chain.size(); ++j) {
+    const std::size_t n = static_cast<std::size_t>(chain[j]);
+    const vnf::NfSpec& spec = vnf::spec_of(chain[j]);
+    double assigned = 0.0;
+    std::vector<double> cur_prefix(cls.path.size(), 0.0);
+    // Two sweeps: consume residual capacity first (front to back under the
+    // precedence headroom), then open new instances where allowed.
+    for (const bool allow_open : {false, true}) {
+      double carried = 0.0;  // headroom carried past exhausted positions
+      for (std::size_t i = 0; i < cls.path.size() && assigned < 1.0 - kEps;
+           ++i) {
+        const net::NodeId v = cls.path[i];
+        carried = prev_prefix[i] - assigned;
+        if (!topo_->node(v).has_host() || carried <= kEps) {
+          cur_prefix[i] = std::max(cur_prefix[i], assigned);
+          continue;
+        }
+        double need_mbps = std::min(carried, 1.0 - assigned) * cls.rate_mbps;
+        double taken_mbps = 0.0;
+        while (need_mbps > kEps) {
+          const double res = residual(v, n);
+          if (res > kEps) {
+            const double take = std::min(res, need_mbps);
+            groups_[v][n].used_mbps += take;
+            taken_mbps += take;
+            need_mbps -= take;
+            continue;
+          }
+          if (allow_open && can_open(v, n)) {
+            cores_used_[v] += spec.cores_required;
+            ++groups_[v][n].instances;
+            ++opened;
+            continue;
+          }
+          break;
+        }
+        if (taken_mbps > 0.0) {
+          const double frac = taken_mbps / cls.rate_mbps;
+          result.distribution.fraction[i][j] += frac;
+          assigned += frac;
+        }
+        cur_prefix[i] = assigned;
+      }
+      if (assigned >= 1.0 - kEps) break;
+    }
+    // Forward-fill the prefix (positions after the last assignment).
+    double running = 0.0;
+    for (std::size_t i = 0; i < cls.path.size(); ++i) {
+      running += result.distribution.fraction[i][j];
+      cur_prefix[i] = running;
+    }
+    if (assigned < 1.0 - 1e-6) {
+      groups_ = groups_before;  // rollback
+      cores_used_ = cores_before;
+      result.distribution.fraction.assign(
+          cls.path.size(), std::vector<double>(chain.size(), 0.0));
+      result.reason = "insufficient capacity on path for stage " +
+                      std::string(vnf::to_string(chain[j]));
+      return result;
+    }
+    // Settle drift at the last host (previous stage complete there).
+    if (assigned < 1.0) {
+      for (std::size_t i = cls.path.size(); i-- > 0;) {
+        if (topo_->node(cls.path[i]).has_host()) {
+          const double deficit = 1.0 - assigned;
+          result.distribution.fraction[i][j] += deficit;
+          groups_[cls.path[i]][n].used_mbps += deficit * cls.rate_mbps;
+          for (std::size_t x = i; x < cls.path.size(); ++x) {
+            cur_prefix[x] += deficit;
+          }
+          break;
+        }
+      }
+    }
+    prev_prefix = std::move(cur_prefix);
+  }
+
+  result.accepted = true;
+  result.instances_opened = opened;
+  residents_.emplace(cls.id, Resident{cls, result.distribution});
+  return result;
+}
+
+OnlineDeparture OnlinePlacer::remove_class(traffic::ClassId id) {
+  OnlineDeparture result;
+  const auto it = residents_.find(id);
+  if (it == residents_.end()) return result;
+  const Resident& res = it->second;
+  const vnf::PolicyChain& chain = chains_[res.cls.chain_id];
+  for (std::size_t i = 0; i < res.cls.path.size(); ++i) {
+    for (std::size_t j = 0; j < chain.size(); ++j) {
+      const double mbps =
+          res.cls.rate_mbps * res.distribution.fraction[i][j];
+      if (mbps <= 0.0) continue;
+      const net::NodeId v = res.cls.path[i];
+      const std::size_t n = static_cast<std::size_t>(chain[j]);
+      groups_[v][n].used_mbps = std::max(0.0, groups_[v][n].used_mbps - mbps);
+      // Release instances that the remaining load no longer needs.
+      const double cap = vnf::spec_of(chain[j]).capacity_mbps;
+      const auto needed = static_cast<std::uint32_t>(
+          std::ceil(groups_[v][n].used_mbps / cap - kEps));
+      while (groups_[v][n].instances > needed) {
+        --groups_[v][n].instances;
+        cores_used_[v] -= vnf::spec_of(chain[j]).cores_required;
+        ++result.instances_released;
+        if (groups_[v][n].instances == 0) {
+          result.now_idle.emplace_back(v, chain[j]);
+        }
+      }
+    }
+  }
+  residents_.erase(it);
+  return result;
+}
+
+std::uint32_t OnlinePlacer::instances_of(net::NodeId v, vnf::NfType n) const {
+  return groups_.at(v)[static_cast<std::size_t>(n)].instances;
+}
+
+std::uint64_t OnlinePlacer::total_instances() const {
+  std::uint64_t total = 0;
+  for (const auto& per_switch : groups_) {
+    for (const GroupState& g : per_switch) total += g.instances;
+  }
+  return total;
+}
+
+double OnlinePlacer::used_mbps(net::NodeId v, vnf::NfType n) const {
+  return groups_.at(v)[static_cast<std::size_t>(n)].used_mbps;
+}
+
+}  // namespace apple::core

@@ -1,0 +1,81 @@
+// Online placement of newly arriving classes (the extension the paper
+// defers in Sec. IV: "The Optimization Engine may apply global optimization
+// ... or online placement for any new flows ... Online algorithms are for
+// our future research").
+//
+// The placer is seeded with the current global placement and then serves
+// arrivals and departures incrementally:
+//  * arrival  — water-fill the new class along its path into residual
+//               instance capacity, opening instances only when needed
+//               (same candidate rule as the global greedy: residual first,
+//               then popularity, with the Eq. 3 precedence prefixes).
+//  * departure — release the class's capacity; instances left idle are
+//               reported so the Resource Orchestrator can cancel them.
+//
+// The global optimum drifts as churn accumulates; periodic re-optimization
+// (Sec. VI) resets the baseline. Tests bound the drift: online placement
+// after churn stays within a small factor of a fresh global run.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/placement.h"
+
+namespace apple::core {
+
+struct OnlineArrival {
+  bool accepted = false;
+  std::string reason;                 // set when rejected
+  ClassDistribution distribution;     // d for the new class
+  std::uint32_t instances_opened = 0; // new VNF instances launched
+};
+
+struct OnlineDeparture {
+  // (switch, type) groups whose usage dropped to zero whole instances;
+  // the orchestrator can cancel these to save resources.
+  std::vector<std::pair<net::NodeId, vnf::NfType>> now_idle;
+  std::uint32_t instances_released = 0;
+};
+
+class OnlinePlacer {
+ public:
+  // Seeds from a solved epoch: the plan's instances with the load its
+  // distribution induces. The input's classes become resident.
+  OnlinePlacer(const PlacementInput& input, const PlacementPlan& plan);
+
+  // Places a newly arrived class (its id must be fresh). The class's path
+  // and chain id refer to the same chain catalog as the seed input.
+  OnlineArrival add_class(const traffic::TrafficClass& cls);
+
+  // Removes a resident class and releases its capacity. Unknown ids are
+  // ignored (returns empty departure).
+  OnlineDeparture remove_class(traffic::ClassId id);
+
+  // Current instance counts (seed plan + online openings - releases).
+  std::uint32_t instances_of(net::NodeId v, vnf::NfType n) const;
+  std::uint64_t total_instances() const;
+  double used_mbps(net::NodeId v, vnf::NfType n) const;
+
+ private:
+  struct GroupState {
+    std::uint32_t instances = 0;
+    double used_mbps = 0.0;
+  };
+  struct Resident {
+    traffic::TrafficClass cls;
+    ClassDistribution distribution;
+  };
+
+  double residual(net::NodeId v, std::size_t n) const;
+  bool can_open(net::NodeId v, std::size_t n) const;
+
+  const net::Topology* topo_;
+  std::vector<vnf::PolicyChain> chains_;
+  std::vector<std::array<GroupState, vnf::kNumNfTypes>> groups_;
+  std::vector<double> cores_used_;
+  std::unordered_map<traffic::ClassId, Resident> residents_;
+};
+
+}  // namespace apple::core

@@ -1,0 +1,559 @@
+#include "core/optimization_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "core/ilp_builder.h"
+#include "lp/simplex.h"
+
+namespace apple::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+PlacementPlan empty_plan(const PlacementInput& input) {
+  PlacementPlan plan;
+  plan.instance_count.assign(input.topology->num_nodes(),
+                             std::array<std::uint32_t, vnf::kNumNfTypes>{});
+  plan.distribution.resize(input.classes.size());
+  for (std::size_t h = 0; h < input.classes.size(); ++h) {
+    const traffic::TrafficClass& cls = input.classes[h];
+    plan.distribution[h].fraction.assign(
+        cls.path.size(),
+        std::vector<double>(input.chain_of(cls).size(), 0.0));
+  }
+  return plan;
+}
+
+// Per-(switch, type) greedy bookkeeping.
+struct NodeTypeState {
+  std::uint32_t instances = 0;
+  double used_mbps = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kExact:
+      return "exact";
+    case PlacementStrategy::kLpRound:
+      return "lp-round";
+    case PlacementStrategy::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+PlacementPlan OptimizationEngine::place(const PlacementInput& input) const {
+  input.validate();
+  switch (options_.strategy) {
+    case PlacementStrategy::kExact:
+      return place_exact(input);
+    case PlacementStrategy::kLpRound:
+      return place_lp_round(input);
+    case PlacementStrategy::kGreedy:
+      return place_greedy(input);
+  }
+  return place_greedy(input);
+}
+
+PlacementPlan OptimizationEngine::place_exact(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const IlpBuilder builder(input, /*integral_q=*/true);
+  const lp::MipResult result = lp::MipSolver(options_.mip).solve(builder.model());
+  PlacementPlan plan;
+  if (result.has_solution()) {
+    plan = builder.extract_plan(input, result.x);
+    plan.feasible = true;
+    plan.lower_bound = result.proven_optimal
+                           ? static_cast<double>(plan.total_instances())
+                           : result.best_bound;
+  } else {
+    plan = empty_plan(input);
+    plan.infeasibility_reason =
+        std::string("MIP solver: ") + lp::to_string(result.status);
+  }
+  plan.strategy = "exact";
+  plan.solve_seconds = seconds_since(start);
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::place_lp_round(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const IlpBuilder builder(input, /*integral_q=*/false);
+  const lp::LpSolution relax =
+      lp::SimplexSolver(options_.simplex).solve(builder.model());
+  if (!relax.optimal()) {
+    PlacementPlan plan = empty_plan(input);
+    plan.strategy = "lp-round";
+    plan.solve_seconds = seconds_since(start);
+    plan.infeasibility_reason =
+        std::string("LP relaxation: ") + lp::to_string(relax.status);
+    return plan;
+  }
+  // LP-guided rounding: the fractional q values tell the water-filling
+  // where the relaxation wants instances pooled; the fill itself restores
+  // integrality while respecting capacity and resources by construction.
+  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
+      input.topology->num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const lp::VarId var = builder.q_var(v, static_cast<vnf::NfType>(n));
+      if (var != IlpBuilder::kInvalidVar) {
+        popularity[v][n] = std::max(0.0, relax.x[var]);
+      }
+    }
+  }
+  PlacementPlan plan = fill_plan(input, popularity);
+  plan.strategy = "lp-round";
+  plan.lower_bound = relax.objective;
+  plan.solve_seconds = seconds_since(start);
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::place_greedy(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const net::Topology& topo = *input.topology;
+
+  // Popularity of (switch, NF type): total rate of classes whose path
+  // crosses the switch and whose chain needs the type. Opening instances at
+  // popular switches maximizes multiplexing across classes — the resource
+  // advantage Fig. 11 attributes to APPLE.
+  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
+      topo.num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+  for (const traffic::TrafficClass& cls : input.classes) {
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    for (const net::NodeId v : cls.path) {
+      if (!topo.node(v).has_host()) continue;
+      for (const vnf::NfType type : chain) {
+        popularity[v][static_cast<std::size_t>(type)] += cls.rate_mbps;
+      }
+    }
+  }
+
+  PlacementPlan plan = fill_plan(input, popularity);
+  // Self-guided refinement: refill with popularity = the previous plan's
+  // instance counts, so every class gravitates to the same pool nodes.
+  // Keep the best plan seen.
+  for (int round = 0; round < 3 && plan.feasible; ++round) {
+    for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+      for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+        popularity[v][n] = static_cast<double>(plan.instance_count[v][n]);
+      }
+    }
+    PlacementPlan refined = fill_plan(input, popularity);
+    if (!refined.feasible ||
+        refined.total_instances() >= plan.total_instances()) {
+      break;
+    }
+    plan = std::move(refined);
+  }
+  plan.strategy = "greedy";
+  plan.solve_seconds = seconds_since(start);
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::fill_plan(
+    const PlacementInput& input,
+    const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity) {
+  const net::Topology& topo = *input.topology;
+  PlacementPlan plan = empty_plan(input);
+
+  std::vector<std::array<NodeTypeState, vnf::kNumNfTypes>> state(
+      topo.num_nodes());
+  std::vector<double> cores_used(topo.num_nodes(), 0.0);
+
+  // Most-constrained-first: classes with short paths have the fewest host
+  // choices and must reserve resources before hub switches fill up; among
+  // equals, big classes first so their chains pack tightly.
+  std::vector<std::size_t> order(input.classes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ca = input.classes[a];
+    const auto& cb = input.classes[b];
+    if (ca.path.size() != cb.path.size()) {
+      return ca.path.size() < cb.path.size();
+    }
+    return ca.rate_mbps > cb.rate_mbps;
+  });
+
+  constexpr double kEps = 1e-9;
+
+  for (const std::size_t h : order) {
+    const traffic::TrafficClass& cls = input.classes[h];
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    auto& fraction = plan.distribution[h].fraction;
+
+    if (cls.rate_mbps <= kEps) {
+      // Zero-rate class: process everything at the first host on the path.
+      std::size_t host_index = cls.path.size();
+      for (std::size_t i = 0; i < cls.path.size(); ++i) {
+        if (topo.node(cls.path[i]).has_host()) {
+          host_index = i;
+          break;
+        }
+      }
+      if (host_index == cls.path.size()) {
+        plan.infeasibility_reason =
+            "class " + std::to_string(h) + ": no APPLE host on path";
+        return plan;
+      }
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        fraction[host_index][j] = 1.0;
+      }
+      continue;
+    }
+
+    // prev_prefix[i]: cumulative fraction of the previous stage processed
+    // up to path index i (stage 0 may start anywhere: all ones).
+    std::vector<double> prev_prefix(cls.path.size(), 1.0);
+    for (std::size_t j = 0; j < chain.size(); ++j) {
+      const vnf::NfType type = chain[j];
+      const std::size_t n = static_cast<std::size_t>(type);
+      const vnf::NfSpec& spec = vnf::spec_of(type);
+      double assigned = 0.0;
+      std::vector<double> cur_prefix(cls.path.size(), 0.0);
+      std::vector<bool> banned(cls.path.size(), false);
+      // Candidate loop: repeatedly pick the best position with Eq. 3 slack,
+      // preferring residual capacity of already-open instances, then
+      // cross-class popularity (pool where many classes pass), then the
+      // earliest position.
+      std::size_t guard = 0;  // bounds pathological micro-fills
+      while (assigned < 1.0 - kEps && ++guard <= 1000) {
+        // Suffix slack: the largest fraction addable at position i without
+        // violating the precedence prefix anywhere downstream.
+        std::vector<double> slack(cls.path.size());
+        double suffix_min = 2.0;
+        for (std::size_t i = cls.path.size(); i-- > 0;) {
+          suffix_min = std::min(suffix_min, prev_prefix[i] - cur_prefix[i]);
+          slack[i] = suffix_min;
+        }
+        // Lookahead: choosing position i for this stage confines every
+        // later stage to positions >= i (Eq. 3). suffix_avail[k][i] is the
+        // capacity (residual + openable) stage k can still reach in the
+        // path suffix [i, end).
+        std::vector<std::vector<double>> suffix_avail(chain.size());
+        for (std::size_t k = j + 1; k < chain.size(); ++k) {
+          const std::size_t nk = static_cast<std::size_t>(chain[k]);
+          const vnf::NfSpec& spec_k = vnf::spec_of(chain[k]);
+          suffix_avail[k].assign(cls.path.size(), 0.0);
+          double avail = 0.0;
+          for (std::size_t i = cls.path.size(); i-- > 0;) {
+            const net::NodeId v = cls.path[i];
+            if (topo.node(v).has_host()) {
+              const NodeTypeState& nts = state[v][nk];
+              avail += std::max(
+                  0.0, nts.instances * spec_k.capacity_mbps - nts.used_mbps);
+              const double openable = std::floor(
+                  (topo.node(v).host_cores - cores_used[v] + kEps) /
+                  spec_k.cores_required);
+              avail += std::max(0.0, openable) * spec_k.capacity_mbps;
+            }
+            suffix_avail[k][i] = avail;
+          }
+        }
+        // future_ok(i): every later stage keeps enough reachable capacity
+        // if this stage is placed at i — accounting for the cores this
+        // stage itself would consume at i (the future stages counted them
+        // as openable).
+        const auto future_ok = [&](std::size_t i) {
+          const net::NodeId v = cls.path[i];
+          const NodeTypeState& nts = state[v][n];
+          const double residual_here = std::max(
+              0.0, nts.instances * spec.capacity_mbps - nts.used_mbps);
+          const double need_mbps_here =
+              std::max(0.0, (1.0 - assigned) * cls.rate_mbps - residual_here);
+          const double opened_cores =
+              std::ceil(need_mbps_here / spec.capacity_mbps - kEps) *
+              spec.cores_required;
+          const double free_before = topo.node(v).host_cores - cores_used[v];
+          const double free_after = std::max(0.0, free_before - opened_cores);
+          for (std::size_t k = j + 1; k < chain.size(); ++k) {
+            const vnf::NfSpec& spec_k = vnf::spec_of(chain[k]);
+            const double openable_before = std::max(
+                0.0, std::floor((free_before + kEps) / spec_k.cores_required));
+            const double openable_after = std::max(
+                0.0, std::floor((free_after + kEps) / spec_k.cores_required));
+            const double adjusted =
+                suffix_avail[k][i] -
+                (openable_before - openable_after) * spec_k.capacity_mbps;
+            if (adjusted < cls.rate_mbps - kEps) return false;
+          }
+          return true;
+        };
+
+        const auto pick = [&](bool respect_lookahead) {
+          std::size_t best = cls.path.size();
+          bool best_has_residual = false;
+          double best_popularity = -1.0;
+          for (std::size_t i = 0; i < cls.path.size(); ++i) {
+            const net::NodeId v = cls.path[i];
+            if (banned[i] || !topo.node(v).has_host() || slack[i] <= kEps) {
+              continue;
+            }
+            if (respect_lookahead && !future_ok(i)) continue;
+            const NodeTypeState& nts = state[v][n];
+            const bool has_residual =
+                nts.instances * spec.capacity_mbps - nts.used_mbps > kEps;
+            const bool can_open = cores_used[v] + spec.cores_required <=
+                                  topo.node(v).host_cores + kEps;
+            if (!has_residual && !can_open) continue;
+            const double pop = popularity[v][n];
+            if (best == cls.path.size() ||
+                std::make_tuple(has_residual, pop) >
+                    std::make_tuple(best_has_residual, best_popularity)) {
+              best = i;
+              best_has_residual = has_residual;
+              best_popularity = pop;
+            }
+          }
+          return best;
+        };
+        std::size_t best = pick(/*respect_lookahead=*/true);
+        if (best == cls.path.size()) {
+          // The conservative lookahead may over-reject under tight
+          // resources; trying is better than giving up.
+          best = pick(/*respect_lookahead=*/false);
+        }
+        if (best == cls.path.size()) break;  // nowhere left to place
+
+        const net::NodeId v = cls.path[best];
+        NodeTypeState& nts = state[v][n];
+        const double target_mbps =
+            std::min(slack[best], 1.0 - assigned) * cls.rate_mbps;
+        double taken_mbps = 0.0;
+        while (taken_mbps < target_mbps - kEps) {
+          const double residual =
+              nts.instances * spec.capacity_mbps - nts.used_mbps;
+          if (residual > kEps) {
+            const double take = std::min(residual, target_mbps - taken_mbps);
+            nts.used_mbps += take;
+            taken_mbps += take;
+            continue;
+          }
+          if (cores_used[v] + spec.cores_required <=
+              topo.node(v).host_cores + kEps) {
+            cores_used[v] += spec.cores_required;  // Eq. 6
+            ++nts.instances;
+            ++plan.instance_count[v][n];
+            continue;
+          }
+          break;  // host exhausted mid-fill
+        }
+        if (taken_mbps <= kEps) {
+          banned[best] = true;  // racing classes drained it; never retry
+          continue;
+        }
+        const double frac = taken_mbps / cls.rate_mbps;
+        fraction[best][j] += frac;
+        assigned += frac;
+        for (std::size_t i = best; i < cls.path.size(); ++i) {
+          cur_prefix[i] += frac;
+        }
+      }
+      if (assigned < 1.0 - 1e-6) {
+        plan.infeasibility_reason =
+            "class " + std::to_string(h) + ": stage " + std::to_string(j) +
+            " (" + std::string(vnf::to_string(type)) +
+            ") cannot be fully placed on the path (resources exhausted)";
+        return plan;
+      }
+      // Settle floating-point drift so Eq. 4 holds exactly: the deficit is
+      // dumped at the last host index, where the previous stage is always
+      // complete (prefix = 1), so Eq. 3 cannot break.
+      if (assigned < 1.0) {
+        std::size_t last_host = cls.path.size();
+        for (std::size_t i = cls.path.size(); i-- > 0;) {
+          if (topo.node(cls.path[i]).has_host()) {
+            last_host = i;
+            break;
+          }
+        }
+        const double deficit = 1.0 - assigned;
+        fraction[last_host][j] += deficit;
+        state[cls.path[last_host]][n].used_mbps += deficit * cls.rate_mbps;
+        for (std::size_t i = last_host; i < cls.path.size(); ++i) {
+          cur_prefix[i] += deficit;
+        }
+      }
+      prev_prefix = std::move(cur_prefix);
+    }
+  }
+
+  // Trim: drop instances the fill never needed (ceil of actual usage).
+  for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const double cap =
+          vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
+      const std::uint32_t needed = static_cast<std::uint32_t>(
+          std::ceil(state[v][n].used_mbps / cap - 1e-9));
+      plan.instance_count[v][n] = std::min(plan.instance_count[v][n], needed);
+    }
+  }
+
+  consolidate_instances(input, plan);
+
+  plan.feasible = true;
+  return plan;
+}
+
+void OptimizationEngine::consolidate_instances(const PlacementInput& input,
+                                               PlacementPlan& plan) {
+  const net::Topology& topo = *input.topology;
+  constexpr double kEps = 1e-9;
+
+  // Offered load per (switch, type), derived from the current distribution.
+  std::vector<std::array<double, vnf::kNumNfTypes>> used(
+      topo.num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+  const auto recompute_used = [&] {
+    for (auto& per_switch : used) per_switch = {};
+    for (std::size_t h = 0; h < input.classes.size(); ++h) {
+      const traffic::TrafficClass& cls = input.classes[h];
+      const vnf::PolicyChain& chain = input.chain_of(cls);
+      for (std::size_t i = 0; i < cls.path.size(); ++i) {
+        for (std::size_t j = 0; j < chain.size(); ++j) {
+          used[cls.path[i]][static_cast<std::size_t>(chain[j])] +=
+              cls.rate_mbps * plan.distribution[h].fraction[i][j];
+        }
+      }
+    }
+  };
+
+  const auto spare_at = [&](net::NodeId v, std::size_t n) {
+    const double cap = vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
+    return plan.instance_count[v][n] * cap - used[v][n];
+  };
+
+  for (int pass = 0; pass < 4; ++pass) {
+    recompute_used();
+    // Index users of each (switch, type): (class, path index, stage).
+    std::vector<std::array<std::vector<std::array<std::size_t, 3>>,
+                           vnf::kNumNfTypes>>
+        users(topo.num_nodes());
+    for (std::size_t h = 0; h < input.classes.size(); ++h) {
+      const traffic::TrafficClass& cls = input.classes[h];
+      const vnf::PolicyChain& chain = input.chain_of(cls);
+      if (cls.rate_mbps <= kEps) continue;
+      for (std::size_t i = 0; i < cls.path.size(); ++i) {
+        for (std::size_t j = 0; j < chain.size(); ++j) {
+          if (plan.distribution[h].fraction[i][j] > kEps) {
+            users[cls.path[i]][static_cast<std::size_t>(chain[j])].push_back(
+                {h, i, j});
+          }
+        }
+      }
+    }
+
+    // Visit groups from least utilized: those are the cheapest to empty.
+    struct Group {
+      net::NodeId v;
+      std::size_t n;
+      double utilization;
+    };
+    std::vector<Group> groups;
+    for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+      for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+        if (plan.instance_count[v][n] == 0) continue;
+        const double cap =
+            vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
+        groups.push_back(
+            Group{v, n, used[v][n] / (plan.instance_count[v][n] * cap)});
+      }
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const Group& a, const Group& b) {
+                return a.utilization < b.utilization;
+              });
+
+    bool any_removed = false;
+    for (const Group& group : groups) {
+      const double cap =
+          vnf::spec_of(static_cast<vnf::NfType>(group.n)).capacity_mbps;
+      // Amount to evacuate so at least one instance can be dropped.
+      double to_move =
+          used[group.v][group.n] -
+          (static_cast<double>(plan.instance_count[group.v][group.n]) - 1.0) *
+              cap;
+      if (to_move > cap * 0.75) continue;  // too full to be worth emptying
+
+      for (const auto& [h, i, j] : users[group.v][group.n]) {
+        if (to_move <= kEps) break;
+        const traffic::TrafficClass& cls = input.classes[h];
+        auto& fraction = plan.distribution[h].fraction;
+        if (fraction[i][j] <= kEps) continue;
+        const vnf::PolicyChain& chain = input.chain_of(cls);
+        // Prefix sums of the neighboring stages bound how far stage j's
+        // share at position i may move (Eq. 3).
+        std::vector<double> prefix_prev(cls.path.size(), 1.0);
+        std::vector<double> prefix_cur(cls.path.size(), 0.0);
+        std::vector<double> prefix_next(cls.path.size(), 0.0);
+        double acc = 0.0;
+        for (std::size_t x = 0; x < cls.path.size(); ++x) {
+          if (j > 0) {
+            prefix_prev[x] =
+                (x > 0 ? prefix_prev[x - 1] : 0.0) + fraction[x][j - 1];
+          }
+          acc += fraction[x][j];
+          prefix_cur[x] = acc;
+          if (j + 1 < chain.size()) {
+            prefix_next[x] =
+                (x > 0 ? prefix_next[x - 1] : 0.0) + fraction[x][j + 1];
+          }
+        }
+        for (std::size_t target = 0; target < cls.path.size(); ++target) {
+          if (to_move <= kEps || fraction[i][j] <= kEps) break;
+          if (target == i) continue;
+          const net::NodeId tv = cls.path[target];
+          if (!topo.node(tv).has_host()) continue;
+          if (tv == group.v) continue;  // same group: no gain
+          const double spare = spare_at(tv, group.n);
+          if (spare <= kEps) continue;
+          // Precedence bound for shifting mass between positions i<->target.
+          double bound = fraction[i][j];
+          if (target > i) {
+            for (std::size_t x = i; x < target; ++x) {
+              bound = std::min(bound, prefix_cur[x] - prefix_next[x]);
+            }
+          } else {
+            for (std::size_t x = target; x < i; ++x) {
+              bound = std::min(bound, prefix_prev[x] - prefix_cur[x]);
+            }
+          }
+          const double move_frac = std::max(
+              0.0, std::min({bound, spare / cls.rate_mbps,
+                             to_move / cls.rate_mbps}));
+          if (move_frac <= kEps) continue;
+          fraction[i][j] -= move_frac;
+          fraction[target][j] += move_frac;
+          const double moved_mbps = move_frac * cls.rate_mbps;
+          used[group.v][group.n] -= moved_mbps;
+          used[tv][group.n] += moved_mbps;
+          to_move -= moved_mbps;
+          // Refresh the current stage's prefix after the shift.
+          const std::size_t lo = std::min(i, target);
+          for (std::size_t x = lo; x < cls.path.size(); ++x) {
+            prefix_cur[x] = (x > 0 ? prefix_cur[x - 1] : 0.0) + fraction[x][j];
+          }
+        }
+      }
+      if (to_move <= kEps) {
+        --plan.instance_count[group.v][group.n];
+        any_removed = true;
+      }
+    }
+    if (!any_removed) break;
+  }
+}
+
+}  // namespace apple::core

@@ -1,0 +1,66 @@
+// The Optimization Engine (paper Sec. IV): computes a VNF placement that
+// minimizes the number of instances (Eq. 1) while enforcing every policy
+// chain on the classes' existing forwarding paths.
+//
+// Three strategies:
+//  * kExact   — the full ILP solved by branch-and-bound. The reference
+//               solution for small/medium inputs and for tests.
+//  * kLpRound — LP relaxation + rounding, the approximation the paper uses
+//               ("We apply LP relaxation ... and solve it by CPLEX").
+//               q is rounded up and then trimmed where capacity allows.
+//  * kGreedy  — scalable water-filling greedy with an instance-trimming
+//               local search; used for AS-3679-scale inputs (the heuristic
+//               regime the paper defers to future work for gigantic
+//               networks). Validated against kExact in tests.
+#pragma once
+
+#include "core/placement.h"
+#include "lp/mip.h"
+
+namespace apple::core {
+
+enum class PlacementStrategy { kExact, kLpRound, kGreedy };
+
+const char* to_string(PlacementStrategy s);
+
+struct EngineOptions {
+  PlacementStrategy strategy = PlacementStrategy::kGreedy;
+  lp::MipOptions mip;          // used by kExact
+  lp::SimplexOptions simplex;  // used by kLpRound
+};
+
+class OptimizationEngine {
+ public:
+  explicit OptimizationEngine(EngineOptions options = {})
+      : options_(options) {}
+
+  // Computes a placement. plan.feasible is false when the strategy could
+  // not satisfy the constraints (e.g. resources too tight); the plan then
+  // carries the reason.
+  PlacementPlan place(const PlacementInput& input) const;
+
+ private:
+  PlacementPlan place_exact(const PlacementInput& input) const;
+  PlacementPlan place_lp_round(const PlacementInput& input) const;
+  PlacementPlan place_greedy(const PlacementInput& input) const;
+
+  // Water-filling fill shared by kGreedy and kLpRound: places every class
+  // front-to-back, preferring positions with residual capacity, then the
+  // highest `popularity[v][n]` (rate-weighted for kGreedy, the fractional
+  // LP q for kLpRound — i.e. LP-guided rounding).
+  static PlacementPlan fill_plan(
+      const PlacementInput& input,
+      const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity);
+
+  // Local search run after the fill: evacuates lightly-utilized
+  // (switch, type) instance groups onto spare capacity elsewhere on each
+  // class's path (respecting the Eq. 3 prefixes) and drops the freed
+  // instances. Closes most of the integrality gap the water-filling leaves
+  // against the LP bound.
+  static void consolidate_instances(const PlacementInput& input,
+                                    PlacementPlan& plan);
+
+  EngineOptions options_;
+};
+
+}  // namespace apple::core

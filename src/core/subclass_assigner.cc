@@ -1,0 +1,238 @@
+#include "core/subclass_assigner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace apple::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// One indivisible supply unit of a chain stage: `frac` of the class handled
+// by `instance` at path position `pos`.
+struct SupplyUnit {
+  std::size_t pos = 0;
+  vnf::InstanceId instance = 0;
+  double frac = 0.0;
+};
+
+// Remaining capacity ledger shared across classes.
+using CapacityLedger = std::unordered_map<vnf::InstanceId, double>;
+
+}  // namespace
+
+InstanceInventory materialize_inventory(const PlacementInput& input,
+                                        const PlacementPlan& plan) {
+  InstanceInventory inv;
+  inv.by_node_type.resize(input.topology->num_nodes());
+  vnf::InstanceId next = 1;
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      for (std::uint32_t k = 0; k < plan.instance_count[v][n]; ++k) {
+        inv.by_node_type[v][n].push_back(next++);
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t classifier_rules_for_weight(double weight, SubclassMethod method,
+                                        std::uint32_t prefix_bits) {
+  if (method == SubclassMethod::kConsistentHash) return 1;
+  if (prefix_bits == 0 || prefix_bits > 30) {
+    throw std::invalid_argument("prefix_bits must be in [1,30]");
+  }
+  const std::uint32_t scale = 1u << prefix_bits;
+  const std::uint32_t quantized = static_cast<std::uint32_t>(std::clamp(
+      std::lround(weight * scale), 1L, static_cast<long>(scale)));
+  // A dyadic fraction k/2^bits decomposes into popcount(k) aligned prefix
+  // blocks (e.g. 3/8 = 1/4 + 1/8 -> two prefixes).
+  return static_cast<std::size_t>(std::popcount(quantized));
+}
+
+std::vector<std::vector<dataplane::SubclassPlan>> assign_subclasses(
+    const PlacementInput& input, const PlacementPlan& plan,
+    const InstanceInventory& inventory, const AssignerOptions& options) {
+  input.validate();
+  const net::Topology& topo = *input.topology;
+  (void)topo;
+
+  CapacityLedger ledger;
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const double cap =
+          vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
+      for (const vnf::InstanceId id : inventory.by_node_type[v][n]) {
+        ledger[id] = cap;
+      }
+    }
+  }
+
+  std::vector<std::vector<dataplane::SubclassPlan>> result(
+      input.classes.size());
+
+  for (std::size_t h = 0; h < input.classes.size(); ++h) {
+    const traffic::TrafficClass& cls = input.classes[h];
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    const ClassDistribution& dist = plan.distribution[h];
+
+    if (chain.empty()) {
+      dataplane::SubclassPlan plain;
+      plain.class_id = cls.id;
+      plain.subclass_id = 0;
+      plain.weight = 1.0;
+      result[h].push_back(std::move(plain));
+      continue;
+    }
+
+    // Build per-stage supply lists by consuming the capacity ledger in
+    // inventory order at each (position, type) bucket.
+    std::vector<std::vector<SupplyUnit>> supply(chain.size());
+    for (std::size_t j = 0; j < chain.size(); ++j) {
+      const vnf::NfType type = chain[j];
+      for (std::size_t i = 0; i < cls.path.size(); ++i) {
+        double frac = dist.fraction[i][j];
+        if (frac <= kEps) continue;
+        const auto& bucket = inventory.at(cls.path[i], type);
+        if (bucket.empty()) {
+          if (cls.rate_mbps <= kEps) {
+            // Zero-rate class at an instance-less position: relocate to the
+            // first downstream position that has an instance.
+            continue;
+          }
+          throw std::invalid_argument(
+              "class " + std::to_string(h) + ": d assigns load at switch " +
+              std::to_string(cls.path[i]) + " but no " +
+              std::string(vnf::to_string(type)) + " instance exists there");
+        }
+        if (cls.rate_mbps <= kEps) {
+          supply[j].push_back(SupplyUnit{i, bucket.front(), frac});
+          continue;
+        }
+        for (const vnf::InstanceId id : bucket) {
+          if (frac <= kEps) break;
+          double& residual = ledger[id];
+          if (residual <= kEps) continue;
+          const double take_mbps =
+              std::min(residual, frac * cls.rate_mbps);
+          const double take_frac = take_mbps / cls.rate_mbps;
+          residual -= take_mbps;
+          supply[j].push_back(SupplyUnit{i, id, take_frac});
+          frac -= take_frac;
+        }
+        if (frac > 1e-6) {
+          throw std::invalid_argument(
+              "class " + std::to_string(h) +
+              ": instance capacity at switch " +
+              std::to_string(cls.path[i]) + " cannot absorb d (Eq. 5 broken)");
+        }
+      }
+      // Zero-rate relocation: if nothing was supplied (all buckets empty),
+      // fall back to the first instance of the right type on the path.
+      if (supply[j].empty()) {
+        bool placed = false;
+        for (std::size_t i = 0; i < cls.path.size() && !placed; ++i) {
+          const auto& bucket = inventory.at(cls.path[i], chain[j]);
+          if (!bucket.empty()) {
+            supply[j].push_back(SupplyUnit{i, bucket.front(), 1.0});
+            placed = true;
+          }
+        }
+        if (!placed) {
+          throw std::invalid_argument(
+              "class " + std::to_string(h) + ": no " +
+              std::string(vnf::to_string(chain[j])) +
+              " instance anywhere on the path");
+        }
+      }
+    }
+
+    // Greedy cut decomposition across stages. The prefix property (Eq. 3)
+    // keeps the per-stage head positions monotone, so each cut is a valid
+    // in-order itinerary.
+    std::vector<std::size_t> head(chain.size(), 0);
+    std::vector<double> consumed(chain.size(), 0.0);
+    // Merge cuts with identical instance sequences.
+    std::map<std::vector<vnf::InstanceId>, std::size_t> seen;
+    double remaining = 1.0;
+    while (remaining > options.min_weight) {
+      double w = remaining;
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        if (head[j] >= supply[j].size()) {
+          throw std::logic_error("sub-class decomposition ran out of supply");
+        }
+        w = std::min(w, supply[j][head[j]].frac - consumed[j]);
+      }
+      if (w <= kEps) {
+        // Exhausted head unit(s): advance them and retry; bail out if no
+        // progress is possible (degenerate fractions).
+        bool advanced = false;
+        for (std::size_t j = 0; j < chain.size(); ++j) {
+          if (head[j] < supply[j].size() &&
+              supply[j][head[j]].frac - consumed[j] <= kEps) {
+            ++head[j];
+            consumed[j] = 0.0;
+            advanced = true;
+          }
+        }
+        if (!advanced) break;
+        continue;
+      }
+
+      std::vector<vnf::InstanceId> sequence(chain.size());
+      std::vector<std::size_t> positions(chain.size());
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        sequence[j] = supply[j][head[j]].instance;
+        positions[j] = supply[j][head[j]].pos;
+      }
+      const auto [it, inserted] = seen.try_emplace(sequence, result[h].size());
+      if (inserted) {
+        dataplane::SubclassPlan sub;
+        sub.class_id = cls.id;
+        sub.subclass_id = static_cast<dataplane::SubclassId>(result[h].size());
+        sub.weight = w;
+        // Group consecutive stages at the same switch into one host visit.
+        for (std::size_t j = 0; j < chain.size(); ++j) {
+          if (!sub.itinerary.empty() &&
+              sub.itinerary.back().at_switch == cls.path[positions[j]]) {
+            sub.itinerary.back().instances.push_back(sequence[j]);
+          } else {
+            dataplane::HostVisit visit;
+            visit.at_switch = cls.path[positions[j]];
+            visit.instances = {sequence[j]};
+            sub.itinerary.push_back(std::move(visit));
+          }
+        }
+        result[h].push_back(std::move(sub));
+      } else {
+        result[h][it->second].weight += w;
+      }
+
+      remaining -= w;
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        consumed[j] += w;
+        if (consumed[j] >= supply[j][head[j]].frac - kEps) {
+          ++head[j];
+          consumed[j] = 0.0;
+        }
+      }
+    }
+    // Absorb the residual weight into the last sub-class so weights sum to
+    // exactly 1.
+    if (!result[h].empty()) {
+      result[h].back().weight += remaining;
+    }
+    // Classifier TCAM cost per sub-class (Sec. V-A).
+    for (dataplane::SubclassPlan& sub : result[h]) {
+      sub.classifier_prefix_rules = classifier_rules_for_weight(
+          sub.weight, options.method, options.prefix_bits);
+    }
+  }
+  return result;
+}
+
+}  // namespace apple::core

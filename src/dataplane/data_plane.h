@@ -1,0 +1,80 @@
+// Executable data-plane model: walks packets through the network exactly as
+// the installed tagging rules would (Fig. 2's per-switch pipeline and the
+// vSwitch pipeline of Sec. V-B), recording the NF instances traversed.
+//
+// This is the verification backbone of the reproduction: property tests
+// inject packets for every class and assert that (a) the traversed NF types
+// equal the policy chain in order — policy enforcement; (b) the switches
+// visited equal the class's original forwarding path — interference
+// freedom.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/types.h"
+#include "hsa/classifier.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "traffic/flow_classes.h"
+#include "vnf/nf_types.h"
+
+namespace apple::dataplane {
+
+class DataPlane {
+ public:
+  explicit DataPlane(const net::Topology& topo) : topo_(&topo) {}
+
+  // Registers a placed VNF instance so walks can resolve ids to NF types.
+  void register_instance(const vnf::VnfInstance& instance);
+
+  // Installs a class's forwarding path and its sub-class plans. Weights of
+  // the plans must sum to ~1; itinerary switches must appear on `path` in
+  // order (throws std::invalid_argument otherwise).
+  void install_class(const traffic::TrafficClass& cls,
+                     std::vector<SubclassPlan> plans);
+
+  // Replaces the sub-class plans of an installed class (fast failover
+  // re-balancing installs new TCAM matching rules, Sec. VI).
+  void update_class(traffic::ClassId class_id, std::vector<SubclassPlan> plans);
+
+  bool has_class(traffic::ClassId class_id) const;
+  const std::vector<SubclassPlan>& plans_of(traffic::ClassId class_id) const;
+  const net::Path& path_of(traffic::ClassId class_id) const;
+
+  // Sub-class selection at the ingress switch: consistent hash of the flow
+  // onto the cumulative weight ranges (Sec. V-A).
+  const SubclassPlan& subclass_for(traffic::ClassId class_id,
+                                   const hsa::PacketHeader& header) const;
+
+  struct WalkResult {
+    Packet packet;
+    bool delivered = false;
+    std::string error;  // empty on success
+  };
+
+  // Forwards one packet of the class end to end. The walk fails (with a
+  // diagnostic) if the rules are inconsistent — e.g. a host tag pointing
+  // behind the packet's current position.
+  WalkResult walk(traffic::ClassId class_id,
+                  const hsa::PacketHeader& header) const;
+
+  // The NF types traversed by the packet, in order.
+  std::vector<vnf::NfType> traversed_types(const Packet& packet) const;
+
+ private:
+  struct InstalledClass {
+    traffic::TrafficClass cls;
+    std::vector<SubclassPlan> plans;
+  };
+
+  void validate_plans(const net::Path& path,
+                      const std::vector<SubclassPlan>& plans) const;
+
+  const net::Topology* topo_;
+  std::unordered_map<traffic::ClassId, InstalledClass> classes_;
+  std::unordered_map<vnf::InstanceId, vnf::VnfInstance> instances_;
+};
+
+}  // namespace apple::dataplane

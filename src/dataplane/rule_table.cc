@@ -1,0 +1,74 @@
+#include "dataplane/rule_table.h"
+
+#include <stdexcept>
+
+namespace apple::dataplane {
+
+namespace {
+
+void check_switch(std::size_t num, net::NodeId v) {
+  if (v >= num) throw std::out_of_range("switch id out of range");
+}
+
+}  // namespace
+
+void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
+                                         net::NodeId ingress) {
+  check_switch(switches_.size(), ingress);
+  // Ingress classifies once: wildcard prefix rules that tag sub-class id
+  // and first host id (rows 2-3 of Table III).
+  switches_[ingress].classification += plan.classifier_prefix_rules;
+  switches_[ingress].any_rule = true;
+  // Every visited host switch recognizes its own host tag (row 1).
+  for (const HostVisit& visit : plan.itinerary) {
+    check_switch(switches_.size(), visit.at_switch);
+    switches_[visit.at_switch].host_tags.insert(
+        host_tag_for(visit.at_switch));
+    switches_[visit.at_switch].any_rule = true;
+  }
+}
+
+void TcamAccountant::add_untagged_subclass(
+    const SubclassPlan& plan, std::span<const net::NodeId> classify_at) {
+  // Without tags every decision point re-classifies the sub-class: each
+  // switch the flow can traverse must match the full wildcard rule set to
+  // decide between "divert into my APPLE host" and "forward onward".
+  for (const net::NodeId v : classify_at) {
+    check_switch(switches_.size(), v);
+    switches_[v].classification += plan.classifier_prefix_rules;
+    switches_[v].any_rule = true;
+  }
+}
+
+std::vector<TcamUsage> TcamAccountant::usage() const {
+  std::vector<TcamUsage> out(switches_.size());
+  for (std::size_t v = 0; v < switches_.size(); ++v) {
+    const SwitchState& s = switches_[v];
+    TcamUsage& u = out[v];
+    u.host_match = s.host_tags.size();
+    u.classification = s.classification;
+    if (!pipelined_ && u.host_match > 0 && u.classification > 0) {
+      // Cross-product of the two tables preserves the semantics on
+      // non-pipelined hardware (Sec. V-B).
+      u.classification = u.classification * (u.host_match + 1);
+    }
+    u.pass_by = s.any_rule ? 1 : 0;
+  }
+  return out;
+}
+
+std::size_t TcamAccountant::total() const {
+  std::size_t sum = 0;
+  for (const TcamUsage& u : usage()) sum += u.total();
+  return sum;
+}
+
+std::size_t vswitch_rules_for(const SubclassPlan& plan) {
+  std::size_t rules = 0;
+  for (const HostVisit& visit : plan.itinerary) {
+    rules += visit.instances.size() + 1;
+  }
+  return rules;
+}
+
+}  // namespace apple::dataplane

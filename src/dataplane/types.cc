@@ -1,0 +1,4 @@
+#include "dataplane/types.h"
+
+// Header-only value types; this translation unit anchors the library.
+namespace apple::dataplane {}

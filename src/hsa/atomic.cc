@@ -1,0 +1,47 @@
+#include "hsa/atomic.h"
+
+#include <stdexcept>
+
+namespace apple::hsa {
+
+AtomicPredicates compute_atomic_predicates(
+    BddManager& mgr, std::span<const BddRef> predicates) {
+  AtomicPredicates out;
+  out.atoms.push_back(kBddTrue);
+  // Iteratively split every existing atom against the next predicate.
+  for (const BddRef p : predicates) {
+    std::vector<BddRef> next;
+    next.reserve(out.atoms.size() * 2);
+    for (const BddRef a : out.atoms) {
+      const BddRef inside = mgr.apply_and(a, p);
+      const BddRef outside = mgr.diff(a, p);
+      if (!mgr.is_false(inside)) next.push_back(inside);
+      if (!mgr.is_false(outside)) next.push_back(outside);
+    }
+    out.atoms = std::move(next);
+  }
+  // Memberships: atom j belongs to predicate i iff atom implies P_i (each
+  // atom is either inside or disjoint by construction).
+  out.membership.resize(predicates.size());
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    for (std::size_t j = 0; j < out.atoms.size(); ++j) {
+      if (mgr.implies(out.atoms[j], predicates[i])) {
+        out.membership[i].push_back(j);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t atom_of_point(BddManager& mgr, const AtomicPredicates& atoms,
+                          BddRef point) {
+  if (mgr.is_false(point)) {
+    throw std::invalid_argument("empty point predicate");
+  }
+  for (std::size_t j = 0; j < atoms.atoms.size(); ++j) {
+    if (mgr.implies(point, atoms.atoms[j])) return j;
+  }
+  throw std::logic_error("atoms do not cover the point — broken invariant");
+}
+
+}  // namespace apple::hsa

@@ -1,0 +1,53 @@
+#include "hsa/classifier.h"
+
+namespace apple::hsa {
+
+FlowClassifier::FlowClassifier(BddManager& mgr,
+                               std::span<const PolicyRule> rules)
+    : mgr_(&mgr), rules_(rules.begin(), rules.end()) {
+  std::vector<BddRef> preds;
+  preds.reserve(rules_.size());
+  for (const PolicyRule& r : rules_) preds.push_back(r.predicate);
+  atoms_ = compute_atomic_predicates(mgr, preds);
+
+  chain_of_atom_.assign(atoms_.atoms.size(), -1);
+  // First-match-wins: walk rules in priority order and claim their atoms.
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (const std::size_t atom : atoms_.membership[i]) {
+      if (chain_of_atom_[atom] < 0) {
+        chain_of_atom_[atom] = rules_[i].chain_id;
+      }
+    }
+  }
+}
+
+std::optional<std::uint32_t> FlowClassifier::chain_of(
+    const PacketHeader& h) const {
+  const std::int64_t chain = chain_of_atom_[atom_of(h)];
+  if (chain < 0) return std::nullopt;
+  return static_cast<std::uint32_t>(chain);
+}
+
+std::size_t FlowClassifier::atom_of(const PacketHeader& h) const {
+  const PredicateBuilder builder(*mgr_);
+  for (std::size_t j = 0; j < atoms_.atoms.size(); ++j) {
+    if (builder.matches(atoms_.atoms[j], h)) return j;
+  }
+  // Atoms partition the full header space; one always matches.
+  return atoms_.atoms.size();
+}
+
+double flow_hash_unit(const PacketHeader& h) {
+  std::uint64_t x = (static_cast<std::uint64_t>(h.src_ip) << 32) | h.dst_ip;
+  x ^= (static_cast<std::uint64_t>(h.src_port) << 41) ^
+       (static_cast<std::uint64_t>(h.dst_port) << 17) ^
+       (static_cast<std::uint64_t>(h.proto) << 3);
+  // SplitMix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;  // top 53 bits -> [0,1)
+}
+
+}  // namespace apple::hsa

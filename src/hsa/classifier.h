@@ -1,0 +1,51 @@
+// Flow classification: maps concrete packets to policy chains and to
+// atomic-predicate equivalence classes (paper Sec. IV-A), and provides the
+// consistent flow hash used for sub-class splitting (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hsa/atomic.h"
+#include "hsa/predicate.h"
+
+namespace apple::hsa {
+
+// One NF policy: flows matching `predicate` must traverse chain `chain_id`.
+// Rules are ordered: the first matching rule wins (priority order), as in a
+// TCAM.
+struct PolicyRule {
+  BddRef predicate = kBddFalse;
+  std::uint32_t chain_id = 0;
+};
+
+class FlowClassifier {
+ public:
+  FlowClassifier(BddManager& mgr, std::span<const PolicyRule> rules);
+
+  // Chain for the packet, or nullopt when no rule matches.
+  std::optional<std::uint32_t> chain_of(const PacketHeader& h) const;
+
+  // Equivalence-class id (atom index) of the packet. Packets with equal
+  // atom ids match exactly the same set of rules.
+  std::size_t atom_of(const PacketHeader& h) const;
+
+  std::size_t num_atoms() const { return atoms_.atoms.size(); }
+  const AtomicPredicates& atoms() const { return atoms_; }
+
+ private:
+  BddManager* mgr_;
+  std::vector<PolicyRule> rules_;
+  AtomicPredicates atoms_;
+  // chain_of_atom_[j]: chain of the first rule containing atom j, or -1.
+  std::vector<std::int64_t> chain_of_atom_;
+};
+
+// Deterministic hash of a flow's 5-tuple onto [0, 1), used by the
+// consistent-hashing sub-class assignment (Sec. V-A: a sub-class
+// <prefix, h ∈ [0, 0.5)> holds ~50% of the class's flows).
+double flow_hash_unit(const PacketHeader& h);
+
+}  // namespace apple::hsa

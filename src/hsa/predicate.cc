@@ -1,0 +1,157 @@
+#include "hsa/predicate.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace apple::hsa {
+
+std::uint32_t field_offset(Field f) {
+  switch (f) {
+    case Field::kSrcIp:
+      return 0;
+    case Field::kDstIp:
+      return 32;
+    case Field::kSrcPort:
+      return 64;
+    case Field::kDstPort:
+      return 80;
+    case Field::kProto:
+      return 96;
+  }
+  throw std::invalid_argument("unknown field");
+}
+
+std::uint32_t field_width(Field f) {
+  switch (f) {
+    case Field::kSrcIp:
+    case Field::kDstIp:
+      return 32;
+    case Field::kSrcPort:
+    case Field::kDstPort:
+      return 16;
+    case Field::kProto:
+      return 8;
+  }
+  throw std::invalid_argument("unknown field");
+}
+
+std::uint32_t parse_ipv4(const std::string& dotted) {
+  std::istringstream in(dotted);
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    int octet = -1;
+    char dot = 0;
+    if (!(in >> octet) || octet < 0 || octet > 255) {
+      throw std::invalid_argument("bad IPv4 literal: " + dotted);
+    }
+    out = (out << 8) | static_cast<std::uint32_t>(octet);
+    if (i < 3 && (!(in >> dot) || dot != '.')) {
+      throw std::invalid_argument("bad IPv4 literal: " + dotted);
+    }
+  }
+  char trailing = 0;
+  if (in >> trailing) throw std::invalid_argument("bad IPv4 literal: " + dotted);
+  return out;
+}
+
+BddRef PredicateBuilder::exact(Field f, std::uint32_t value) const {
+  return prefix(f, value, field_width(f));
+}
+
+BddRef PredicateBuilder::prefix(Field f, std::uint32_t value,
+                                std::uint32_t prefix_len) const {
+  const std::uint32_t width = field_width(f);
+  if (prefix_len > width) {
+    throw std::invalid_argument("prefix length exceeds field width");
+  }
+  if (value > 0 && width < 32 && (value >> width) != 0) {
+    throw std::invalid_argument("value exceeds field width");
+  }
+  const std::uint32_t offset = field_offset(f);
+  BddRef acc = kBddTrue;
+  // Build from the least-significant constrained bit up so the AND chains
+  // stay small (variables are tested MSB-first).
+  for (std::uint32_t i = prefix_len; i-- > 0;) {
+    const std::uint32_t bit_from_msb = i;  // 0 = MSB of the field
+    const bool bit_set = (value >> (width - 1 - bit_from_msb)) & 1u;
+    const std::uint32_t var_index = offset + bit_from_msb;
+    const BddRef literal = bit_set ? mgr_->var(var_index) : mgr_->nvar(var_index);
+    acc = mgr_->apply_and(acc, literal);
+  }
+  return acc;
+}
+
+BddRef PredicateBuilder::cidr(Field f, const std::string& cidr_text) const {
+  if (field_width(f) != 32) {
+    throw std::invalid_argument("CIDR notation is only valid on IP fields");
+  }
+  const std::size_t slash = cidr_text.find('/');
+  const std::string ip_part =
+      slash == std::string::npos ? cidr_text : cidr_text.substr(0, slash);
+  std::uint32_t len = 32;
+  if (slash != std::string::npos) {
+    len = static_cast<std::uint32_t>(std::stoul(cidr_text.substr(slash + 1)));
+    if (len > 32) throw std::invalid_argument("bad CIDR length");
+  }
+  return prefix(f, parse_ipv4(ip_part), len);
+}
+
+BddRef PredicateBuilder::range(Field f, std::uint32_t lo,
+                               std::uint32_t hi) const {
+  if (lo > hi) throw std::invalid_argument("range lo > hi");
+  const std::uint32_t width = field_width(f);
+  const std::uint64_t field_max = (width == 32) ? 0xffffffffULL
+                                                : ((1ULL << width) - 1);
+  if (hi > field_max) throw std::invalid_argument("range exceeds field");
+  // Standard range-to-prefix decomposition.
+  BddRef acc = kBddFalse;
+  std::uint64_t cur = lo;
+  const std::uint64_t end = hi;
+  while (cur <= end) {
+    // Largest power-of-two block starting at `cur` that fits in [cur, end].
+    std::uint32_t block_bits = 0;
+    while (block_bits < width) {
+      const std::uint64_t size = 1ULL << (block_bits + 1);
+      if ((cur & (size - 1)) != 0) break;              // alignment
+      if (cur + size - 1 > end) break;                 // containment
+      ++block_bits;
+    }
+    const std::uint32_t plen = width - block_bits;
+    acc = mgr_->apply_or(acc,
+                         prefix(f, static_cast<std::uint32_t>(cur), plen));
+    cur += 1ULL << block_bits;
+    if (cur == 0) break;  // wrapped past the 32-bit space
+  }
+  return acc;
+}
+
+BddRef PredicateBuilder::from_header(const PacketHeader& h) const {
+  BddRef acc = exact(Field::kProto, h.proto);
+  acc = mgr_->apply_and(acc, exact(Field::kDstPort, h.dst_port));
+  acc = mgr_->apply_and(acc, exact(Field::kSrcPort, h.src_port));
+  acc = mgr_->apply_and(acc, exact(Field::kDstIp, h.dst_ip));
+  acc = mgr_->apply_and(acc, exact(Field::kSrcIp, h.src_ip));
+  return acc;
+}
+
+bool PredicateBuilder::matches(BddRef pred, const PacketHeader& h) const {
+  std::vector<bool> bits(kHeaderBits, false);
+  const auto write = [&](Field f, std::uint32_t value) {
+    const std::uint32_t off = field_offset(f);
+    const std::uint32_t width = field_width(f);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      bits[off + i] = (value >> (width - 1 - i)) & 1u;
+    }
+  };
+  write(Field::kSrcIp, h.src_ip);
+  write(Field::kDstIp, h.dst_ip);
+  write(Field::kSrcPort, h.src_port);
+  write(Field::kDstPort, h.dst_port);
+  write(Field::kProto, h.proto);
+  return mgr_->evaluate(pred, bits);
+}
+
+BddManager make_header_space_manager() { return BddManager(kHeaderBits); }
+
+}  // namespace apple::hsa

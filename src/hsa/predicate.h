@@ -1,0 +1,81 @@
+// Packet-header predicates over the 5-tuple header space.
+//
+// A predicate is a set of packet headers, represented as a BDD over the
+// 104-bit concatenation of (srcIP, dstIP, srcPort, dstPort, proto). Policies
+// and classification rules are predicates; the atomic-predicate machinery
+// (atomic.h) refines a rule set into the minimal disjoint classes the
+// Optimization Engine aggregates over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hsa/bdd.h"
+
+namespace apple::hsa {
+
+// Concrete packet header (the classification-relevant 5-tuple).
+struct PacketHeader {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+};
+
+// Header fields addressable by predicates, with their bit layout in the
+// BDD variable order (MSB-first within each field).
+enum class Field : std::uint8_t {
+  kSrcIp,    // vars  0..31
+  kDstIp,    // vars 32..63
+  kSrcPort,  // vars 64..79
+  kDstPort,  // vars 80..95
+  kProto,    // vars 96..103
+};
+
+inline constexpr std::uint32_t kHeaderBits = 104;
+
+std::uint32_t field_offset(Field f);
+std::uint32_t field_width(Field f);
+
+// Parses dotted-quad "a.b.c.d" into a host-order uint32.
+std::uint32_t parse_ipv4(const std::string& dotted);
+
+// Predicate factory bound to one BddManager. All returned BddRefs live in
+// that manager.
+class PredicateBuilder {
+ public:
+  explicit PredicateBuilder(BddManager& mgr) : mgr_(&mgr) {}
+
+  BddRef match_all() const { return kBddTrue; }
+  BddRef match_none() const { return kBddFalse; }
+
+  // field == value.
+  BddRef exact(Field f, std::uint32_t value) const;
+
+  // Prefix match: the top `prefix_len` bits of the field equal those of
+  // `value` (prefix_len = 0 matches everything).
+  BddRef prefix(Field f, std::uint32_t value, std::uint32_t prefix_len) const;
+
+  // Convenience: "10.1.0.0/16"-style CIDR on an IP field.
+  BddRef cidr(Field f, const std::string& cidr_text) const;
+
+  // Inclusive range [lo, hi] on a field (decomposed into prefixes).
+  BddRef range(Field f, std::uint32_t lo, std::uint32_t hi) const;
+
+  // The header-space point of one concrete header.
+  BddRef from_header(const PacketHeader& h) const;
+
+  // True when the concrete header satisfies the predicate.
+  bool matches(BddRef pred, const PacketHeader& h) const;
+
+  BddManager& manager() const { return *mgr_; }
+
+ private:
+  BddManager* mgr_;
+};
+
+// A BddManager pre-sized for the 5-tuple header space.
+BddManager make_header_space_manager();
+
+}  // namespace apple::hsa

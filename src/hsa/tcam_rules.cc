@@ -1,0 +1,98 @@
+#include "hsa/tcam_rules.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace apple::hsa {
+
+namespace {
+
+void set_bit(std::array<std::uint8_t, 13>& bytes, std::uint32_t bit,
+             bool value) {
+  const std::uint32_t byte = bit / 8;
+  const std::uint8_t mask = static_cast<std::uint8_t>(0x80u >> (bit % 8));
+  if (value) {
+    bytes[byte] |= mask;
+  } else {
+    bytes[byte] &= static_cast<std::uint8_t>(~mask);
+  }
+}
+
+bool get_bit(const std::array<std::uint8_t, 13>& bytes, std::uint32_t bit) {
+  return (bytes[bit / 8] >> (7 - bit % 8)) & 1u;
+}
+
+// Header bit i in the BDD variable order (see predicate.h layout).
+bool header_bit(const PacketHeader& h, std::uint32_t bit) {
+  if (bit < 32) return (h.src_ip >> (31 - bit)) & 1u;
+  if (bit < 64) return (h.dst_ip >> (63 - bit)) & 1u;
+  if (bit < 80) return (h.src_port >> (79 - bit)) & 1u;
+  if (bit < 96) return (h.dst_port >> (95 - bit)) & 1u;
+  return (h.proto >> (103 - bit)) & 1u;
+}
+
+}  // namespace
+
+bool TernaryEntry::matches(const PacketHeader& header) const {
+  for (std::uint32_t bit = 0; bit < kHeaderBits; ++bit) {
+    if (!get_bit(mask, bit)) continue;
+    if (get_bit(value, bit) != header_bit(header, bit)) return false;
+  }
+  return true;
+}
+
+std::uint32_t TernaryEntry::wildcard_bits() const {
+  std::uint32_t wild = 0;
+  for (std::uint32_t bit = 0; bit < kHeaderBits; ++bit) {
+    if (!get_bit(mask, bit)) ++wild;
+  }
+  return wild;
+}
+
+std::vector<TernaryEntry> enumerate_tcam_entries(const BddManager& mgr,
+                                                 BddRef predicate,
+                                                 std::size_t max_entries) {
+  std::vector<TernaryEntry> out;
+  if (mgr.is_false(predicate)) return out;
+  TernaryEntry scratch;  // value/mask assembled along the DFS path
+  const auto walk = [&](auto&& self, BddRef f) -> void {
+    if (mgr.is_false(f)) return;
+    if (mgr.is_true(f)) {
+      if (out.size() >= max_entries) {
+        throw std::length_error("TCAM expansion exceeds max_entries");
+      }
+      out.push_back(scratch);
+      return;
+    }
+    const BddManager::NodeView node = mgr.node_view(f);
+    set_bit(scratch.mask, node.var, true);
+    set_bit(scratch.value, node.var, false);
+    self(self, node.lo);
+    set_bit(scratch.value, node.var, true);
+    self(self, node.hi);
+    set_bit(scratch.mask, node.var, false);
+    set_bit(scratch.value, node.var, false);
+  };
+  walk(walk, predicate);
+  return out;
+}
+
+std::size_t count_tcam_entries(const BddManager& mgr, BddRef predicate,
+                               std::size_t cap) {
+  // Paths to `true` per node, memoized; saturating arithmetic at `cap`.
+  std::unordered_map<BddRef, std::size_t> memo;
+  const auto paths = [&](auto&& self, BddRef f) -> std::size_t {
+    if (mgr.is_false(f)) return 0;
+    if (mgr.is_true(f)) return 1;
+    if (const auto it = memo.find(f); it != memo.end()) return it->second;
+    const BddManager::NodeView node = mgr.node_view(f);
+    const std::size_t lo = self(self, node.lo);
+    const std::size_t hi = self(self, node.hi);
+    const std::size_t total = lo > cap - hi ? cap : lo + hi;  // saturate
+    memo.emplace(f, total);
+    return total;
+  };
+  return paths(paths, predicate);
+}
+
+}  // namespace apple::hsa

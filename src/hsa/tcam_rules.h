@@ -1,0 +1,44 @@
+// Materialization of header-space predicates into TCAM ternary entries.
+//
+// The wildcard classification rules of paper Sec. V (Table III's
+// "Sub-classes" match column) are value/mask ternary matches. A BDD over
+// the 104-bit header encodes exactly such a rule set: every root-to-true
+// path is one ternary entry (decided bits from the path, undecided bits
+// wildcarded). This module walks the BDD to produce installable entries,
+// and conversely counts how many TCAM slots a predicate costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hsa/predicate.h"
+
+namespace apple::hsa {
+
+// One ternary TCAM entry over the 104-bit header: for bit i (BDD variable
+// order), mask bit set => the value bit must match; clear => wildcard.
+struct TernaryEntry {
+  // 104 bits packed MSB-first into 13 bytes + padding; byte 0 bit 7 is
+  // header variable 0.
+  std::array<std::uint8_t, 13> value{};
+  std::array<std::uint8_t, 13> mask{};
+
+  bool matches(const PacketHeader& header) const;
+  // Number of wildcarded bits.
+  std::uint32_t wildcard_bits() const;
+};
+
+// Expands a predicate into ternary entries (one per BDD path to `true`).
+// The entries are disjoint and their union is exactly the predicate.
+// Throws std::length_error when the expansion exceeds `max_entries`
+// (protects against pathological predicates like parity).
+std::vector<TernaryEntry> enumerate_tcam_entries(
+    const BddManager& mgr, BddRef predicate, std::size_t max_entries = 4096);
+
+// Number of entries enumerate_tcam_entries would return (counted without
+// materializing; saturates at `cap`).
+std::size_t count_tcam_entries(const BddManager& mgr, BddRef predicate,
+                               std::size_t cap = 1u << 20);
+
+}  // namespace apple::hsa

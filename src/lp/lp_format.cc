@@ -1,0 +1,294 @@
+#include "lp/lp_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apple::lp {
+
+namespace {
+
+void write_terms(std::ostream& out,
+                 const std::vector<std::pair<VarId, double>>& terms) {
+  bool first = true;
+  for (const auto& [v, coef] : terms) {
+    if (first) {
+      if (coef < 0.0) out << "- ";
+      first = false;
+    } else {
+      out << (coef < 0.0 ? " - " : " + ");
+    }
+    const double mag = coef < 0.0 ? -coef : coef;
+    if (mag != 1.0) out << mag << " ";
+    out << "x" << v;
+  }
+  if (first) out << "0 x0";  // empty expression placeholder
+}
+
+}  // namespace
+
+void write_lp_format(const LpModel& model, std::ostream& out) {
+  out << "\\ exported by apple::lp (" << model.num_vars() << " vars, "
+      << model.num_rows() << " rows)\n";
+  out << "Minimize\n obj:";
+  bool any = false;
+  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+    const double c = model.var(static_cast<VarId>(v)).objective;
+    if (c == 0.0) continue;
+    out << (c < 0.0 ? " - " : (any ? " + " : " "));
+    const double mag = c < 0.0 ? -c : c;
+    if (mag != 1.0) out << mag << " ";
+    out << "x" << v;
+    any = true;
+  }
+  if (!any) out << " 0 x0";
+  out << "\nSubject To\n";
+  for (std::size_t r = 0; r < model.num_rows(); ++r) {
+    const Row& row = model.row(static_cast<RowId>(r));
+    out << " c" << r << ": ";
+    write_terms(out, row.terms);
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        out << " <= ";
+        break;
+      case Sense::kGreaterEqual:
+        out << " >= ";
+        break;
+      case Sense::kEqual:
+        out << " = ";
+        break;
+    }
+    out << row.rhs << "\n";
+  }
+  // x >= 0 is the LP-format default; only integer markers are needed.
+  if (model.has_integer_vars()) {
+    out << "General\n";
+    for (std::size_t v = 0; v < model.num_vars(); ++v) {
+      if (model.var(static_cast<VarId>(v)).integer) out << " x" << v;
+    }
+    out << "\n";
+  }
+  out << "End\n";
+}
+
+namespace {
+
+// Tokenizer for the LP subset: identifiers, numbers, operators.
+struct Tokens {
+  std::vector<std::string> items;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= items.size(); }
+  const std::string& peek() const {
+    static const std::string kEnd = "";
+    return done() ? kEnd : items[pos];
+  }
+  std::string next() {
+    if (done()) throw std::runtime_error("LP parse: unexpected end of input");
+    return items[pos++];
+  }
+};
+
+Tokens tokenize(std::istream& in) {
+  Tokens tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    const std::size_t comment = line.find('\\');
+    if (comment != std::string::npos) line.resize(comment);
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (c == '+' || c == '-' || c == ':') {
+        tokens.items.emplace_back(1, c);
+        ++i;
+      } else if (c == '<' || c == '>' || c == '=') {
+        std::string op(1, c);
+        if (i + 1 < line.size() && line[i + 1] == '=') {
+          op += '=';
+          ++i;
+        }
+        tokens.items.push_back(op);
+        ++i;
+      } else {
+        std::size_t j = i;
+        while (j < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[j])) &&
+               line[j] != '+' && line[j] != '-' && line[j] != ':' &&
+               line[j] != '<' && line[j] != '>' && line[j] != '=') {
+          ++j;
+        }
+        tokens.items.push_back(line.substr(i, j - i));
+        i = j;
+      }
+    }
+  }
+  return tokens;
+}
+
+bool is_number(const std::string& token) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool is_keyword(const std::string& token, const char* keyword) {
+  if (token.size() != std::string(keyword).size()) return false;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(token[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VarId parse_var(const std::string& token) {
+  if (token.size() < 2 || token[0] != 'x') {
+    throw std::runtime_error("LP parse: expected variable, got '" + token +
+                             "'");
+  }
+  return static_cast<VarId>(std::stol(token.substr(1)));
+}
+
+// Parses a linear expression until a relational operator or keyword.
+// Returns (terms, stop token).
+std::pair<std::vector<std::pair<VarId, double>>, std::string> parse_expr(
+    Tokens& tokens) {
+  std::vector<std::pair<VarId, double>> terms;
+  double sign = 1.0;
+  double coef = 1.0;
+  bool have_coef = false;
+  while (!tokens.done()) {
+    const std::string& token = tokens.peek();
+    if (token == "<=" || token == ">=" || token == "=" ||
+        is_keyword(token, "Subject") || is_keyword(token, "General") ||
+        is_keyword(token, "End") || is_keyword(token, "Bounds") ||
+        (token.size() > 1 && token[0] == 'c' &&
+         std::isdigit(static_cast<unsigned char>(token[1])))) {
+      break;
+    }
+    const std::string item = tokens.next();
+    if (item == "+") {
+      sign = 1.0;
+    } else if (item == "-") {
+      sign = -sign;
+    } else if (is_number(item)) {
+      coef = std::stod(item);
+      have_coef = true;
+    } else {
+      const VarId v = parse_var(item);
+      terms.emplace_back(v, sign * (have_coef ? coef : 1.0));
+      sign = 1.0;
+      coef = 1.0;
+      have_coef = false;
+    }
+  }
+  return {terms, tokens.peek()};
+}
+
+}  // namespace
+
+LpModel read_lp_format(std::istream& in) {
+  Tokens tokens = tokenize(in);
+  if (tokens.done() || !is_keyword(tokens.next(), "Minimize")) {
+    throw std::runtime_error("LP parse: expected Minimize");
+  }
+  // Optional objective label "obj :".
+  if (tokens.peek() == "obj") {
+    tokens.next();
+    if (tokens.peek() == ":") tokens.next();
+  }
+  auto [objective_terms, stop] = parse_expr(tokens);
+  if (!is_keyword(tokens.next(), "Subject")) {
+    throw std::runtime_error("LP parse: expected Subject To");
+  }
+  if (is_keyword(tokens.peek(), "To")) tokens.next();
+
+  // First pass: find the largest variable index to size the model.
+  VarId max_var = -1;
+  for (const auto& [v, c] : objective_terms) max_var = std::max(max_var, v);
+  for (const std::string& token : tokens.items) {
+    if (token.size() >= 2 && token[0] == 'x' &&
+        std::isdigit(static_cast<unsigned char>(token[1]))) {
+      max_var = std::max(max_var, parse_var(token));
+    }
+  }
+
+  LpModel model;
+  std::map<VarId, double> objective;
+  for (const auto& [v, c] : objective_terms) objective[v] += c;
+  for (VarId v = 0; v <= max_var; ++v) {
+    const auto it = objective.find(v);
+    model.add_var(it == objective.end() ? 0.0 : it->second);
+  }
+
+  // Constraint rows until General/End.
+  std::vector<VarId> integer_vars;
+  while (!tokens.done()) {
+    const std::string token = tokens.peek();
+    if (is_keyword(token, "End")) break;
+    if (is_keyword(token, "General")) {
+      tokens.next();
+      while (!tokens.done() && !is_keyword(tokens.peek(), "End")) {
+        integer_vars.push_back(parse_var(tokens.next()));
+      }
+      break;
+    }
+    // Row label "cN :".
+    tokens.next();
+    if (tokens.peek() == ":") tokens.next();
+    auto [terms, stop2] = parse_expr(tokens);
+    const std::string op = tokens.next();
+    Sense sense;
+    if (op == "<=") {
+      sense = Sense::kLessEqual;
+    } else if (op == ">=") {
+      sense = Sense::kGreaterEqual;
+    } else if (op == "=") {
+      sense = Sense::kEqual;
+    } else {
+      throw std::runtime_error("LP parse: expected relation, got '" + op +
+                               "'");
+    }
+    const std::string rhs_token = tokens.next();
+    double rhs_sign = 1.0;
+    std::string rhs_value = rhs_token;
+    if (rhs_token == "-") {
+      rhs_sign = -1.0;
+      rhs_value = tokens.next();
+    }
+    if (!is_number(rhs_value)) {
+      throw std::runtime_error("LP parse: expected rhs, got '" + rhs_value +
+                               "'");
+    }
+    model.add_row(sense, rhs_sign * std::stod(rhs_value), terms);
+  }
+  // Re-create integer markers (add_var has no setter: rebuild).
+  if (!integer_vars.empty()) {
+    LpModel with_ints;
+    for (std::size_t v = 0; v < model.num_vars(); ++v) {
+      const bool is_int =
+          std::find(integer_vars.begin(), integer_vars.end(),
+                    static_cast<VarId>(v)) != integer_vars.end();
+      with_ints.add_var(model.var(static_cast<VarId>(v)).objective, is_int);
+    }
+    for (std::size_t r = 0; r < model.num_rows(); ++r) {
+      const Row& row = model.row(static_cast<RowId>(r));
+      with_ints.add_row(row.sense, row.rhs, row.terms);
+    }
+    return with_ints;
+  }
+  return model;
+}
+
+}  // namespace apple::lp

@@ -1,0 +1,24 @@
+// CPLEX LP-format export for LpModel.
+//
+// The paper solves the placement ILP with CPLEX; exporting our models in LP
+// format lets a user cross-check any placement instance against a
+// commercial solver (and makes solver bugs diagnosable). A minimal parser
+// for the same dialect round-trips the files in tests.
+#pragma once
+
+#include <iosfwd>
+
+#include "lp/model.h"
+
+namespace apple::lp {
+
+// Writes `model` in CPLEX LP format: Minimize / Subject To / Bounds
+// (x >= 0 is the implicit default) / General (integer variables) / End.
+// Variables are named x0..xN-1 (original names go into comments).
+void write_lp_format(const LpModel& model, std::ostream& out);
+
+// Parses the subset of LP format produced by write_lp_format. Throws
+// std::runtime_error on malformed input.
+LpModel read_lp_format(std::istream& in);
+
+}  // namespace apple::lp

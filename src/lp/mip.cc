@@ -1,0 +1,153 @@
+#include "lp/mip.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace apple::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A branching decision: floor bound (x <= value) or ceil bound (x >= value).
+struct BoundCut {
+  VarId var = -1;
+  bool upper = false;  // true: x <= value; false: x >= value
+  double value = 0.0;
+};
+
+struct Node {
+  double bound = -kInf;  // parent LP objective (lower bound for children)
+  std::vector<BoundCut> cuts;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound > b.bound;  // min-heap on bound: best-first
+  }
+};
+
+// Index of the most fractional integer variable, or -1 if all integral.
+VarId most_fractional(const LpModel& model, const std::vector<double>& x,
+                      double eps) {
+  VarId best = -1;
+  double best_frac_dist = eps;
+  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+    if (!model.var(static_cast<VarId>(v)).integer) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<VarId>(v);
+    }
+  }
+  return best;
+}
+
+LpModel with_cuts(const LpModel& base, const std::vector<BoundCut>& cuts) {
+  LpModel m = base;
+  for (const BoundCut& c : cuts) {
+    m.add_row(c.upper ? Sense::kLessEqual : Sense::kGreaterEqual, c.value,
+              {{c.var, 1.0}});
+  }
+  return m;
+}
+
+}  // namespace
+
+MipResult MipSolver::solve(const LpModel& model) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.time_limit_sec));
+  SimplexSolver lp(options_.simplex);
+
+  MipResult res;
+  double incumbent_obj = kInf;
+  std::vector<double> incumbent_x;
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{-kInf, {}});
+  bool hit_limit = false;
+  double best_open_bound = -kInf;
+
+  while (!open.empty()) {
+    if (res.nodes_explored >= options_.max_nodes ||
+        std::chrono::steady_clock::now() > deadline) {
+      hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    best_open_bound = node.bound;
+    // Bound-based prune (bounds can only tighten down the tree).
+    if (node.bound >= incumbent_obj - options_.relative_gap *
+                                          std::max(1.0, std::abs(incumbent_obj))) {
+      continue;
+    }
+    ++res.nodes_explored;
+
+    const LpModel sub = with_cuts(model, node.cuts);
+    const LpSolution rel = lp.solve(sub);
+    if (rel.status == SolveStatus::kInfeasible) continue;
+    if (rel.status == SolveStatus::kIterationLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (rel.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means an unbounded MIP (for the
+      // models we build, objectives are bounded below by 0).
+      res.status = SolveStatus::kUnbounded;
+      return res;
+    }
+    if (rel.objective >= incumbent_obj - options_.relative_gap *
+                                             std::max(1.0, std::abs(incumbent_obj))) {
+      continue;
+    }
+
+    const VarId frac_var =
+        most_fractional(model, rel.x, options_.integrality_eps);
+    if (frac_var < 0) {
+      // Integral: new incumbent.
+      if (rel.objective < incumbent_obj) {
+        incumbent_obj = rel.objective;
+        incumbent_x = rel.x;
+        // Snap near-integers exactly.
+        for (std::size_t v = 0; v < model.num_vars(); ++v) {
+          if (model.var(static_cast<VarId>(v)).integer) {
+            incumbent_x[v] = std::round(incumbent_x[v]);
+          }
+        }
+      }
+      continue;
+    }
+
+    const double val = rel.x[frac_var];
+    Node down{rel.objective, node.cuts};
+    down.cuts.push_back(BoundCut{frac_var, true, std::floor(val)});
+    Node up{rel.objective, node.cuts};
+    up.cuts.push_back(BoundCut{frac_var, false, std::ceil(val)});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent_x.empty()) {
+    res.status =
+        hit_limit ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
+    return res;
+  }
+  res.status = SolveStatus::kOptimal;
+  res.objective = incumbent_obj;
+  res.x = std::move(incumbent_x);
+  res.proven_optimal = !hit_limit && open.empty();
+  res.best_bound = res.proven_optimal
+                       ? incumbent_obj
+                       : std::max(best_open_bound, -kInf);
+  return res;
+}
+
+}  // namespace apple::lp

@@ -1,0 +1,48 @@
+// Branch-and-bound solver for mixed-integer programs, layered on the
+// two-phase simplex. Completes the CPLEX substitution for the placement ILP
+// of paper Sec. IV-D (Eq. 1-8).
+//
+// Strategy: best-first search on the LP-relaxation bound, branching on the
+// most fractional integer variable; branches are expressed as extra bound
+// rows. Intended for the exact solution of small/medium placement models
+// and for validating the greedy strategy in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace apple::lp {
+
+struct MipOptions {
+  double integrality_eps = 1e-6;
+  // Stop when (upper - lower) / max(1, |upper|) falls below this.
+  double relative_gap = 1e-6;
+  std::size_t max_nodes = 100000;
+  double time_limit_sec = 120.0;
+  SimplexOptions simplex;
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;        // incumbent objective
+  double best_bound = 0.0;       // proven lower bound (minimization)
+  std::vector<double> x;         // incumbent solution
+  std::size_t nodes_explored = 0;
+  bool proven_optimal = false;   // false when a limit stopped the search
+
+  bool has_solution() const { return !x.empty(); }
+};
+
+class MipSolver {
+ public:
+  explicit MipSolver(MipOptions options = {}) : options_(options) {}
+
+  MipResult solve(const LpModel& model) const;
+
+ private:
+  MipOptions options_;
+};
+
+}  // namespace apple::lp

@@ -1,0 +1,102 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apple::lp {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+VarId LpModel::add_var(double objective, bool integer, std::string name) {
+  vars_.push_back(Variable{objective, integer, std::move(name)});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+RowId LpModel::add_row(Sense sense, double rhs,
+                       std::span<const std::pair<VarId, double>> terms,
+                       std::string name) {
+  Row row;
+  row.sense = sense;
+  row.rhs = rhs;
+  row.name = std::move(name);
+  row.terms.assign(terms.begin(), terms.end());
+  for (const auto& [v, coef] : row.terms) {
+    (void)coef;
+    if (v < 0 || static_cast<std::size_t>(v) >= vars_.size()) {
+      throw std::out_of_range("row references unknown variable");
+    }
+  }
+  std::sort(row.terms.begin(), row.terms.end());
+  // Merge duplicates, drop zeros.
+  std::vector<std::pair<VarId, double>> merged;
+  merged.reserve(row.terms.size());
+  for (const auto& [v, coef] : row.terms) {
+    if (!merged.empty() && merged.back().first == v) {
+      merged.back().second += coef;
+    } else {
+      merged.emplace_back(v, coef);
+    }
+  }
+  std::erase_if(merged, [](const auto& t) { return t.second == 0.0; });
+  row.terms = std::move(merged);
+  rows_.push_back(std::move(row));
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+RowId LpModel::add_row(Sense sense, double rhs,
+                       std::initializer_list<std::pair<VarId, double>> terms,
+                       std::string name) {
+  return add_row(sense, rhs,
+                 std::span<const std::pair<VarId, double>>(terms.begin(),
+                                                           terms.size()),
+                 std::move(name));
+}
+
+bool LpModel::has_integer_vars() const {
+  return std::any_of(vars_.begin(), vars_.end(),
+                     [](const Variable& v) { return v.integer; });
+}
+
+double LpModel::objective_value(std::span<const double> x) const {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) obj += vars_[i].objective * x[i];
+  return obj;
+}
+
+double LpModel::max_violation(std::span<const double> x) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    worst = std::max(worst, -x[i]);  // x >= 0
+  }
+  for (const Row& r : rows_) {
+    double lhs = 0.0;
+    for (const auto& [v, coef] : r.terms) lhs += coef * x[v];
+    switch (r.sense) {
+      case Sense::kLessEqual:
+        worst = std::max(worst, lhs - r.rhs);
+        break;
+      case Sense::kGreaterEqual:
+        worst = std::max(worst, r.rhs - lhs);
+        break;
+      case Sense::kEqual:
+        worst = std::max(worst, std::abs(lhs - r.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace apple::lp

@@ -1,0 +1,304 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace apple::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dense row-major tableau with an explicit basis. Columns are laid out as
+// [structural vars | slacks/surpluses | artificials | rhs].
+class Tableau {
+ public:
+  Tableau(const LpModel& model, const SimplexOptions& opt) : opt_(opt) {
+    const std::size_t m = model.num_rows();
+    n_struct_ = model.num_vars();
+
+    // Count auxiliary columns.
+    std::size_t n_slack = 0, n_art = 0;
+    for (const Row& r : model.rows()) {
+      const bool flip = r.rhs < 0.0;
+      const Sense sense = flip ? flipped(r.sense) : r.sense;
+      if (sense != Sense::kEqual) ++n_slack;
+      if (sense != Sense::kLessEqual) ++n_art;
+    }
+    n_total_ = n_struct_ + n_slack + n_art;
+    art_begin_ = n_struct_ + n_slack;
+    width_ = n_total_ + 1;  // +1 for rhs
+    data_.assign(m * width_, 0.0);
+    basis_.assign(m, -1);
+    row_active_.assign(m, true);
+
+    std::size_t next_slack = n_struct_;
+    std::size_t next_art = art_begin_;
+    for (std::size_t r = 0; r < m; ++r) {
+      const Row& row = model.row(static_cast<RowId>(r));
+      const bool flip = row.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      const Sense sense = flip ? flipped(row.sense) : row.sense;
+      double* t = row_ptr(r);
+      for (const auto& [v, coef] : row.terms) t[v] = sign * coef;
+      t[n_total_] = sign * row.rhs;
+      switch (sense) {
+        case Sense::kLessEqual:
+          t[next_slack] = 1.0;
+          basis_[r] = static_cast<int>(next_slack++);
+          break;
+        case Sense::kGreaterEqual:
+          t[next_slack++] = -1.0;  // surplus
+          t[next_art] = 1.0;
+          basis_[r] = static_cast<int>(next_art++);
+          break;
+        case Sense::kEqual:
+          t[next_art] = 1.0;
+          basis_[r] = static_cast<int>(next_art++);
+          break;
+      }
+    }
+    // Note: kLessEqual rows consume the slack slot allocated above; the
+    // two >= branches share next_slack so the layout stays dense.
+  }
+
+  std::size_t num_rows() const { return basis_.size(); }
+  std::size_t num_cols() const { return n_total_; }
+  std::size_t art_begin() const { return art_begin_; }
+
+  double* row_ptr(std::size_t r) { return data_.data() + r * width_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * width_; }
+  double rhs(std::size_t r) const { return row_ptr(r)[n_total_]; }
+  int basis(std::size_t r) const { return basis_[r]; }
+  bool row_active(std::size_t r) const { return row_active_[r]; }
+
+  // Gauss-Jordan pivot on (row, col); normalizes the pivot row and
+  // eliminates the column from all other active rows and the cost rows.
+  void pivot(std::size_t prow, std::size_t pcol, std::vector<double>& cost0,
+             std::vector<double>* cost1) {
+    double* p = row_ptr(prow);
+    const double inv = 1.0 / p[pcol];
+    for (std::size_t j = 0; j <= n_total_; ++j) p[j] *= inv;
+    p[pcol] = 1.0;  // kill roundoff
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (r == prow || !row_active_[r]) continue;
+      double* t = row_ptr(r);
+      const double f = t[pcol];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= n_total_; ++j) t[j] -= f * p[j];
+      t[pcol] = 0.0;
+    }
+    eliminate_from_cost(cost0, prow, pcol);
+    if (cost1 != nullptr) eliminate_from_cost(*cost1, prow, pcol);
+    basis_[prow] = static_cast<int>(pcol);
+  }
+
+  // Cost vectors have n_total_+1 entries; the last is -objective value.
+  void eliminate_from_cost(std::vector<double>& cost, std::size_t prow,
+                           std::size_t pcol) const {
+    const double f = cost[pcol];
+    if (f == 0.0) return;
+    const double* p = row_ptr(prow);
+    for (std::size_t j = 0; j <= n_total_; ++j) cost[j] -= f * p[j];
+    cost[pcol] = 0.0;
+  }
+
+  void deactivate_row(std::size_t r) { row_active_[r] = false; }
+
+  // Extracts structural-variable values from the basis.
+  std::vector<double> extract_x() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (!row_active_[r]) continue;
+      const int b = basis_[r];
+      if (b >= 0 && static_cast<std::size_t>(b) < n_struct_) {
+        x[b] = std::max(0.0, rhs(r));
+      }
+    }
+    return x;
+  }
+
+ private:
+  static Sense flipped(Sense s) {
+    switch (s) {
+      case Sense::kLessEqual:
+        return Sense::kGreaterEqual;
+      case Sense::kGreaterEqual:
+        return Sense::kLessEqual;
+      case Sense::kEqual:
+        return Sense::kEqual;
+    }
+    return s;
+  }
+
+  SimplexOptions opt_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> data_;
+  std::vector<int> basis_;
+  std::vector<bool> row_active_;
+};
+
+enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
+
+// Runs simplex iterations on `cost` until no improving column remains.
+// Columns >= col_limit are never allowed to enter (bans artificials in
+// phase 2). `other_cost` is kept in sync when non-null.
+PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
+                      std::vector<double>* other_cost, std::size_t col_limit,
+                      const SimplexOptions& opt, std::size_t max_iters,
+                      std::size_t& iterations) {
+  std::size_t stall = 0;
+  double last_obj = kInf;
+  bool bland = false;
+  while (true) {
+    if (iterations >= max_iters) return PhaseResult::kIterationLimit;
+
+    // Pricing: pick the entering column.
+    std::size_t enter = col_limit;
+    if (bland) {
+      for (std::size_t j = 0; j < col_limit; ++j) {
+        if (cost[j] < -opt.optimality_eps) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -opt.optimality_eps;
+      for (std::size_t j = 0; j < col_limit; ++j) {
+        if (cost[j] < best) {
+          best = cost[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter == col_limit) return PhaseResult::kOptimal;
+
+    // Ratio test: pick the leaving row.
+    std::size_t leave = tab.num_rows();
+    double best_ratio = kInf;
+    for (std::size_t r = 0; r < tab.num_rows(); ++r) {
+      if (!tab.row_active(r)) continue;
+      const double a = tab.row_ptr(r)[enter];
+      if (a <= opt.feasibility_eps) continue;
+      const double ratio = tab.rhs(r) / a;
+      const bool better =
+          ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && leave < tab.num_rows() &&
+           tab.basis(r) < tab.basis(leave));  // Bland-compatible tie-break
+      if (better) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave == tab.num_rows()) return PhaseResult::kUnbounded;
+
+    tab.pivot(leave, enter, cost, other_cost);
+    ++iterations;
+
+    const double obj = -cost.back();
+    if (obj < last_obj - 1e-12) {
+      last_obj = obj;
+      stall = 0;
+      bland = false;
+    } else if (++stall > opt.stall_limit) {
+      bland = true;  // anti-cycling
+    }
+  }
+}
+
+}  // namespace
+
+LpSolution SimplexSolver::solve(const LpModel& model) const {
+  LpSolution out;
+  Tableau tab(model, options_);
+  const std::size_t n_total = tab.num_cols();
+  const std::size_t max_iters =
+      options_.max_iterations != 0
+          ? options_.max_iterations
+          : 200 + 40 * (tab.num_rows() + n_total);
+
+  // Phase-2 cost row (true objective), kept in sync from the start.
+  std::vector<double> cost2(n_total + 1, 0.0);
+  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+    cost2[v] = model.var(static_cast<VarId>(v)).objective;
+  }
+
+  // Phase-1 cost row: minimize the sum of artificials. Reduced costs for
+  // the initial basis: subtract every artificial-basic row.
+  std::vector<double> cost1(n_total + 1, 0.0);
+  bool need_phase1 = false;
+  for (std::size_t j = tab.art_begin(); j < n_total; ++j) cost1[j] = 1.0;
+  for (std::size_t r = 0; r < tab.num_rows(); ++r) {
+    const int b = tab.basis(r);
+    if (b >= 0 && static_cast<std::size_t>(b) >= tab.art_begin()) {
+      need_phase1 = true;
+      const double* t = tab.row_ptr(r);
+      for (std::size_t j = 0; j <= n_total; ++j) cost1[j] -= t[j];
+      cost1[b] = 0.0;
+    }
+  }
+  // Basic slacks also need zero reduced cost in cost2 (they already have 0
+  // objective), and structural vars are nonbasic, so cost2 is consistent.
+
+  std::size_t iterations = 0;
+  if (need_phase1) {
+    const PhaseResult r1 = run_phase(tab, cost1, &cost2, tab.art_begin(),
+                                     options_, max_iters, iterations);
+    if (r1 == PhaseResult::kIterationLimit) {
+      out.status = SolveStatus::kIterationLimit;
+      out.iterations = iterations;
+      return out;
+    }
+    // Phase-1 objective (= sum of artificials) must be ~0 for feasibility.
+    const double art_sum = -cost1.back();
+    if (art_sum > 1e-6) {
+      out.status = SolveStatus::kInfeasible;
+      out.iterations = iterations;
+      return out;
+    }
+    // Drive remaining basic artificials out of the basis.
+    for (std::size_t r = 0; r < tab.num_rows(); ++r) {
+      const int b = tab.basis(r);
+      if (b < 0 || static_cast<std::size_t>(b) < tab.art_begin()) continue;
+      const double* t = tab.row_ptr(r);
+      std::size_t pcol = tab.art_begin();
+      for (std::size_t j = 0; j < tab.art_begin(); ++j) {
+        if (std::abs(t[j]) > 1e-9) {
+          pcol = j;
+          break;
+        }
+      }
+      if (pcol < tab.art_begin()) {
+        tab.pivot(r, pcol, cost2, &cost1);
+        ++iterations;
+      } else {
+        tab.deactivate_row(r);  // redundant constraint
+      }
+    }
+  }
+
+  const PhaseResult r2 = run_phase(tab, cost2, nullptr, tab.art_begin(),
+                                   options_, max_iters, iterations);
+  out.iterations = iterations;
+  switch (r2) {
+    case PhaseResult::kUnbounded:
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    case PhaseResult::kIterationLimit:
+      out.status = SolveStatus::kIterationLimit;
+      return out;
+    case PhaseResult::kOptimal:
+      break;
+  }
+  out.status = SolveStatus::kOptimal;
+  out.x = tab.extract_x();
+  out.objective = model.objective_value(out.x);
+  return out;
+}
+
+}  // namespace apple::lp

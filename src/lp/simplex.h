@@ -1,0 +1,43 @@
+// Two-phase primal simplex on a dense tableau.
+//
+// Solves the LP relaxation of an LpModel (integrality markers are ignored).
+// Designed for the sizes the APPLE Optimization Engine produces for small
+// and medium topologies (a few thousand rows/columns); larger instances use
+// the greedy placement strategy instead (see core/optimization_engine.h).
+//
+// Numerical notes:
+// * Dantzig pricing with a Bland's-rule fallback after a stall, which
+//   guarantees termination despite the heavy degeneracy of the placement
+//   model (many zero-rhs precedence rows).
+// * Artificial variables only for >= and = rows; <= rows start from their
+//   slack basis. Remaining basic artificials after phase 1 are pivoted out
+//   or their rows marked redundant.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/model.h"
+
+namespace apple::lp {
+
+struct SimplexOptions {
+  std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
+  double feasibility_eps = 1e-7;
+  double optimality_eps = 1e-9;
+  // Iterations without objective improvement before switching to Bland's
+  // anti-cycling rule.
+  std::size_t stall_limit = 256;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  // Solves the LP relaxation. The returned x has model.num_vars() entries.
+  LpSolution solve(const LpModel& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace apple::lp

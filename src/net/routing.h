@@ -1,0 +1,67 @@
+// Shortest-path routing over a Topology.
+//
+// APPLE is interference-free: it never changes the forwarding paths chosen
+// by other control-plane applications (paper property 2). The router here
+// plays the role of those applications — it produces the fixed paths P_h
+// that the optimization engine must respect.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace apple::net {
+
+// Single-source shortest-path tree (Dijkstra over link weights).
+// Deterministic: ties are broken toward the lower predecessor node id so
+// that repeated runs produce identical paths (required for reproducible
+// placements and rule sets).
+class ShortestPathTree {
+ public:
+  ShortestPathTree(const Topology& topo, NodeId source);
+
+  NodeId source() const { return source_; }
+
+  // Distance from the source; infinity when unreachable.
+  double distance(NodeId dst) const { return dist_.at(dst); }
+  bool reachable(NodeId dst) const;
+
+  // Path from source to dst inclusive; nullopt when unreachable.
+  std::optional<Path> path_to(NodeId dst) const;
+
+ private:
+  NodeId source_;
+  std::vector<double> dist_;
+  std::vector<NodeId> prev_;
+};
+
+// All-pairs shortest paths, memoizing one tree per source.
+class AllPairsPaths {
+ public:
+  explicit AllPairsPaths(const Topology& topo);
+
+  // Path from src to dst inclusive; nullopt when unreachable.
+  std::optional<Path> path(NodeId src, NodeId dst) const;
+  double distance(NodeId src, NodeId dst) const;
+
+ private:
+  std::vector<ShortestPathTree> trees_;
+};
+
+// All switches lying on ANY shortest path from src to dst (the equal-cost
+// multipath union): nodes u with dist(src,u) + dist(u,dst) = dist(src,dst).
+// Data-center topologies like UNIV1 have many such paths; without APPLE's
+// tagging, classification rules must cover all of them (paper Sec. IX-C).
+std::vector<NodeId> ecmp_node_union(const AllPairsPaths& paths,
+                                    std::size_t num_nodes, NodeId src,
+                                    NodeId dst);
+
+// Number of links on a path (= path.size() - 1; 0 for single-node paths).
+std::size_t hop_count(const Path& path);
+
+// True when `path` is a valid walk in `topo`: consecutive nodes adjacent,
+// all node ids in range, no node repeated (simple path).
+bool is_valid_simple_path(const Topology& topo, const Path& path);
+
+}  // namespace apple::net

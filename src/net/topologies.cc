@@ -1,0 +1,231 @@
+#include "net/topologies.h"
+
+#include <array>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace apple::net {
+
+namespace {
+
+// Adds a link between named nodes (both must already exist).
+void link_by_name(Topology& t, std::string_view a, std::string_view b,
+                  double capacity_mbps = 10000.0) {
+  const NodeId na = t.find_node(a);
+  const NodeId nb = t.find_node(b);
+  if (na == kInvalidNode || nb == kInvalidNode) {
+    throw std::logic_error("topology builder: unknown node name");
+  }
+  t.add_link(na, nb, capacity_mbps);
+}
+
+}  // namespace
+
+Topology make_internet2(double host_cores) {
+  // Abilene/Internet2 as in the Zhang traffic-matrix data set: 12 nodes
+  // (ATLA appears twice: the M5 measurement node and the core router) and
+  // 15 links.
+  Topology t("Internet2");
+  for (const char* name :
+       {"ATLA-M5", "ATLA", "CHIN", "DNVR", "HSTN", "IPLS", "KSCY", "LOSA",
+        "NYCM", "SNVA", "STTL", "WASH"}) {
+    t.add_node(name, host_cores);
+  }
+  link_by_name(t, "ATLA-M5", "ATLA");
+  link_by_name(t, "ATLA", "HSTN");
+  link_by_name(t, "ATLA", "IPLS");
+  link_by_name(t, "ATLA", "WASH");
+  link_by_name(t, "CHIN", "IPLS");
+  link_by_name(t, "CHIN", "NYCM");
+  link_by_name(t, "DNVR", "KSCY");
+  link_by_name(t, "DNVR", "SNVA");
+  link_by_name(t, "DNVR", "STTL");
+  link_by_name(t, "HSTN", "KSCY");
+  link_by_name(t, "HSTN", "LOSA");
+  link_by_name(t, "IPLS", "KSCY");
+  link_by_name(t, "LOSA", "SNVA");
+  link_by_name(t, "NYCM", "WASH");
+  link_by_name(t, "SNVA", "STTL");
+  return t;
+}
+
+Topology make_geant(double host_cores) {
+  // GEANT-like intradomain research network: 23 PoPs named by country code,
+  // 37 undirected links (74 unidirectional as counted by TOTEM). The link
+  // set is a faithful *shape* reconstruction — western-European hubs (DE,
+  // UK, FR, IT, NL) carry high degree; peripheral PoPs attach with degree
+  // 2-3 for redundancy.
+  Topology t("GEANT");
+  for (const char* name :
+       {"AT", "BE", "CH", "CY", "CZ", "DE", "ES", "FR", "GR", "HR", "HU",
+        "IE", "IL", "IT", "LU", "NL", "PL", "PT", "SE", "SI", "SK", "UK",
+        "NY"}) {
+    t.add_node(name, host_cores);
+  }
+  // Core mesh among hubs.
+  link_by_name(t, "DE", "UK");
+  link_by_name(t, "DE", "FR");
+  link_by_name(t, "DE", "IT");
+  link_by_name(t, "DE", "NL");
+  link_by_name(t, "UK", "FR");
+  link_by_name(t, "UK", "NL");
+  link_by_name(t, "FR", "IT");
+  link_by_name(t, "NL", "BE");
+  // Transatlantic.
+  link_by_name(t, "UK", "NY");
+  link_by_name(t, "DE", "NY");
+  // Central Europe.
+  link_by_name(t, "DE", "AT");
+  link_by_name(t, "DE", "CZ");
+  link_by_name(t, "DE", "SE");
+  link_by_name(t, "DE", "PL");
+  link_by_name(t, "AT", "HU");
+  link_by_name(t, "AT", "SI");
+  link_by_name(t, "AT", "CZ");
+  link_by_name(t, "CZ", "SK");
+  link_by_name(t, "SK", "HU");
+  link_by_name(t, "HU", "HR");
+  link_by_name(t, "SI", "HR");
+  link_by_name(t, "PL", "CZ");
+  link_by_name(t, "SE", "PL");
+  // Western / southern Europe.
+  link_by_name(t, "FR", "CH");
+  link_by_name(t, "CH", "IT");
+  link_by_name(t, "FR", "BE");
+  link_by_name(t, "BE", "LU");
+  link_by_name(t, "LU", "FR");
+  link_by_name(t, "UK", "IE");
+  link_by_name(t, "IE", "NY");
+  link_by_name(t, "ES", "FR");
+  link_by_name(t, "ES", "PT");
+  link_by_name(t, "PT", "UK");
+  link_by_name(t, "IT", "GR");
+  link_by_name(t, "GR", "CY");
+  // Keep the graph 2-connected at the periphery.
+  link_by_name(t, "CY", "IL");
+  link_by_name(t, "IL", "IT");
+  return t;
+}
+
+Topology make_univ1(double host_cores) {
+  // UNIV1 (Benson et al., IMC'10): 2-tier campus data center. 2 core
+  // switches + 21 edge switches = 23 nodes; each edge switch uplinks to
+  // both cores (42 links) plus one core-core link = 43 links.
+  Topology t("UNIV1");
+  const NodeId core1 = t.add_node("core-1", host_cores);
+  const NodeId core2 = t.add_node("core-2", host_cores);
+  t.add_link(core1, core2, 40000.0);
+  for (int i = 1; i <= 21; ++i) {
+    const NodeId e = t.add_node("edge-" + std::to_string(i), host_cores);
+    t.add_link(e, core1, 10000.0);
+    t.add_link(e, core2, 10000.0);
+  }
+  return t;
+}
+
+Topology make_as3679(double host_cores) {
+  // Rocketfuel AS-3679 router-level ISP topology: 79 nodes, 147 links.
+  // Synthesized deterministically by preferential attachment (see
+  // DESIGN.md substitution table).
+  Topology t =
+      make_preferential_attachment(79, 147, /*seed=*/3679, host_cores);
+  t.set_name("AS-3679");
+  return t;
+}
+
+Topology make_line(std::size_t n, double host_cores) {
+  Topology t("line-" + std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_node("s" + std::to_string(i), host_cores);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    t.add_link(static_cast<NodeId>(i - 1), static_cast<NodeId>(i));
+  }
+  return t;
+}
+
+Topology make_ring(std::size_t n, double host_cores) {
+  if (n < 3) throw std::invalid_argument("ring needs at least 3 nodes");
+  Topology t = make_line(n, host_cores);
+  t.set_name("ring-" + std::to_string(n));
+  t.add_link(static_cast<NodeId>(n - 1), 0);
+  return t;
+}
+
+Topology make_star(std::size_t leaves, double host_cores) {
+  Topology t("star-" + std::to_string(leaves));
+  const NodeId hub = t.add_node("hub", host_cores);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const NodeId leaf = t.add_node("leaf" + std::to_string(i), host_cores);
+    t.add_link(hub, leaf);
+  }
+  return t;
+}
+
+Topology make_grid(std::size_t rows, std::size_t cols, double host_cores) {
+  Topology t("grid-" + std::to_string(rows) + "x" + std::to_string(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      t.add_node("g" + std::to_string(r) + "_" + std::to_string(c),
+                 host_cores);
+    }
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_link(id(r, c), id(r + 1, c));
+    }
+  }
+  return t;
+}
+
+Topology make_preferential_attachment(std::size_t n, std::size_t links,
+                                      std::uint64_t seed, double host_cores) {
+  if (n < 4) throw std::invalid_argument("need at least 4 nodes");
+  const std::size_t min_links = (n - 4) + 6;  // seed clique + spanning growth
+  if (links < min_links) {
+    throw std::invalid_argument("too few links for a connected PA graph");
+  }
+  Topology t("pa-" + std::to_string(n));
+  std::mt19937_64 rng(seed);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_node("r" + std::to_string(i), host_cores);
+  }
+  // degree-weighted sampling pool: node id appears once per incident link.
+  std::vector<NodeId> pool;
+  const auto connect = [&](NodeId a, NodeId b) {
+    if (a == b || t.find_link(a, b).has_value()) return false;
+    t.add_link(a, b);
+    pool.push_back(a);
+    pool.push_back(b);
+    return true;
+  };
+  // Seed clique of 4.
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) connect(a, b);
+  }
+  // Grow: each new node attaches to one degree-weighted existing node.
+  for (NodeId v = 4; v < n; ++v) {
+    while (true) {
+      const NodeId target =
+          pool[std::uniform_int_distribution<std::size_t>(0, pool.size() - 1)(
+              rng)];
+      if (connect(v, target)) break;
+    }
+  }
+  // Densify to the requested link count with degree-weighted random pairs.
+  while (t.num_links() < links) {
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    const NodeId a = pool[pick(rng)];
+    const NodeId b = pool[pick(rng)];
+    connect(a, b);
+  }
+  return t;
+}
+
+}  // namespace apple::net

@@ -1,0 +1,46 @@
+// The four evaluation topologies of the paper (Sec. IX-A) plus small
+// synthetic helpers used by tests and examples.
+//
+// * Internet2/Abilene — 12 nodes, 15 links (campus/research network).
+// * GEANT-like       — 23 nodes, 37 undirected links (enterprise; the TOTEM
+//                      data set counts 74 unidirectional links).
+// * UNIV1            — 23 nodes, 43 links; 2-tier campus data center
+//                      (2 core switches, 21 edge switches, full bipartite
+//                      core-edge mesh + core-core link).
+// * AS-3679          — 79 nodes, 147 links; Rocketfuel router-level ISP
+//                      topology, synthesized deterministically by
+//                      preferential attachment (substitution documented in
+//                      DESIGN.md).
+//
+// Every switch gets an APPLE host with `host_cores` CPU cores (the paper's
+// evaluation assumes 64 cores per host).
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace apple::net {
+
+inline constexpr double kDefaultHostCores = 64.0;
+
+Topology make_internet2(double host_cores = kDefaultHostCores);
+Topology make_geant(double host_cores = kDefaultHostCores);
+Topology make_univ1(double host_cores = kDefaultHostCores);
+Topology make_as3679(double host_cores = kDefaultHostCores);
+
+// Synthetic helpers (tests/examples).
+Topology make_line(std::size_t n, double host_cores = kDefaultHostCores);
+Topology make_ring(std::size_t n, double host_cores = kDefaultHostCores);
+Topology make_star(std::size_t leaves, double host_cores = kDefaultHostCores);
+Topology make_grid(std::size_t rows, std::size_t cols,
+                   double host_cores = kDefaultHostCores);
+
+// Random connected graph via preferential attachment: `n` nodes, roughly
+// `links` links (exact when links >= n-1 + seed-clique size). Deterministic
+// for a given seed.
+Topology make_preferential_attachment(std::size_t n, std::size_t links,
+                                      std::uint64_t seed,
+                                      double host_cores = kDefaultHostCores);
+
+}  // namespace apple::net

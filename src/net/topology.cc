@@ -1,0 +1,94 @@
+#include "net/topology.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace apple::net {
+
+NodeId Topology::add_node(std::string name, double host_cores) {
+  if (host_cores < 0.0) {
+    throw std::invalid_argument("host_cores must be non-negative");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), host_cores});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_mbps,
+                          double weight) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("link endpoint does not exist");
+  }
+  if (a == b) {
+    throw std::invalid_argument("self-loops are not allowed");
+  }
+  if (capacity_mbps <= 0.0 || weight <= 0.0) {
+    throw std::invalid_argument("link capacity and weight must be positive");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, capacity_mbps, weight});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(adjacency_.at(n).size());
+  for (LinkId l : adjacency_.at(n)) out.push_back(links_[l].other(n));
+  return out;
+}
+
+NodeId Topology::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return std::nullopt;
+  for (LinkId l : adjacency_[a]) {
+    if (links_[l].other(a) == b) return l;
+  }
+  return std::nullopt;
+}
+
+bool Topology::is_connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (LinkId l : adjacency_[u]) {
+      const NodeId v = links_[l].other(u);
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == nodes_.size();
+}
+
+double Topology::total_host_cores() const {
+  double total = 0.0;
+  for (const Node& n : nodes_) total += n.host_cores;
+  return total;
+}
+
+std::vector<NodeId> Topology::host_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].has_host()) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+}  // namespace apple::net

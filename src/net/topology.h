@@ -1,0 +1,110 @@
+// Network topology graph: SDN switches connected by capacitated links.
+//
+// In APPLE's network model (paper Sec. III) every physical node that hosts
+// VNF instances ("APPLE host") is attached to one SDN switch. The topology
+// therefore models switches as graph nodes; each node optionally carries an
+// attached APPLE host with a hardware-resource budget (paper notation A_v).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apple::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+// A forwarding path is the ordered sequence of switches a class traverses
+// (paper notation P_h = <p_h^i>).
+using Path = std::vector<NodeId>;
+
+// One switch in the network, optionally with an attached APPLE host.
+struct Node {
+  std::string name;
+  // Hardware resource budget of the attached APPLE host, in CPU cores
+  // (paper notation A_v; the evaluation uses 64 cores per host).
+  // 0 means the switch has no APPLE host attached.
+  double host_cores = 0.0;
+
+  bool has_host() const { return host_cores > 0.0; }
+};
+
+// An undirected link between two switches.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double capacity_mbps = 0.0;
+  // Routing weight; defaults to 1 (hop count routing).
+  double weight = 1.0;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+// Undirected multigraph of switches. Node and link ids are dense indices,
+// stable under insertion (no removal API: topologies are built once and then
+// treated as immutable inputs to the optimization engine).
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // Adds a switch; `host_cores` is the resource budget of its APPLE host
+  // (0 = no host). Returns the new node id.
+  NodeId add_node(std::string name, double host_cores = 0.0);
+
+  // Adds an undirected link. Both endpoints must exist. Self-loops are
+  // rejected. Returns the new link id.
+  LinkId add_link(NodeId a, NodeId b, double capacity_mbps = 1000.0,
+                  double weight = 1.0);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const Link> links() const { return links_; }
+
+  // Link ids incident to `n`.
+  std::span<const LinkId> incident_links(NodeId n) const {
+    return adjacency_.at(n);
+  }
+
+  // Neighbor node ids of `n` (one entry per incident link).
+  std::vector<NodeId> neighbors(NodeId n) const;
+
+  // Finds a node by name; returns kInvalidNode when absent.
+  NodeId find_node(std::string_view name) const;
+
+  // Link connecting a and b, if any (first match for multigraphs).
+  std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  // True when every node can reach every other node.
+  bool is_connected() const;
+
+  // Total APPLE-host resource budget over all nodes (sum of A_v).
+  double total_host_cores() const;
+
+  // Node ids that have an APPLE host attached.
+  std::vector<NodeId> host_nodes() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace apple::net

@@ -1,0 +1,75 @@
+#include "net/topology_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apple::net {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("topology parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+Topology load_topology(std::istream& in) {
+  Topology topo;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword.starts_with('#')) continue;
+    if (keyword == "topology") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "topology needs a name");
+      topo.set_name(name);
+    } else if (keyword == "node") {
+      std::string name;
+      double cores = 0.0;
+      if (!(ls >> name)) fail(line_no, "node needs a name");
+      ls >> cores;
+      if (topo.find_node(name) != kInvalidNode) {
+        fail(line_no, "duplicate node '" + name + "'");
+      }
+      topo.add_node(name, cores);
+    } else if (keyword == "link") {
+      std::string a, b;
+      double capacity = 1000.0, weight = 1.0;
+      if (!(ls >> a >> b)) fail(line_no, "link needs two endpoints");
+      ls >> capacity >> weight;
+      const NodeId na = topo.find_node(a);
+      const NodeId nb = topo.find_node(b);
+      if (na == kInvalidNode) fail(line_no, "unknown node '" + a + "'");
+      if (nb == kInvalidNode) fail(line_no, "unknown node '" + b + "'");
+      try {
+        topo.add_link(na, nb, capacity, weight);
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  return topo;
+}
+
+void save_topology(const Topology& topo, std::ostream& out) {
+  out << "topology " << (topo.name().empty() ? "unnamed" : topo.name())
+      << "\n";
+  for (const Node& n : topo.nodes()) {
+    out << "node " << n.name << " " << n.host_cores << "\n";
+  }
+  for (const Link& l : topo.links()) {
+    out << "link " << topo.node(l.a).name << " " << topo.node(l.b).name << " "
+        << l.capacity_mbps << " " << l.weight << "\n";
+  }
+}
+
+}  // namespace apple::net

@@ -1,0 +1,22 @@
+// Minimal text format for topologies, used by tests and examples:
+//
+//   topology <name>
+//   node <name> [host_cores]
+//   link <name-a> <name-b> [capacity_mbps] [weight]
+//   # comment
+#pragma once
+
+#include <iosfwd>
+
+#include "net/topology.h"
+
+namespace apple::net {
+
+// Parses the text format; throws std::runtime_error with a line number on
+// malformed input.
+Topology load_topology(std::istream& in);
+
+// Serializes in the same format (round-trips through load_topology).
+void save_topology(const Topology& topo, std::ostream& out);
+
+}  // namespace apple::net

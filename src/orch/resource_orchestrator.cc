@@ -1,0 +1,139 @@
+#include "orch/resource_orchestrator.h"
+
+namespace apple::orch {
+
+const char* to_string(LaunchStatus s) {
+  switch (s) {
+    case LaunchStatus::kOk:
+      return "ok";
+    case LaunchStatus::kUnknownHost:
+      return "unknown-host";
+    case LaunchStatus::kNoAppleHost:
+      return "no-apple-host";
+    case LaunchStatus::kInsufficientResources:
+      return "insufficient-resources";
+    case LaunchStatus::kUnknownInstance:
+      return "unknown-instance";
+    case LaunchStatus::kNotReconfigurable:
+      return "not-reconfigurable";
+  }
+  return "unknown";
+}
+
+ResourceOrchestrator::ResourceOrchestrator(const net::Topology& topo,
+                                           OrchestrationTimings timings)
+    : topo_(&topo), timings_(timings), used_cores_(topo.num_nodes(), 0.0) {}
+
+double ResourceOrchestrator::available_cores(net::NodeId v) const {
+  return topo_->node(v).host_cores - used_cores_.at(v);
+}
+
+double ResourceOrchestrator::used_cores(net::NodeId v) const {
+  return used_cores_.at(v);
+}
+
+LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
+                                          double now, LaunchPath path) {
+  LaunchResult result;
+  if (v >= topo_->num_nodes()) {
+    result.status = LaunchStatus::kUnknownHost;
+    return result;
+  }
+  if (!topo_->node(v).has_host()) {
+    result.status = LaunchStatus::kNoAppleHost;
+    return result;
+  }
+  const vnf::NfSpec& spec = vnf::spec_of(type);
+  if (available_cores(v) < spec.cores_required) {
+    result.status = LaunchStatus::kInsufficientResources;
+    return result;
+  }
+  if (path == LaunchPath::kBareXen && !spec.clickos) {
+    // Only ClickOS images boot in milliseconds; a full VM cannot take the
+    // fast path.
+    result.status = LaunchStatus::kNotReconfigurable;
+    return result;
+  }
+
+  used_cores_[v] += spec.cores_required;
+  vnf::VnfInstance inst;
+  inst.id = next_id_++;
+  inst.type = type;
+  inst.host_switch = v;
+  inst.capacity_mbps = spec.capacity_mbps;
+  instances_.emplace(inst.id, inst);
+
+  double boot = 0.0;
+  switch (path) {
+    case LaunchPath::kOpenStack:
+      boot = spec.clickos
+                 ? openstack_boot_time(timings_, launch_sequence_++)
+                 : timings_.normal_vm_boot;
+      break;
+    case LaunchPath::kBareXen:
+      boot = timings_.clickos_boot_bare_xen;
+      break;
+    case LaunchPath::kReconfigure:
+      boot = timings_.clickos_reconfigure;
+      break;
+  }
+  result.instance = inst;
+  result.ready_at = now + boot;
+  return result;
+}
+
+LaunchResult ResourceOrchestrator::reconfigure(vnf::InstanceId id,
+                                               vnf::NfType new_type,
+                                               double now) {
+  LaunchResult result;
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) {
+    result.status = LaunchStatus::kUnknownInstance;
+    return result;
+  }
+  vnf::VnfInstance& inst = it->second;
+  const vnf::NfSpec& old_spec = vnf::spec_of(inst.type);
+  const vnf::NfSpec& new_spec = vnf::spec_of(new_type);
+  if (!old_spec.clickos || !new_spec.clickos) {
+    result.status = LaunchStatus::kNotReconfigurable;
+    return result;
+  }
+  const double delta = new_spec.cores_required - old_spec.cores_required;
+  if (available_cores(inst.host_switch) < delta) {
+    result.status = LaunchStatus::kInsufficientResources;
+    return result;
+  }
+  used_cores_[inst.host_switch] += delta;
+  inst.type = new_type;
+  inst.capacity_mbps = new_spec.capacity_mbps;
+  result.instance = inst;
+  result.ready_at = now + timings_.clickos_reconfigure;
+  return result;
+}
+
+bool ResourceOrchestrator::cancel(vnf::InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return false;
+  used_cores_[it->second.host_switch] -=
+      vnf::spec_of(it->second.type).cores_required;
+  instances_.erase(it);
+  return true;
+}
+
+std::optional<vnf::VnfInstance> ResourceOrchestrator::instance(
+    vnf::InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<vnf::VnfInstance> ResourceOrchestrator::instances_at(
+    net::NodeId v) const {
+  std::vector<vnf::VnfInstance> out;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.host_switch == v) out.push_back(inst);
+  }
+  return out;
+}
+
+}  // namespace apple::orch

@@ -1,0 +1,57 @@
+#include "sim/detector.h"
+
+namespace apple::sim {
+
+double OverloadDetector::delayed_value(const History& h, double now) const {
+  if (h.samples.empty()) return 0.0;
+  const double target = now - config_.counter_delay;
+  // Newest sample not newer than `target`. When nothing is old enough the
+  // delayed counter has not caught up with the instance yet and reads 0.
+  double value = 0.0;
+  for (const auto& [t, v] : h.samples) {
+    if (t <= target) {
+      value = v;
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+std::optional<LoadEvent> OverloadDetector::sample(double now,
+                                                  vnf::InstanceId instance,
+                                                  double offered_mbps,
+                                                  double capacity_mbps) {
+  History& h = state_[instance];
+  h.samples.emplace_back(now, offered_mbps);
+  // Retain just enough history to answer delayed reads.
+  const double keep_after = now - config_.counter_delay - config_.poll_interval;
+  while (h.samples.size() > 1 && h.samples[1].first <= keep_after) {
+    h.samples.pop_front();
+  }
+
+  const double seen = delayed_value(h, now);
+  // Relative epsilon: a placement loaded to exactly 100% of capacity must
+  // not flap the detector through floating-point noise.
+  if (!h.overloaded && capacity_mbps > 0.0 &&
+      seen > config_.overload_threshold * capacity_mbps * (1.0 + 1e-9)) {
+    h.overloaded = true;
+    return LoadEvent{now, instance, LoadEventKind::kOverloaded, seen};
+  }
+  if (h.overloaded && seen < config_.clear_threshold * capacity_mbps) {
+    h.overloaded = false;
+    return LoadEvent{now, instance, LoadEventKind::kCleared, seen};
+  }
+  return std::nullopt;
+}
+
+bool OverloadDetector::is_overloaded(vnf::InstanceId instance) const {
+  const auto it = state_.find(instance);
+  return it != state_.end() && it->second.overloaded;
+}
+
+void OverloadDetector::forget(vnf::InstanceId instance) {
+  state_.erase(instance);
+}
+
+}  // namespace apple::sim

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace apple::sim {
+
+void EventQueue::schedule_at(double at, Callback fn) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, Callback fn) {
+  schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    if (step()) ++executed;
+  }
+  now_ = std::max(now_, horizon);
+  return executed;
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+}  // namespace apple::sim

@@ -1,0 +1,51 @@
+// Minimal discrete-event scheduler used by the control-plane simulations
+// (VM boot completions, counter polls, traffic-snapshot changes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace apple::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (>= now, clamped otherwise).
+  void schedule_at(double at, Callback fn);
+  // Schedules `fn` after a relative delay.
+  void schedule_in(double delay, Callback fn);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Runs events until the queue drains or the horizon is passed. Events
+  // scheduled during execution are honored. Returns events executed.
+  std::size_t run_until(double horizon);
+
+  // Runs exactly one event if available; returns whether one ran.
+  bool step();
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;  // FIFO among same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace apple::sim

@@ -1,0 +1,133 @@
+#include "sim/flow_sim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apple::sim {
+
+FlowSimulation::FlowSimulation(double tick_seconds)
+    : tick_seconds_(tick_seconds) {
+  if (tick_seconds <= 0.0) {
+    throw std::invalid_argument("tick must be positive");
+  }
+}
+
+void FlowSimulation::add_instance(const vnf::VnfInstance& instance,
+                                  double ready_at) {
+  instances_[instance.id] = InstanceState{instance, ready_at, 0.0};
+}
+
+void FlowSimulation::remove_instance(vnf::InstanceId id) {
+  instances_.erase(id);
+}
+
+bool FlowSimulation::has_instance(vnf::InstanceId id) const {
+  return instances_.contains(id);
+}
+
+void FlowSimulation::set_ready_at(vnf::InstanceId id, double ready_at) {
+  instances_.at(id).ready_at = ready_at;
+}
+
+void FlowSimulation::set_class_rate(traffic::ClassId id, double mbps) {
+  classes_[id].rate_mbps = std::max(0.0, mbps);
+}
+
+double FlowSimulation::class_rate(traffic::ClassId id) const {
+  const auto it = classes_.find(id);
+  return it == classes_.end() ? 0.0 : it->second.rate_mbps;
+}
+
+void FlowSimulation::install_class_plans(
+    traffic::ClassId id, std::vector<dataplane::SubclassPlan> plans) {
+  double weight = 0.0;
+  for (const dataplane::SubclassPlan& plan : plans) {
+    if (plan.weight < 0.0) {
+      throw std::invalid_argument("negative sub-class weight");
+    }
+    weight += plan.weight;
+    for (const dataplane::HostVisit& visit : plan.itinerary) {
+      for (const vnf::InstanceId inst : visit.instances) {
+        if (!instances_.contains(inst)) {
+          throw std::invalid_argument("plan references unknown instance");
+        }
+      }
+    }
+  }
+  if (!plans.empty() && std::abs(weight - 1.0) > 1e-6) {
+    throw std::invalid_argument("sub-class weights must sum to 1");
+  }
+  classes_[id].plans = std::move(plans);
+}
+
+const std::vector<dataplane::SubclassPlan>& FlowSimulation::plans_of(
+    traffic::ClassId id) const {
+  return classes_.at(id).plans;
+}
+
+TickStats FlowSimulation::step() {
+  // Phase 1: accumulate offered load at every instance.
+  for (auto& [id, state] : instances_) state.offered = 0.0;
+  for (const auto& [cid, cls] : classes_) {
+    for (const dataplane::SubclassPlan& plan : cls.plans) {
+      const double rate = cls.rate_mbps * plan.weight;
+      if (rate <= 0.0) continue;
+      for (const dataplane::HostVisit& visit : plan.itinerary) {
+        for (const vnf::InstanceId inst : visit.instances) {
+          instances_.at(inst).offered += rate;
+        }
+      }
+    }
+  }
+
+  // Phase 2: per-instance loss, then per-sub-class survival product.
+  TickStats stats;
+  stats.time = now_;
+  for (const auto& [cid, cls] : classes_) {
+    for (const dataplane::SubclassPlan& plan : cls.plans) {
+      const double rate = cls.rate_mbps * plan.weight;
+      if (rate <= 0.0) continue;
+      stats.offered_mbps += rate;
+      double survival = 1.0;
+      for (const dataplane::HostVisit& visit : plan.itinerary) {
+        for (const vnf::InstanceId inst : visit.instances) {
+          const InstanceState& state = instances_.at(inst);
+          const double capacity =
+              state.ready_at <= now_ ? state.instance.capacity_mbps : 0.0;
+          survival *= 1.0 - vnf::loss_fraction(state.offered, capacity);
+        }
+      }
+      stats.delivered_mbps += rate * survival;
+    }
+  }
+  stats.loss_rate = stats.offered_mbps > 0.0
+                        ? 1.0 - stats.delivered_mbps / stats.offered_mbps
+                        : 0.0;
+  // Clamp tiny negatives from floating-point noise.
+  stats.loss_rate = std::max(0.0, stats.loss_rate);
+
+  history_.push_back(stats);
+  now_ += tick_seconds_;
+  return stats;
+}
+
+void FlowSimulation::run_until(double horizon) {
+  while (now_ + tick_seconds_ * 0.5 < horizon) step();
+}
+
+double FlowSimulation::instance_offered_mbps(vnf::InstanceId id) const {
+  return instances_.at(id).offered;
+}
+
+double FlowSimulation::instance_capacity_mbps(vnf::InstanceId id) const {
+  return instances_.at(id).instance.capacity_mbps;
+}
+
+std::vector<vnf::InstanceId> FlowSimulation::instance_ids() const {
+  std::vector<vnf::InstanceId> ids;
+  ids.reserve(instances_.size());
+  for (const auto& [id, state] : instances_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace apple::sim

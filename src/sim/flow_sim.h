@@ -1,0 +1,92 @@
+// Fluid-flow data-plane simulation.
+//
+// Packet-level simulation of a week of traffic is intractable and
+// unnecessary: the paper's loss metrics (Figs. 7, 9, 12) are rate-driven.
+// The fluid model advances in fixed ticks; per tick, every sub-class offers
+// its share of its class's current rate to the instances of its itinerary,
+// and each instance drops the excess over its capacity
+// (vnf::loss_fraction). Instances that are still booting (ready_at in the
+// future) drop everything routed to them — this is precisely the effect
+// Fig. 7 measures when forwarding rules flip before the ClickOS VM is up.
+//
+// Approximation note: the offered load at an instance is accumulated
+// without upstream attenuation (packets are received, then dropped), so a
+// cascade of overloads slightly over-counts loss. The delivered fraction of
+// a sub-class is the product of survival across its instances.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/types.h"
+#include "vnf/capacity_model.h"
+#include "vnf/nf_types.h"
+
+namespace apple::sim {
+
+struct TickStats {
+  double time = 0.0;
+  double offered_mbps = 0.0;    // total policied demand this tick
+  double delivered_mbps = 0.0;  // demand surviving every chain stage
+  double loss_rate = 0.0;       // 1 - delivered/offered (0 when idle)
+};
+
+class FlowSimulation {
+ public:
+  explicit FlowSimulation(double tick_seconds = 0.01);
+
+  double tick_seconds() const { return tick_seconds_; }
+  double now() const { return now_; }
+
+  // --- instances ----------------------------------------------------------
+  // Adds an instance; it serves traffic from `ready_at` onward.
+  void add_instance(const vnf::VnfInstance& instance, double ready_at = 0.0);
+  void remove_instance(vnf::InstanceId id);
+  bool has_instance(vnf::InstanceId id) const;
+  void set_ready_at(vnf::InstanceId id, double ready_at);
+
+  // --- classes ------------------------------------------------------------
+  // Current offered rate of a class (updated when replaying TM snapshots).
+  void set_class_rate(traffic::ClassId id, double mbps);
+  double class_rate(traffic::ClassId id) const;
+
+  // Installs/replaces the sub-class plans of a class. Plan weights must sum
+  // to ~1; every itinerary instance must already exist.
+  void install_class_plans(traffic::ClassId id,
+                           std::vector<dataplane::SubclassPlan> plans);
+  const std::vector<dataplane::SubclassPlan>& plans_of(
+      traffic::ClassId id) const;
+
+  // --- execution ----------------------------------------------------------
+  // Advances one tick and returns its stats (also appended to history()).
+  TickStats step();
+  // Advances until `horizon` (exclusive of a final partial tick).
+  void run_until(double horizon);
+
+  const std::vector<TickStats>& history() const { return history_; }
+
+  // Offered load at an instance during the last executed tick, in Mbps —
+  // what the per-port packet counters of the vSwitch expose (Sec. VII-B).
+  double instance_offered_mbps(vnf::InstanceId id) const;
+  double instance_capacity_mbps(vnf::InstanceId id) const;
+  std::vector<vnf::InstanceId> instance_ids() const;
+
+ private:
+  struct InstanceState {
+    vnf::VnfInstance instance;
+    double ready_at = 0.0;
+    double offered = 0.0;  // last tick
+  };
+  struct ClassState {
+    double rate_mbps = 0.0;
+    std::vector<dataplane::SubclassPlan> plans;
+  };
+
+  double tick_seconds_;
+  double now_ = 0.0;
+  std::unordered_map<vnf::InstanceId, InstanceState> instances_;
+  std::unordered_map<traffic::ClassId, ClassState> classes_;
+  std::vector<TickStats> history_;
+};
+
+}  // namespace apple::sim

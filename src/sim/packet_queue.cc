@@ -1,0 +1,67 @@
+#include "sim/packet_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apple::sim {
+
+QueueStats simulate_packet_queue(const QueueConfig& config,
+                                 std::span<const RateSegment> timeline) {
+  if (config.service_pps <= 0.0) {
+    throw std::invalid_argument("service rate must be positive");
+  }
+  QueueStats stats;
+  const double service_interval = 1.0 / config.service_pps;
+
+  // With deterministic service, the whole system state collapses into one
+  // number: `virtual_finish`, the instant the system would drain empty.
+  // On an arrival at time t the number of packets in the system is
+  // (virtual_finish - t) / service_interval (each packet contributes
+  // exactly one interval of work).
+  double virtual_finish = 0.0;
+  double segment_start = 0.0;
+  for (const RateSegment& segment : timeline) {
+    if (segment.until_s <= segment_start) {
+      throw std::invalid_argument("timeline must be strictly increasing");
+    }
+    if (segment.rate_pps > 0.0) {
+      const double gap = 1.0 / segment.rate_pps;
+      const auto arrivals = static_cast<std::uint64_t>(
+          std::floor((segment.until_s - segment_start) / gap - 1e-12)) + 1;
+      for (std::uint64_t k = 0; k < arrivals; ++k) {
+        const double t = segment_start + static_cast<double>(k) * gap;
+        ++stats.arrived;
+        const double backlog = std::max(0.0, virtual_finish - t);
+        // Packets currently in the system (in service + queued).
+        const auto in_system = static_cast<std::size_t>(
+            std::ceil(backlog / service_interval - 1e-9));
+        if (in_system > config.buffer_packets) {
+          ++stats.dropped;  // queue full (buffer excludes the in-service slot)
+          continue;
+        }
+        if (in_system > 0) {
+          stats.max_queue = std::max(stats.max_queue, in_system);
+        }
+        virtual_finish = std::max(virtual_finish, t) + service_interval;
+      }
+    }
+    segment_start = segment.until_s;
+  }
+  return stats;
+}
+
+QueueStats simulate_packet_queue_cbr(const QueueConfig& config,
+                                     double rate_pps, double duration_s) {
+  const RateSegment segment{duration_s, rate_pps};
+  return simulate_packet_queue(config, std::span(&segment, 1));
+}
+
+std::size_t zero_loss_buffer_bound(double service_pps, double burst_pps,
+                                   double burst_s) {
+  const double excess = burst_pps - service_pps;
+  if (excess <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(excess * burst_s)) + 1;
+}
+
+}  // namespace apple::sim

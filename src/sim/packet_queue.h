@@ -1,0 +1,58 @@
+// Packet-level queue simulation (D/D/1/K) for a single VNF instance.
+//
+// The fluid model (flow_sim.h) treats any excess over capacity as lost
+// instantly; real instances buffer packets, which is how the prototype
+// measured 0% loss through overload-detection transients (Sec. VIII-E):
+// the burst excess sits in the queue until the second monitor comes up.
+// This module simulates individual packets through a finite queue so that
+// tests can (a) validate the fluid model's steady-state loss and (b)
+// reproduce the transient-absorption behaviour the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace apple::sim {
+
+struct QueueConfig {
+  double service_pps = 8500.0;        // deterministic service rate
+  std::size_t buffer_packets = 512;   // queue capacity (excludes in-service)
+};
+
+struct QueueStats {
+  std::uint64_t arrived = 0;
+  std::uint64_t dropped = 0;
+  std::size_t max_queue = 0;
+
+  double loss_rate() const {
+    return arrived == 0 ? 0.0
+                        : static_cast<double>(dropped) /
+                              static_cast<double>(arrived);
+  }
+};
+
+// One segment of a piecewise-constant arrival process: CBR at `rate_pps`
+// until absolute time `until_s`.
+struct RateSegment {
+  double until_s = 0.0;
+  double rate_pps = 0.0;
+};
+
+// Simulates deterministic (CBR) arrivals through the queue across the
+// timeline; segments must have strictly increasing `until_s`. The queue
+// keeps draining between and after segments.
+QueueStats simulate_packet_queue(const QueueConfig& config,
+                                 std::span<const RateSegment> timeline);
+
+// Convenience: a single constant-rate segment.
+QueueStats simulate_packet_queue_cbr(const QueueConfig& config,
+                                     double rate_pps, double duration_s);
+
+// Smallest buffer (packets) that absorbs a burst of `burst_pps` lasting
+// `burst_s` over a base load of `base_pps` with zero drops — the provisioning
+// rule of thumb behind the prototype's 0%-loss transients.
+std::size_t zero_loss_buffer_bound(double service_pps, double burst_pps,
+                                   double burst_s);
+
+}  // namespace apple::sim

@@ -1,0 +1,51 @@
+#include "sim/tcp_transfer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apple::sim {
+
+double simulate_tcp_transfer(const TcpTransferConfig& config,
+                             const std::function<double(double)>& loss_at) {
+  if (config.tick <= 0.0 || config.rtt <= 0.0) {
+    throw std::invalid_argument("tick and rtt must be positive");
+  }
+  double sent = 0.0;
+  double rate = config.initial_rate_mbps;
+  double last_backoff = -config.rtt;
+  // Additive increase: one bottleneck-tenth per RTT keeps ramp-up on the
+  // order of ten RTTs, matching a coarse slow-start + congestion avoidance.
+  const double increase_per_second = config.bottleneck_mbps / (10.0 * config.rtt);
+  for (double t = 0.0; t < config.max_duration; t += config.tick) {
+    const double loss = std::clamp(loss_at(t), 0.0, 1.0);
+    if (loss > 0.0) {
+      if (t - last_backoff >= config.rtt) {
+        rate = std::max(config.initial_rate_mbps, rate * 0.5);
+        last_backoff = t;
+      }
+    } else {
+      rate = std::min(config.bottleneck_mbps,
+                      rate + increase_per_second * config.tick);
+    }
+    sent += rate * (1.0 - loss) * config.tick;
+    if (sent >= config.file_mbits) return t + config.tick;
+  }
+  return config.max_duration;
+}
+
+double udp_loss_fraction(double duration, double tick,
+                         const std::function<double(double)>& loss_at) {
+  if (tick <= 0.0 || duration <= 0.0) {
+    throw std::invalid_argument("tick and duration must be positive");
+  }
+  double lost = 0.0;
+  double total = 0.0;
+  for (double t = 0.0; t < duration; t += tick) {
+    const double loss = std::clamp(loss_at(t), 0.0, 1.0);
+    lost += loss * tick;
+    total += tick;
+  }
+  return lost / total;
+}
+
+}  // namespace apple::sim

@@ -1,0 +1,35 @@
+// TCP-like file transfer model for the prototype experiment of Fig. 8:
+// transferring a 20 MB file through the monitored path, with and without a
+// failover happening mid-transfer.
+//
+// A simple AIMD fluid model suffices: the rate grows additively once per
+// RTT up to the bottleneck and halves on loss (at most once per RTT); loss
+// comes from an externally supplied timeline (e.g. the zero-capacity window
+// while a ClickOS VM boots).
+#pragma once
+
+#include <functional>
+
+namespace apple::sim {
+
+struct TcpTransferConfig {
+  double file_mbits = 160.0;       // 20 MB
+  double bottleneck_mbps = 94.0;   // the prototype's effective path rate
+  double rtt = 0.02;               // seconds
+  double initial_rate_mbps = 1.0;
+  double tick = 0.001;             // integration step, seconds
+  double max_duration = 600.0;     // give-up horizon
+};
+
+// loss_at(t) in [0,1]: instantaneous drop fraction on the path at time t.
+// Returns the completion time in seconds (relative to transfer start), or
+// max_duration when the file did not finish.
+double simulate_tcp_transfer(const TcpTransferConfig& config,
+                             const std::function<double(double)>& loss_at);
+
+// Constant-rate UDP flow through the same loss timeline: fraction of
+// packets lost over [0, duration).
+double udp_loss_fraction(double duration, double tick,
+                         const std::function<double(double)>& loss_at);
+
+}  // namespace apple::sim

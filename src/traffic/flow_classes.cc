@@ -1,0 +1,88 @@
+#include "traffic/flow_classes.h"
+
+#include <stdexcept>
+
+namespace apple::traffic {
+
+namespace {
+
+// SplitMix64: small, deterministic, well-mixed integer hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChainAssignment uniform_chain_assignment(std::size_t num_chains,
+                                         std::uint64_t seed,
+                                         double policied_fraction) {
+  if (num_chains == 0) {
+    throw std::invalid_argument("need at least one chain template");
+  }
+  if (policied_fraction < 0.0 || policied_fraction > 1.0) {
+    throw std::invalid_argument("policied_fraction out of [0,1]");
+  }
+  return [num_chains, seed,
+          policied_fraction](net::NodeId src, net::NodeId dst) {
+    const std::uint64_t h =
+        mix64((static_cast<std::uint64_t>(src) << 32) | dst ^ seed);
+    // Upper bits decide whether the pair is policied at all; lower bits
+    // pick the chain, so the two decisions stay independent.
+    const double coin =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (coin >= policied_fraction) return std::vector<std::pair<ChainId, double>>{};
+    const ChainId chain = static_cast<ChainId>(mix64(h) % num_chains);
+    return std::vector<std::pair<ChainId, double>>{{chain, 1.0}};
+  };
+}
+
+std::vector<TrafficClass> build_classes(const net::Topology& topo,
+                                        const net::AllPairsPaths& routing,
+                                        const TrafficMatrix& tm,
+                                        const ChainAssignment& chains_for,
+                                        double min_rate_mbps) {
+  if (tm.size() != topo.num_nodes()) {
+    throw std::invalid_argument("traffic matrix size != topology size");
+  }
+  std::vector<TrafficClass> classes;
+  ClassId next_id = 0;
+  for (net::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (net::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      const double demand = tm.at(s, d);
+      if (demand < min_rate_mbps) continue;
+      const auto mix = chains_for(s, d);
+      for (const auto& [chain, share] : mix) {
+        const double rate = demand * share;
+        if (rate < min_rate_mbps) continue;
+        auto path = routing.path(s, d);
+        if (!path) continue;  // unreachable OD pair carries no traffic
+        classes.push_back(TrafficClass{next_id++, s, d, std::move(*path),
+                                       chain, rate});
+      }
+    }
+  }
+  return classes;
+}
+
+void update_rates(std::span<TrafficClass> classes, const TrafficMatrix& tm,
+                  const ChainAssignment& chains_for) {
+  for (TrafficClass& c : classes) {
+    double share = 0.0;
+    for (const auto& [chain, s] : chains_for(c.src, c.dst)) {
+      if (chain == c.chain_id) share += s;
+    }
+    c.rate_mbps = tm.at(c.src, c.dst) * share;
+  }
+}
+
+double total_rate(std::span<const TrafficClass> classes) {
+  double sum = 0.0;
+  for (const TrafficClass& c : classes) sum += c.rate_mbps;
+  return sum;
+}
+
+}  // namespace apple::traffic

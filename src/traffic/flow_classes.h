@@ -1,0 +1,69 @@
+// Equivalence classes of traffic (paper Sec. IV-A).
+//
+// The Optimization Engine never reasons about individual flows: flows with
+// the same forwarding path and the same policy chain are aggregated into an
+// equivalence class h ∈ H. At traffic-matrix granularity a class is one
+// (source, destination, chain) triple routed on the fixed shortest path;
+// packet-level classification into these classes is done by the atomic
+// predicate machinery in src/hsa.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "traffic/traffic_matrix.h"
+
+namespace apple::traffic {
+
+using ClassId = std::uint32_t;
+using ChainId = std::uint32_t;
+
+// One equivalence class h: all flows sharing `path` and `chain_id`.
+struct TrafficClass {
+  ClassId id = 0;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  net::Path path;        // P_h = <p_h^i>, ingress first
+  ChainId chain_id = 0;  // index into the policy-chain catalog
+  double rate_mbps = 0;  // T_h
+};
+
+// Returns the (chain, traffic share) mix for an OD pair; shares must sum to
+// at most 1 (the remainder is unpolicied traffic APPLE ignores).
+using ChainAssignment =
+    std::function<std::vector<std::pair<ChainId, double>>(net::NodeId src,
+                                                          net::NodeId dst)>;
+
+// Deterministic default assignment: a `policied_fraction` of OD pairs gets
+// exactly one chain, chosen by hashing (src, dst) over `num_chains`
+// templates; the rest carry no NF policy. Real networks police specific
+// traffic subsets (paper Sec. IX-A synthesizes policies from middlebox
+// case studies), so evaluation scenarios typically use a fraction < 1.
+ChainAssignment uniform_chain_assignment(std::size_t num_chains,
+                                         std::uint64_t seed = 0,
+                                         double policied_fraction = 1.0);
+
+// Builds equivalence classes from a traffic matrix. OD pairs whose demand is
+// below `min_rate_mbps` are dropped (they would round to zero instances
+// anyway and only inflate the ILP).
+std::vector<TrafficClass> build_classes(const net::Topology& topo,
+                                        const net::AllPairsPaths& routing,
+                                        const TrafficMatrix& tm,
+                                        const ChainAssignment& chains_for,
+                                        double min_rate_mbps = 1e-6);
+
+// Re-rates an existing class set against a different snapshot, preserving
+// ids, paths and chains (used when replaying time-varying matrices over a
+// placement computed from the mean matrix).
+void update_rates(std::span<TrafficClass> classes, const TrafficMatrix& tm,
+                  const ChainAssignment& chains_for);
+
+// Total policied demand over all classes.
+double total_rate(std::span<const TrafficClass> classes);
+
+}  // namespace apple::traffic

@@ -1,0 +1,91 @@
+#include "traffic/matrix_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apple::traffic {
+
+void save_matrix_csv(const TrafficMatrix& tm, std::ostream& out) {
+  out << "# traffic-matrix n=" << tm.size() << "\n";
+  // Full round-trip precision: rates must survive save/load bit-exactly
+  // enough for reproducible replays.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t s = 0; s < tm.size(); ++s) {
+    for (std::size_t d = 0; d < tm.size(); ++d) {
+      if (d > 0) out << ",";
+      out << tm.at(s, d);
+    }
+    out << "\n";
+  }
+}
+
+namespace {
+
+// Parses the header line "# traffic-matrix n=<N>"; returns 0 at EOF.
+std::size_t read_header(std::istream& in) {
+  std::string line;
+  // Skip blank lines between matrices.
+  while (std::getline(in, line)) {
+    if (!line.empty()) break;
+  }
+  if (line.empty() && in.eof()) return 0;
+  const std::string prefix = "# traffic-matrix n=";
+  if (line.rfind(prefix, 0) != 0) {
+    throw std::runtime_error("traffic CSV: missing header, got '" + line +
+                             "'");
+  }
+  const std::size_t n = std::stoul(line.substr(prefix.size()));
+  if (n == 0) throw std::runtime_error("traffic CSV: n must be positive");
+  return n;
+}
+
+TrafficMatrix read_body(std::istream& in, std::size_t n) {
+  TrafficMatrix tm(n);
+  std::string line;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("traffic CSV: truncated matrix");
+    }
+    std::istringstream row(line);
+    std::string cell;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("traffic CSV: short row " +
+                                 std::to_string(s));
+      }
+      tm.set(s, d, std::stod(cell));
+    }
+  }
+  return tm;
+}
+
+}  // namespace
+
+TrafficMatrix load_matrix_csv(std::istream& in) {
+  const std::size_t n = read_header(in);
+  if (n == 0) throw std::runtime_error("traffic CSV: empty input");
+  return read_body(in, n);
+}
+
+void save_series_csv(std::span<const TrafficMatrix> series,
+                     std::ostream& out) {
+  for (const TrafficMatrix& tm : series) save_matrix_csv(tm, out);
+}
+
+std::vector<TrafficMatrix> load_series_csv(std::istream& in) {
+  std::vector<TrafficMatrix> series;
+  while (true) {
+    const std::size_t n = read_header(in);
+    if (n == 0) break;
+    series.push_back(read_body(in, n));
+    if (in.eof()) break;
+  }
+  return series;
+}
+
+}  // namespace apple::traffic

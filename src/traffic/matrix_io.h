@@ -1,0 +1,25 @@
+// CSV import/export for traffic matrices and snapshot series — the hook for
+// feeding real data sets (Abilene TM archive, TOTEM) into the pipeline in
+// place of the synthetic generators.
+//
+// Format: one header line `# traffic-matrix n=<N>` followed by N rows of N
+// comma-separated Mbps values. A series file concatenates matrices, each
+// with its own header line.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "traffic/traffic_matrix.h"
+
+namespace apple::traffic {
+
+void save_matrix_csv(const TrafficMatrix& tm, std::ostream& out);
+
+// Throws std::runtime_error on malformed input.
+TrafficMatrix load_matrix_csv(std::istream& in);
+
+void save_series_csv(std::span<const TrafficMatrix> series, std::ostream& out);
+std::vector<TrafficMatrix> load_series_csv(std::istream& in);
+
+}  // namespace apple::traffic

@@ -1,0 +1,36 @@
+// Small statistics helpers used by the evaluation harness: summary stats,
+// quantiles, boxplot tuples (Fig. 10), empirical CDFs (Fig. 8), and the
+// mean-variance smoothing check behind the aggregation argument (Sec. IV-A).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace apple::traffic {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+// Five-number summary for boxplots.
+struct BoxplotStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxplotStats boxplot(std::span<const double> xs);
+
+// Empirical CDF: sorted (value, cumulative probability) points.
+struct CdfPoint {
+  double value = 0;
+  double probability = 0;
+};
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+// Coefficient of variation stddev/mean (0 when mean is 0). The paper's
+// aggregation argument: the CoV of a sum of flows is smaller than the CoV of
+// its parts (mean-variance relationship, Sec. IV-A).
+double coefficient_of_variation(std::span<const double> xs);
+
+}  // namespace apple::traffic

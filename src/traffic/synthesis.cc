@@ -1,0 +1,106 @@
+#include "traffic/synthesis.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace apple::traffic {
+
+TrafficMatrix make_gravity_matrix(std::size_t n,
+                                  const GravityModelConfig& cfg) {
+  if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+  std::mt19937_64 rng(cfg.seed);
+  std::lognormal_distribution<double> mass_dist(0.0, cfg.mass_sigma);
+  std::vector<double> mass(n);
+  for (double& m : mass) m = mass_dist(rng);
+
+  TrafficMatrix tm(n);
+  double raw_total = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const double v = mass[s] * mass[d];
+      tm.set(s, d, v);
+      raw_total += v;
+    }
+  }
+  tm.scale(cfg.total_mbps / raw_total);
+  return tm;
+}
+
+std::vector<TrafficMatrix> make_diurnal_series(const TrafficMatrix& base,
+                                               const DiurnalConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  // Lognormal noise with mean 1: shift mu so E[e^X] = 1.
+  const double mu = -0.5 * cfg.noise_sigma * cfg.noise_sigma;
+  std::lognormal_distribution<double> noise(mu, cfg.noise_sigma);
+
+  std::vector<TrafficMatrix> series;
+  series.reserve(cfg.num_snapshots);
+  const std::size_t n = base.size();
+  for (std::size_t t = 0; t < cfg.num_snapshots; ++t) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(t % cfg.snapshots_per_day) /
+                         static_cast<double>(cfg.snapshots_per_day);
+    // Trough at t=0 (midnight), peak mid-day.
+    const double diurnal = 1.0 - cfg.diurnal_amplitude * std::cos(phase);
+    TrafficMatrix snap(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        if (s == d) continue;
+        snap.set(s, d, base.at(s, d) * diurnal * noise(rng));
+      }
+    }
+    series.push_back(std::move(snap));
+  }
+  return series;
+}
+
+void inject_bursts(std::vector<TrafficMatrix>& series,
+                   const BurstConfig& cfg) {
+  if (series.empty()) return;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const std::size_t n = series.front().size();
+  std::uniform_int_distribution<std::size_t> node(0, n - 1);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (coin(rng) >= cfg.probability) continue;
+    std::size_t s = node(rng);
+    std::size_t d = node(rng);
+    if (s == d) d = (d + 1) % n;
+    for (std::size_t k = 0; k < cfg.duration && t + k < series.size(); ++k) {
+      series[t + k].set(s, d, series[t + k].at(s, d) * cfg.magnitude);
+    }
+  }
+}
+
+std::vector<TrafficMatrix> make_trace_replay_series(
+    std::size_t n, const TraceReplayConfig& cfg) {
+  if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<std::size_t> node(0, n - 1);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  // Pareto with scale chosen so the mean equals mean_flow_mbps
+  // (mean = scale * alpha / (alpha - 1) for alpha > 1).
+  const double scale =
+      cfg.mean_flow_mbps * (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
+
+  std::vector<TrafficMatrix> series;
+  series.reserve(cfg.num_snapshots);
+  for (std::size_t t = 0; t < cfg.num_snapshots; ++t) {
+    TrafficMatrix snap(n);
+    for (std::size_t f = 0; f < cfg.flows_per_snapshot; ++f) {
+      std::size_t s = node(rng);
+      std::size_t d = node(rng);
+      if (s == d) d = (d + 1) % n;
+      const double rate =
+          scale / std::pow(1.0 - u(rng), 1.0 / cfg.pareto_alpha);
+      snap.add(s, d, rate);
+    }
+    series.push_back(std::move(snap));
+  }
+  return series;
+}
+
+}  // namespace apple::traffic

@@ -1,0 +1,69 @@
+// Synthetic traffic-matrix generation, substituting for the data sets the
+// paper replays (Abilene TM archive, TOTEM/GEANT, UNIV1 packet trace,
+// FNSS-synthesized matrices for AS-3679). See the substitution table in
+// DESIGN.md.
+//
+// * Gravity model: node masses are lognormal, demand(s,d) ∝ mass(s)·mass(d),
+//   scaled to a target network-wide total — the standard model behind both
+//   real ISP matrices and FNSS synthesis.
+// * Diurnal series: snapshots follow a sinusoidal day/night cycle plus
+//   lognormal per-snapshot noise, reproducing the "clear daily or weekly
+//   patterns" of large-time-scale dynamics (Sec. VI) and the mean-variance
+//   relationship the aggregation argument relies on (Sec. IV-A).
+// * Burst injection: short multiplicative spikes on random OD pairs,
+//   modelling the small-time-scale dynamics fast failover must absorb.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/traffic_matrix.h"
+
+namespace apple::traffic {
+
+struct GravityModelConfig {
+  double total_mbps = 20000.0;  // network-wide offered load of the base TM
+  double mass_sigma = 0.8;      // lognormal sigma of node masses
+  std::uint64_t seed = 1;
+};
+
+// Base (time-invariant) matrix from the gravity model.
+TrafficMatrix make_gravity_matrix(std::size_t n, const GravityModelConfig& cfg);
+
+struct DiurnalConfig {
+  std::size_t num_snapshots = 672;    // one week at 15-minute granularity
+  std::size_t snapshots_per_day = 96;
+  double diurnal_amplitude = 0.5;     // peak is (1+a)x base, trough (1-a)x
+  double noise_sigma = 0.15;          // lognormal per-entry noise
+  std::uint64_t seed = 2;
+};
+
+// Time-varying snapshots derived from a base matrix.
+std::vector<TrafficMatrix> make_diurnal_series(const TrafficMatrix& base,
+                                               const DiurnalConfig& cfg);
+
+struct BurstConfig {
+  double probability = 0.05;   // per-snapshot chance that a burst starts
+  double magnitude = 6.0;      // burst multiplies the OD entry by this
+  std::size_t duration = 3;    // snapshots a burst lasts
+  std::uint64_t seed = 3;
+};
+
+// Applies multiplicative bursts in place to a snapshot series.
+void inject_bursts(std::vector<TrafficMatrix>& series, const BurstConfig& cfg);
+
+struct TraceReplayConfig {
+  std::size_t num_snapshots = 672;
+  double mean_flow_mbps = 80.0;
+  std::size_t flows_per_snapshot = 120;
+  double pareto_alpha = 1.5;  // heavy-tailed flow sizes, as in DC traces
+  std::uint64_t seed = 4;
+};
+
+// UNIV1-style synthesis: the paper lacks traffic matrices for UNIV1 and
+// "replays the corresponding trace between random source-destination pairs";
+// we draw heavy-tailed flows between uniform random OD pairs per snapshot.
+std::vector<TrafficMatrix> make_trace_replay_series(
+    std::size_t n, const TraceReplayConfig& cfg);
+
+}  // namespace apple::traffic

@@ -1,0 +1,55 @@
+#include "traffic/traffic_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apple::traffic {
+
+std::size_t TrafficMatrix::index(std::size_t src, std::size_t dst) const {
+  if (src >= n_ || dst >= n_) {
+    throw std::out_of_range("traffic matrix index out of range");
+  }
+  return src * n_ + dst;
+}
+
+double TrafficMatrix::total() const {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (std::size_t d = 0; d < n_; ++d) {
+      if (s != d) sum += demand_[s * n_ + d];
+    }
+  }
+  return sum;
+}
+
+void TrafficMatrix::scale(double factor) {
+  for (double& v : demand_) v *= factor;
+}
+
+double TrafficMatrix::max_entry() const {
+  double best = 0.0;
+  for (double v : demand_) best = std::max(best, v);
+  return best;
+}
+
+TrafficMatrix mean_matrix(std::span<const TrafficMatrix> snapshots) {
+  if (snapshots.empty()) {
+    throw std::invalid_argument("mean_matrix needs at least one snapshot");
+  }
+  const std::size_t n = snapshots.front().size();
+  TrafficMatrix mean(n);
+  for (const TrafficMatrix& tm : snapshots) {
+    if (tm.size() != n) {
+      throw std::invalid_argument("snapshot size mismatch");
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        mean.add(s, d, tm.at(s, d));
+      }
+    }
+  }
+  mean.scale(1.0 / static_cast<double>(snapshots.size()));
+  return mean;
+}
+
+}  // namespace apple::traffic

@@ -1,0 +1,54 @@
+// Traffic matrices: per-(source, destination) demand in Mbps.
+//
+// The paper's evaluation replays 672 snapshots of time-varying traffic
+// matrices per topology (one week at 15-minute granularity for Internet2 and
+// GEANT) and feeds the *mean* matrix to the Optimization Engine (Sec. IX-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace apple::traffic {
+
+// Dense N x N demand matrix; entry (s, d) is the offered rate from node s to
+// node d in Mbps. The diagonal is ignored by consumers (no self traffic).
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(std::size_t n) : n_(n), demand_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+
+  double at(std::size_t src, std::size_t dst) const {
+    return demand_[index(src, dst)];
+  }
+  void set(std::size_t src, std::size_t dst, double mbps) {
+    demand_[index(src, dst)] = mbps;
+  }
+  void add(std::size_t src, std::size_t dst, double mbps) {
+    demand_[index(src, dst)] += mbps;
+  }
+
+  // Sum of all off-diagonal entries.
+  double total() const;
+
+  // Multiplies every entry by `factor`.
+  void scale(double factor);
+
+  // Largest single demand entry.
+  double max_entry() const;
+
+  std::span<const double> raw() const { return demand_; }
+
+ private:
+  std::size_t index(std::size_t src, std::size_t dst) const;
+
+  std::size_t n_ = 0;
+  std::vector<double> demand_;
+};
+
+// Element-wise mean of a set of equally-sized snapshots.
+TrafficMatrix mean_matrix(std::span<const TrafficMatrix> snapshots);
+
+}  // namespace apple::traffic

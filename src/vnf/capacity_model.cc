@@ -1,0 +1,51 @@
+#include "vnf/capacity_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apple::vnf {
+
+double loss_fraction(double offered, double capacity) {
+  if (offered <= 0.0) return 0.0;
+  if (capacity <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - capacity / offered);
+}
+
+double pps_to_mbps(double pps, std::size_t packet_bytes) {
+  return pps * static_cast<double>(packet_bytes) * 8.0 / 1e6;
+}
+
+double mbps_to_pps(double mbps, std::size_t packet_bytes) {
+  if (packet_bytes == 0) throw std::invalid_argument("zero packet size");
+  return mbps * 1e6 / (static_cast<double>(packet_bytes) * 8.0);
+}
+
+std::vector<LossCurvePoint> monitor_loss_curve(double capacity_pps,
+                                               double max_pps,
+                                               std::size_t points) {
+  if (points < 2) throw std::invalid_argument("need at least 2 points");
+  std::vector<LossCurvePoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double rate =
+        max_pps * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back(LossCurvePoint{rate, loss_fraction(rate, capacity_pps)});
+  }
+  return curve;
+}
+
+double measure_capacity_pps(double true_capacity_pps, double step_pps,
+                            double loss_threshold) {
+  if (step_pps <= 0.0) throw std::invalid_argument("step must be positive");
+  double last_good = 0.0;
+  for (double rate = step_pps; rate <= true_capacity_pps * 4.0;
+       rate += step_pps) {
+    if (loss_fraction(rate, true_capacity_pps) > loss_threshold) {
+      return last_good;
+    }
+    last_good = rate;
+  }
+  return last_good;
+}
+
+}  // namespace apple::vnf

@@ -1,0 +1,48 @@
+// VNF capacity and packet-loss model.
+//
+// Paper Sec. VII-B / Fig. 6: for most VNFs performance tracks the packet
+// *receiving rate*, not packet size — below capacity the loss rate is ~0,
+// beyond it the loss rate "soars rapidly". A fluid model captures exactly
+// that shape: loss = max(0, 1 - capacity/offered). Sec. IV-C measures
+// capacity offline by ramping the rate until loss exceeds a threshold; that
+// measurement procedure is reproduced by measure_capacity_pps().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace apple::vnf {
+
+// Fraction of offered load dropped by an instance with the given capacity.
+// Units cancel: use pps or Mbps consistently. Zero/negative offered load
+// loses nothing.
+double loss_fraction(double offered, double capacity);
+
+// Converts between packets/s and Mbps for a fixed packet size.
+double pps_to_mbps(double pps, std::size_t packet_bytes);
+double mbps_to_pps(double mbps, std::size_t packet_bytes);
+
+// The ClickOS passive monitor of the prototype (Sec. VIII-E): overload is
+// declared above 8.5 Kpps of 1500-byte packets; the system rolls back to
+// normal below 4 Kpps.
+inline constexpr double kMonitorCapacityPps = 8500.0;
+inline constexpr double kMonitorRollbackPps = 4000.0;
+inline constexpr std::size_t kMonitorPacketBytes = 1500;
+
+struct LossCurvePoint {
+  double offered_pps = 0.0;
+  double loss_rate = 0.0;
+};
+
+// Sweeps offered rate in [0, max_pps] and reports the loss curve (Fig. 6).
+std::vector<LossCurvePoint> monitor_loss_curve(double capacity_pps,
+                                               double max_pps,
+                                               std::size_t points);
+
+// Offline one-shot capacity measurement (Sec. IV-C): ramps the offered rate
+// in `step_pps` increments until the observed loss rate exceeds
+// `loss_threshold`, and returns the last rate that stayed below it.
+double measure_capacity_pps(double true_capacity_pps, double step_pps,
+                            double loss_threshold);
+
+}  // namespace apple::vnf

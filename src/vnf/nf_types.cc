@@ -1,0 +1,62 @@
+#include "vnf/nf_types.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace apple::vnf {
+
+std::string_view to_string(NfType t) {
+  switch (t) {
+    case NfType::kFirewall:
+      return "FW";
+    case NfType::kProxy:
+      return "Proxy";
+    case NfType::kNat:
+      return "NAT";
+    case NfType::kIds:
+      return "IDS";
+  }
+  return "?";
+}
+
+std::span<const NfSpec> nf_catalog() {
+  // Table IV: core requirement, capacity, ClickOS suitability.
+  static const std::array<NfSpec, kNumNfTypes> kCatalog{{
+      {NfType::kFirewall, 4.0, 900.0, true},
+      {NfType::kProxy, 4.0, 900.0, false},
+      {NfType::kNat, 2.0, 900.0, true},
+      {NfType::kIds, 8.0, 600.0, false},
+  }};
+  return kCatalog;
+}
+
+const NfSpec& spec_of(NfType t) {
+  const auto idx = static_cast<std::size_t>(t);
+  if (idx >= kNumNfTypes) throw std::out_of_range("unknown NF type");
+  return nf_catalog()[idx];
+}
+
+std::span<const PolicyChain> default_policy_chains() {
+  using enum NfType;
+  static const std::vector<PolicyChain> kChains{
+      {kFirewall, kIds},                  // security chain
+      {kFirewall, kProxy},                // web access
+      {kNat, kFirewall},                  // egress NAT
+      {kFirewall, kIds, kProxy},          // paper intro: http policy
+      {kNat, kFirewall, kIds},            // guarded egress
+      {kFirewall, kNat, kIds, kProxy},    // full data-center chain
+  };
+  return kChains;
+}
+
+std::string chain_to_string(const PolicyChain& chain) {
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out += "->";
+    out += std::string(to_string(chain[i]));
+  }
+  return out;
+}
+
+}  // namespace apple::vnf

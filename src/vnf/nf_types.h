@@ -1,0 +1,69 @@
+// Network function catalog: the VNF data sheets of paper Table IV and the
+// policy-chain templates of Sec. IX-A.
+//
+// The evaluation uses four NF types (firewall, proxy, NAT, IDS) whose core
+// requirements and capacities come from the VNF-OP survey [Bari et al.,
+// CNSM'15]. Firewall and NAT run as light-weight ClickOS VMs (bootable in
+// tens of milliseconds); proxy and IDS need full VMs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace apple::vnf {
+
+enum class NfType : std::uint8_t { kFirewall = 0, kProxy, kNat, kIds };
+
+inline constexpr std::size_t kNumNfTypes = 4;
+
+std::string_view to_string(NfType t);
+
+// The offline capacity measurement (Sec. IV-C) declares an instance
+// overloaded where loss *starts to soar*, which sits safely below the hard
+// knee where the instance actually drops at line rate. Cap_n (the figure
+// the Optimization Engine packs against, and the threshold the overload
+// detector fires at) is therefore a conservative fraction of the true
+// knee — the margin that lets fast failover react before packets drop.
+inline constexpr double kMeasuredCapacityMargin = 0.9;
+
+// One row of Table IV.
+struct NfSpec {
+  NfType type = NfType::kFirewall;
+  double cores_required = 0.0;     // R_n, in CPU cores
+  double capacity_mbps = 0.0;      // Cap_n per instance (measured)
+  bool clickos = false;            // light-weight ClickOS VM?
+
+  // True loss knee implied by the conservative measurement.
+  double loss_knee_mbps() const {
+    return capacity_mbps / kMeasuredCapacityMargin;
+  }
+};
+
+// The full Table IV, indexed by NfType.
+std::span<const NfSpec> nf_catalog();
+const NfSpec& spec_of(NfType t);
+
+// A policy chain C_h: the ordered NF sequence a class must traverse.
+using PolicyChain = std::vector<NfType>;
+
+// Policy-chain templates synthesized from the middlebox study [37] and the
+// IETF SFC data-center use cases [12], over the four NF types of Table IV.
+// Index = ChainId used by traffic::TrafficClass.
+std::span<const PolicyChain> default_policy_chains();
+
+// Human-readable "FW->IDS->Proxy" form.
+std::string chain_to_string(const PolicyChain& chain);
+
+// A placed VNF instance (one VM).
+using InstanceId = std::uint32_t;
+
+struct VnfInstance {
+  InstanceId id = 0;
+  NfType type = NfType::kFirewall;
+  std::uint32_t host_switch = 0;  // switch the APPLE host is attached to
+  double capacity_mbps = 0.0;
+};
+
+}  // namespace apple::vnf

@@ -1,0 +1,109 @@
+// Tests for the instance-consolidation local search and the capacity
+// margin — the two refinements layered on the basic water-filling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/optimization_engine.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "traffic/synthesis.h"
+
+namespace apple::core {
+namespace {
+
+using vnf::NfType;
+
+PlacementInput make_input(const net::Topology& topo,
+                          const std::vector<traffic::TrafficClass>& classes,
+                          const std::vector<vnf::PolicyChain>& chains) {
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+  return input;
+}
+
+TEST(Consolidation, MergesFragmentedGroups) {
+  // Two classes crossing at a hub, plus each has a private leg. A naive
+  // fill can strand partial instances on the private legs; consolidation
+  // should pool at the hub. The merged plan must still satisfy all
+  // constraints and never exceed the naive one.
+  const net::Topology topo = net::make_star(4, 64.0);
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall}};
+  std::vector<traffic::TrafficClass> classes(3);
+  classes[0] = {0, 1, 2, {1, 0, 2}, 0, 300.0};
+  classes[1] = {1, 3, 4, {3, 0, 4}, 0, 300.0};
+  classes[2] = {2, 2, 3, {2, 0, 3}, 0, 200.0};
+  const PlacementInput input = make_input(topo, classes, chains);
+  EngineOptions options;
+  options.strategy = PlacementStrategy::kGreedy;
+  const PlacementPlan plan = OptimizationEngine(options).place(input);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(check_plan(input, plan), "");
+  // 800 Mbps pooled: one hub firewall suffices.
+  EXPECT_EQ(plan.total_instances(), 1u);
+  EXPECT_EQ(plan.instances_of(0, NfType::kFirewall), 1u);
+}
+
+TEST(Consolidation, NeverBreaksConstraints) {
+  // Randomized soak: consolidated plans must always pass check_plan.
+  for (int seed = 1; seed <= 10; ++seed) {
+    const net::Topology topo = net::make_grid(3, 3, 64.0);
+    const net::AllPairsPaths routing(topo);
+    const auto chain_span = vnf::default_policy_chains();
+    std::vector<vnf::PolicyChain> chains(chain_span.begin(),
+                                         chain_span.end());
+    const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+        topo.num_nodes(),
+        {.total_mbps = 4000.0, .seed = static_cast<std::uint64_t>(seed)});
+    const auto classes = traffic::build_classes(
+        topo, routing, tm, traffic::uniform_chain_assignment(chains.size()));
+    const PlacementInput input = make_input(topo, classes, chains);
+    EngineOptions options;
+    options.strategy = PlacementStrategy::kGreedy;
+    const PlacementPlan plan = OptimizationEngine(options).place(input);
+    ASSERT_TRUE(plan.feasible) << "seed " << seed;
+    EXPECT_EQ(check_plan(input, plan), "") << "seed " << seed;
+  }
+}
+
+TEST(Consolidation, GreedyWithinFactorOfLpBound) {
+  // On a mid-size instance the consolidated greedy should sit within a
+  // modest factor of the LP lower bound (integrality gap included).
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  const auto chain_span = vnf::default_policy_chains();
+  std::vector<vnf::PolicyChain> chains(chain_span.begin(), chain_span.end());
+  const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+      topo.num_nodes(), {.total_mbps = 5000.0, .seed = 77});
+  const auto classes = traffic::build_classes(
+      topo, routing, tm, traffic::uniform_chain_assignment(chains.size()));
+  const PlacementInput input = make_input(topo, classes, chains);
+
+  EngineOptions greedy;
+  greedy.strategy = PlacementStrategy::kGreedy;
+  const PlacementPlan plan = OptimizationEngine(greedy).place(input);
+  ASSERT_TRUE(plan.feasible);
+
+  EngineOptions lp;
+  lp.strategy = PlacementStrategy::kLpRound;
+  const PlacementPlan rounded = OptimizationEngine(lp).place(input);
+  ASSERT_TRUE(rounded.feasible);
+  ASSERT_GT(rounded.lower_bound, 0.0);
+  // The LP bound is loose on covering instances; 5x + 8 is a sanity rail
+  // that catches gross regressions of the fill/consolidation stack.
+  EXPECT_LE(static_cast<double>(plan.total_instances()),
+            5.0 * rounded.lower_bound + 8.0);
+}
+
+TEST(CapacityMargin, LossKneeSitsAboveMeasuredCapacity) {
+  for (const vnf::NfSpec& spec : vnf::nf_catalog()) {
+    EXPECT_GT(spec.loss_knee_mbps(), spec.capacity_mbps);
+    EXPECT_NEAR(spec.loss_knee_mbps() * vnf::kMeasuredCapacityMargin,
+                spec.capacity_mbps, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace apple::core

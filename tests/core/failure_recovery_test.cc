@@ -1,0 +1,103 @@
+// Failure-injection tests: an APPLE host dies (the switch keeps
+// forwarding) and the controller recomputes a placement that avoids it
+// while preserving all three properties.
+#include <gtest/gtest.h>
+
+#include "core/apple_controller.h"
+#include "core/rule_generator.h"
+#include "net/topologies.h"
+
+namespace apple::core {
+namespace {
+
+ControllerConfig config() {
+  ControllerConfig cfg;
+  cfg.engine.strategy = PlacementStrategy::kGreedy;
+  cfg.policied_fraction = 0.5;
+  return cfg;
+}
+
+TEST(FailureRecovery, RepairedEpochAvoidsFailedHost) {
+  const net::Topology topo = net::make_internet2();
+  const AppleController controller(topo, vnf::default_policy_chains(),
+                                   config());
+  const traffic::TrafficMatrix tm =
+      traffic::make_gravity_matrix(topo.num_nodes(), {.total_mbps = 5000.0});
+  const Epoch before = controller.optimize(tm);
+
+  // Fail the busiest host of the original placement.
+  net::NodeId victim = 0;
+  double most_cores = -1.0;
+  for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    double cores = 0.0;
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      cores += before.plan.instance_count[v][n] *
+               vnf::spec_of(static_cast<vnf::NfType>(n)).cores_required;
+    }
+    if (cores > most_cores) {
+      most_cores = cores;
+      victim = v;
+    }
+  }
+  ASSERT_GT(most_cores, 0.0);
+
+  const Epoch repaired = controller.optimize_excluding_host(tm, victim);
+  for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+    EXPECT_EQ(repaired.plan.instance_count[victim][n], 0u)
+        << "instances still on the failed host";
+  }
+  // Classes and their paths are unchanged: interference freedom holds
+  // through the failure (only the server died, not the switch).
+  ASSERT_EQ(repaired.classes.size(), before.classes.size());
+  for (std::size_t h = 0; h < before.classes.size(); ++h) {
+    EXPECT_EQ(repaired.classes[h].path, before.classes[h].path);
+  }
+}
+
+TEST(FailureRecovery, RepairedEpochStillEnforcesEveryChain) {
+  const net::Topology topo = net::make_internet2();
+  const AppleController controller(topo, vnf::default_policy_chains(),
+                                   config());
+  const traffic::TrafficMatrix tm =
+      traffic::make_gravity_matrix(topo.num_nodes(), {.total_mbps = 5000.0});
+  const net::NodeId victim = topo.find_node("IPLS");  // a hub
+  const Epoch repaired = controller.optimize_excluding_host(tm, victim);
+
+  net::Topology degraded = topo;
+  degraded.node(victim).host_cores = 0.0;
+  PlacementInput input;
+  input.topology = &degraded;
+  input.classes = repaired.classes;
+  input.chains = controller.chains();
+  EXPECT_EQ(check_plan(input, repaired.plan), "");
+
+  dataplane::DataPlane dp(degraded);
+  RuleGenerator().install(input, repaired.subclasses, repaired.inventory, dp);
+  for (const traffic::TrafficClass& cls : repaired.classes) {
+    hsa::PacketHeader h;
+    h.src_ip = 0x0a000000u + cls.id;
+    h.proto = 6;
+    const auto walk = dp.walk(cls.id, h);
+    ASSERT_TRUE(walk.delivered) << walk.error;
+    EXPECT_EQ(dp.traversed_types(walk.packet),
+              controller.chains()[cls.chain_id]);
+    EXPECT_EQ(walk.packet.switch_trace, cls.path);
+  }
+}
+
+TEST(FailureRecovery, ImpossibleRecoveryThrows) {
+  // A 2-node line where one host dies and the other cannot absorb the load.
+  const net::Topology topo = net::make_line(2, 8.0);
+  ControllerConfig cfg = config();
+  cfg.policied_fraction = 1.0;
+  const AppleController controller(topo, vnf::default_policy_chains(), cfg);
+  traffic::TrafficMatrix tm(2);
+  tm.set(0, 1, 3000.0);  // needs far more than 8 cores of instances
+  EXPECT_THROW(controller.optimize_excluding_host(tm, 0),
+               std::runtime_error);
+  EXPECT_THROW(controller.optimize_excluding_host(tm, 9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apple::core

@@ -1,0 +1,231 @@
+#include "core/online_placer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/optimization_engine.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "traffic/synthesis.h"
+
+namespace apple::core {
+namespace {
+
+using vnf::NfType;
+
+struct Seeded {
+  net::Topology topo = net::make_line(4, 64.0);
+  std::vector<vnf::PolicyChain> chains{
+      {NfType::kFirewall, NfType::kIds},
+      {NfType::kNat},
+  };
+  std::vector<traffic::TrafficClass> classes;
+  PlacementInput input;
+  PlacementPlan plan;
+
+  Seeded() {
+    classes.push_back({0, 0, 3, {0, 1, 2, 3}, 0, 400.0});
+    input.topology = &topo;
+    input.classes = classes;
+    input.chains = chains;
+    EngineOptions options;
+    options.strategy = PlacementStrategy::kGreedy;
+    plan = OptimizationEngine(options).place(input);
+    EXPECT_TRUE(plan.feasible);
+  }
+};
+
+TEST(OnlinePlacer, SeedsFromPlan) {
+  Seeded s;
+  const OnlinePlacer placer(s.input, s.plan);
+  EXPECT_EQ(placer.total_instances(), s.plan.total_instances());
+}
+
+TEST(OnlinePlacer, RejectsInfeasibleSeed) {
+  Seeded s;
+  PlacementPlan bad = s.plan;
+  bad.feasible = false;
+  EXPECT_THROW(OnlinePlacer(s.input, bad), std::invalid_argument);
+}
+
+TEST(OnlinePlacer, ReusesResidualCapacityForSmallArrival) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  // Seed uses 400 of 900 FW and 400 of 600 IDS: a 100 Mbps arrival on the
+  // same path fits without opening anything.
+  traffic::TrafficClass arrival{1, 0, 3, {0, 1, 2, 3}, 0, 100.0};
+  const OnlineArrival result = placer.add_class(arrival);
+  ASSERT_TRUE(result.accepted) << result.reason;
+  EXPECT_EQ(result.instances_opened, 0u);
+  EXPECT_EQ(placer.total_instances(), s.plan.total_instances());
+  // Completion: every stage fully assigned.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double total = 0.0;
+    for (const auto& row : result.distribution.fraction) total += row[j];
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(OnlinePlacer, OpensInstancesForLargeArrival) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  traffic::TrafficClass arrival{1, 1, 3, {1, 2, 3}, 0, 800.0};
+  const OnlineArrival result = placer.add_class(arrival);
+  ASSERT_TRUE(result.accepted) << result.reason;
+  EXPECT_GT(result.instances_opened, 0u);
+}
+
+TEST(OnlinePlacer, PrecedencePrefixesHoldForArrivals) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  traffic::TrafficClass arrival{1, 0, 3, {0, 1, 2, 3}, 0, 700.0};
+  const OnlineArrival result = placer.add_class(arrival);
+  ASSERT_TRUE(result.accepted) << result.reason;
+  // Eq. 3: prefix of stage j <= prefix of stage j-1 at every position.
+  double prefix0 = 0.0, prefix1 = 0.0;
+  for (const auto& row : result.distribution.fraction) {
+    prefix0 += row[0];
+    prefix1 += row[1];
+    EXPECT_LE(prefix1, prefix0 + 1e-9);
+  }
+}
+
+TEST(OnlinePlacer, RejectsWhenPathHasNoCapacity) {
+  net::Topology tiny = net::make_line(2, 4.0);  // an 8-core IDS fits nowhere
+  std::vector<vnf::PolicyChain> chains{{NfType::kIds}};
+  std::vector<traffic::TrafficClass> none;
+  PlacementInput input;
+  input.topology = &tiny;
+  input.classes = none;
+  input.chains = chains;
+  PlacementPlan empty;
+  empty.feasible = true;
+  empty.instance_count.assign(2, {});
+  OnlinePlacer placer(input, empty);
+  traffic::TrafficClass arrival{0, 0, 1, {0, 1}, 0, 100.0};
+  const OnlineArrival result = placer.add_class(arrival);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.reason.empty());
+  // Rollback: nothing opened, nothing used.
+  EXPECT_EQ(placer.total_instances(), 0u);
+  EXPECT_DOUBLE_EQ(placer.used_mbps(0, NfType::kIds), 0.0);
+}
+
+TEST(OnlinePlacer, RejectsDuplicateAndUnknownChain) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  EXPECT_FALSE(placer.add_class(s.classes[0]).accepted);  // id resident
+  traffic::TrafficClass bad{7, 0, 3, {0, 1, 2, 3}, 9, 10.0};
+  EXPECT_FALSE(placer.add_class(bad).accepted);
+  traffic::TrafficClass no_path{8, 0, 3, {}, 0, 10.0};
+  EXPECT_FALSE(placer.add_class(no_path).accepted);
+}
+
+TEST(OnlinePlacer, ZeroRateArrivalIsFree) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  traffic::TrafficClass arrival{1, 0, 3, {0, 1, 2, 3}, 0, 0.0};
+  const OnlineArrival result = placer.add_class(arrival);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.instances_opened, 0u);
+  EXPECT_EQ(placer.total_instances(), s.plan.total_instances());
+}
+
+TEST(OnlinePlacer, DepartureReleasesIdleInstances) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  const std::uint64_t before = placer.total_instances();
+  const OnlineDeparture gone = placer.remove_class(0);
+  EXPECT_GT(gone.instances_released, 0u);
+  EXPECT_LT(placer.total_instances(), before);
+  EXPECT_FALSE(gone.now_idle.empty());
+  // Removing again is a no-op.
+  EXPECT_EQ(placer.remove_class(0).instances_released, 0u);
+}
+
+TEST(OnlinePlacer, ArriveDepartCycleIsStable) {
+  Seeded s;
+  OnlinePlacer placer(s.input, s.plan);
+  const std::uint64_t baseline = placer.total_instances();
+  for (traffic::ClassId id = 10; id < 16; ++id) {
+    traffic::TrafficClass arrival{id, 0, 3, {0, 1, 2, 3}, 0, 300.0};
+    ASSERT_TRUE(placer.add_class(arrival).accepted);
+  }
+  for (traffic::ClassId id = 10; id < 16; ++id) {
+    placer.remove_class(id);
+  }
+  // All online capacity released: back to (at most) the seed footprint.
+  EXPECT_LE(placer.total_instances(), baseline);
+}
+
+// Property: under random churn on Internet2, the online footprint stays
+// within a small factor of a fresh global optimization over the same
+// resident set.
+class OnlineChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineChurnSweep, FootprintStaysNearGlobalRerun) {
+  std::mt19937_64 rng(GetParam());
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  const auto chain_span = vnf::default_policy_chains();
+  std::vector<vnf::PolicyChain> chains(chain_span.begin(), chain_span.end());
+
+  const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+      topo.num_nodes(),
+      {.total_mbps = 6000.0, .seed = static_cast<std::uint64_t>(GetParam())});
+  auto classes = traffic::build_classes(
+      topo, routing, tm,
+      traffic::uniform_chain_assignment(chains.size(), 0, 0.5));
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+  EngineOptions options;
+  options.strategy = PlacementStrategy::kGreedy;
+  const PlacementPlan plan = OptimizationEngine(options).place(input);
+  ASSERT_TRUE(plan.feasible);
+
+  OnlinePlacer placer(input, plan);
+  // Churn: remove a third of the classes, add new ones on random paths.
+  std::vector<traffic::TrafficClass> resident = classes;
+  std::uniform_int_distribution<std::size_t> pick_node(0,
+                                                       topo.num_nodes() - 1);
+  std::uniform_real_distribution<double> rate(20.0, 200.0);
+  traffic::ClassId next_id = 10000;
+  for (int churn = 0; churn < 30; ++churn) {
+    if (!resident.empty() && churn % 3 == 0) {
+      const std::size_t victim = churn % resident.size();
+      placer.remove_class(resident[victim].id);
+      resident.erase(resident.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    } else {
+      net::NodeId a = static_cast<net::NodeId>(pick_node(rng));
+      net::NodeId b = static_cast<net::NodeId>(pick_node(rng));
+      if (a == b) b = (b + 1) % topo.num_nodes();
+      traffic::TrafficClass arrival;
+      arrival.id = next_id++;
+      arrival.src = a;
+      arrival.dst = b;
+      arrival.path = *routing.path(a, b);
+      arrival.chain_id =
+          static_cast<traffic::ChainId>(churn % chains.size());
+      arrival.rate_mbps = rate(rng);
+      if (placer.add_class(arrival).accepted) resident.push_back(arrival);
+    }
+  }
+  // Fresh global run over the final resident set.
+  PlacementInput final_input;
+  final_input.topology = &topo;
+  final_input.classes = resident;
+  final_input.chains = chains;
+  const PlacementPlan fresh = OptimizationEngine(options).place(final_input);
+  ASSERT_TRUE(fresh.feasible);
+  EXPECT_LE(placer.total_instances(),
+            2 * fresh.total_instances() + 4);  // bounded drift
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineChurnSweep, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace apple::core

@@ -1,0 +1,121 @@
+#include "hsa/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apple::hsa {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  BddManager mgr_ = make_header_space_manager();
+  PredicateBuilder b_{mgr_};
+};
+
+TEST_F(ClassifierTest, RoutesHttpThroughItsChain) {
+  // Paper intro example: all http traffic -> firewall -> IDS -> web proxy.
+  const std::vector<PolicyRule> rules{
+      {mgr_.apply_and(b_.exact(Field::kProto, 6),
+                      b_.exact(Field::kDstPort, 80)),
+       /*chain=*/1},
+  };
+  const FlowClassifier cls(mgr_, rules);
+  PacketHeader http;
+  http.proto = 6;
+  http.dst_port = 80;
+  EXPECT_EQ(cls.chain_of(http), 1u);
+  PacketHeader dns;
+  dns.proto = 17;
+  dns.dst_port = 53;
+  EXPECT_EQ(cls.chain_of(dns), std::nullopt);
+}
+
+TEST_F(ClassifierTest, FirstMatchWinsOnOverlap) {
+  const std::vector<PolicyRule> rules{
+      {b_.cidr(Field::kSrcIp, "10.1.0.0/16"), 7},
+      {b_.cidr(Field::kSrcIp, "10.0.0.0/8"), 3},
+  };
+  const FlowClassifier cls(mgr_, rules);
+  PacketHeader h;
+  h.src_ip = parse_ipv4("10.1.2.3");  // matches both; rule 0 wins
+  EXPECT_EQ(cls.chain_of(h), 7u);
+  h.src_ip = parse_ipv4("10.99.2.3");  // only rule 1
+  EXPECT_EQ(cls.chain_of(h), 3u);
+}
+
+TEST_F(ClassifierTest, AtomIdsSeparateRuleCombinations) {
+  const std::vector<PolicyRule> rules{
+      {b_.cidr(Field::kSrcIp, "10.0.0.0/8"), 0},
+      {b_.exact(Field::kProto, 6), 1},
+  };
+  const FlowClassifier cls(mgr_, rules);
+  PacketHeader a, b, c;
+  a.src_ip = parse_ipv4("10.1.1.1");
+  a.proto = 6;
+  b.src_ip = parse_ipv4("10.1.1.1");
+  b.proto = 17;
+  c.src_ip = parse_ipv4("11.1.1.1");
+  c.proto = 6;
+  EXPECT_NE(cls.atom_of(a), cls.atom_of(b));
+  EXPECT_NE(cls.atom_of(a), cls.atom_of(c));
+  EXPECT_NE(cls.atom_of(b), cls.atom_of(c));
+  // Same combination -> same atom.
+  PacketHeader a2 = a;
+  a2.src_ip = parse_ipv4("10.200.1.1");
+  EXPECT_EQ(cls.atom_of(a), cls.atom_of(a2));
+}
+
+TEST_F(ClassifierTest, NumAtomsBounded) {
+  const std::vector<PolicyRule> rules{
+      {b_.cidr(Field::kSrcIp, "10.0.0.0/8"), 0},
+      {b_.cidr(Field::kDstIp, "10.0.0.0/8"), 1},
+      {b_.exact(Field::kProto, 6), 2},
+  };
+  const FlowClassifier cls(mgr_, rules);
+  // k predicates make at most 2^k atoms.
+  EXPECT_LE(cls.num_atoms(), 8u);
+  EXPECT_GE(cls.num_atoms(), 4u);
+}
+
+TEST(FlowHash, DeterministicAndDistinct) {
+  PacketHeader a;
+  a.src_ip = 1;
+  a.dst_ip = 2;
+  a.src_port = 3;
+  a.dst_port = 4;
+  a.proto = 6;
+  EXPECT_DOUBLE_EQ(flow_hash_unit(a), flow_hash_unit(a));
+  PacketHeader b = a;
+  b.src_port = 5;
+  EXPECT_NE(flow_hash_unit(a), flow_hash_unit(b));
+}
+
+TEST(FlowHash, ApproximatelyUniform) {
+  // Sec. V-A: "If flows are uniformly hashed to [0,1), this sub-class
+  // approximately includes 50% flows of this class."
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::uint32_t> ip(0, 0xffffffffu);
+  std::uniform_int_distribution<std::uint32_t> port(0, 0xffffu);
+  const int kFlows = 20000;
+  int below_half = 0;
+  double sum = 0.0;
+  for (int i = 0; i < kFlows; ++i) {
+    PacketHeader h;
+    h.src_ip = ip(rng);
+    h.dst_ip = ip(rng);
+    h.src_port = static_cast<std::uint16_t>(port(rng));
+    h.dst_port = static_cast<std::uint16_t>(port(rng));
+    h.proto = 6;
+    const double u = flow_hash_unit(h);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    if (u < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(sum / kFlows, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(below_half) / kFlows, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace apple::hsa

@@ -1,0 +1,128 @@
+#include "hsa/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apple::hsa {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  BddManager mgr_ = make_header_space_manager();
+  PredicateBuilder b_{mgr_};
+};
+
+TEST_F(PredicateTest, FieldLayoutCoversHeader) {
+  EXPECT_EQ(field_offset(Field::kSrcIp), 0u);
+  EXPECT_EQ(field_offset(Field::kProto) + field_width(Field::kProto),
+            kHeaderBits);
+  EXPECT_EQ(mgr_.num_vars(), kHeaderBits);
+}
+
+TEST_F(PredicateTest, ParseIpv4) {
+  EXPECT_EQ(parse_ipv4("10.1.1.0"), 0x0a010100u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_THROW(parse_ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3.4.5"), std::invalid_argument);
+}
+
+TEST_F(PredicateTest, ExactMatch) {
+  const BddRef p = b_.exact(Field::kProto, 6);  // TCP
+  PacketHeader h;
+  h.proto = 6;
+  EXPECT_TRUE(b_.matches(p, h));
+  h.proto = 17;
+  EXPECT_FALSE(b_.matches(p, h));
+}
+
+TEST_F(PredicateTest, PrefixMatch) {
+  // 10.1.1.0/24 (paper's running example in Sec. V-A).
+  const BddRef p = b_.cidr(Field::kSrcIp, "10.1.1.0/24");
+  PacketHeader h;
+  h.src_ip = parse_ipv4("10.1.1.77");
+  EXPECT_TRUE(b_.matches(p, h));
+  h.src_ip = parse_ipv4("10.1.2.77");
+  EXPECT_FALSE(b_.matches(p, h));
+}
+
+TEST_F(PredicateTest, SubPrefixSplitsInHalf) {
+  // <10.1.1.128/25> is exactly half of <10.1.1.0/24> (Sec. V-A).
+  const BddRef whole = b_.cidr(Field::kSrcIp, "10.1.1.0/24");
+  const BddRef upper = b_.cidr(Field::kSrcIp, "10.1.1.128/25");
+  EXPECT_TRUE(mgr_.implies(upper, whole));
+  EXPECT_DOUBLE_EQ(mgr_.sat_count(upper) * 2.0, mgr_.sat_count(whole));
+}
+
+TEST_F(PredicateTest, ZeroLengthPrefixMatchesAll) {
+  EXPECT_EQ(b_.prefix(Field::kDstIp, 0, 0), kBddTrue);
+  EXPECT_EQ(b_.cidr(Field::kDstIp, "0.0.0.0/0"), kBddTrue);
+}
+
+TEST_F(PredicateTest, PrefixValidation) {
+  EXPECT_THROW(b_.prefix(Field::kProto, 0, 9), std::invalid_argument);
+  EXPECT_THROW(b_.prefix(Field::kProto, 300, 8), std::invalid_argument);
+  EXPECT_THROW(b_.cidr(Field::kProto, "1.2.3.4/8"), std::invalid_argument);
+  EXPECT_THROW(b_.cidr(Field::kSrcIp, "1.2.3.4/40"), std::invalid_argument);
+}
+
+TEST_F(PredicateTest, RangeMatch) {
+  const BddRef p = b_.range(Field::kDstPort, 80, 443);
+  PacketHeader h;
+  for (const std::uint16_t port : {80, 81, 250, 443}) {
+    h.dst_port = port;
+    EXPECT_TRUE(b_.matches(p, h)) << port;
+  }
+  for (const std::uint16_t port : {79, 444, 8080, 0}) {
+    h.dst_port = port;
+    EXPECT_FALSE(b_.matches(p, h)) << port;
+  }
+}
+
+TEST_F(PredicateTest, RangeSatCountIsExact) {
+  const BddRef p = b_.range(Field::kDstPort, 1000, 1999);
+  // 1000 ports x 2^(104-16) remaining freedom.
+  EXPECT_DOUBLE_EQ(mgr_.sat_count(p) / std::pow(2.0, 88.0), 1000.0);
+}
+
+TEST_F(PredicateTest, DegenerateAndFullRanges) {
+  EXPECT_EQ(b_.range(Field::kProto, 6, 6), b_.exact(Field::kProto, 6));
+  EXPECT_EQ(b_.range(Field::kProto, 0, 255), kBddTrue);
+  EXPECT_EQ(b_.range(Field::kSrcIp, 0, 0xffffffffu), kBddTrue);
+  EXPECT_THROW(b_.range(Field::kProto, 7, 6), std::invalid_argument);
+  EXPECT_THROW(b_.range(Field::kProto, 0, 256), std::invalid_argument);
+}
+
+TEST_F(PredicateTest, FromHeaderIsAPoint) {
+  PacketHeader h;
+  h.src_ip = parse_ipv4("192.168.1.5");
+  h.dst_ip = parse_ipv4("10.0.0.9");
+  h.src_port = 5555;
+  h.dst_port = 80;
+  h.proto = 6;
+  const BddRef point = b_.from_header(h);
+  EXPECT_DOUBLE_EQ(mgr_.sat_count(point), 1.0);
+  EXPECT_TRUE(b_.matches(point, h));
+  PacketHeader other = h;
+  other.dst_port = 81;
+  EXPECT_FALSE(b_.matches(point, other));
+}
+
+TEST_F(PredicateTest, CombinedFieldsIntersect) {
+  const BddRef web = mgr_.apply_and(b_.exact(Field::kProto, 6),
+                                    b_.exact(Field::kDstPort, 80));
+  const BddRef subnet = b_.cidr(Field::kSrcIp, "10.0.0.0/8");
+  const BddRef rule = mgr_.apply_and(web, subnet);
+  PacketHeader h;
+  h.proto = 6;
+  h.dst_port = 80;
+  h.src_ip = parse_ipv4("10.20.30.40");
+  EXPECT_TRUE(b_.matches(rule, h));
+  h.src_ip = parse_ipv4("11.20.30.40");
+  EXPECT_FALSE(b_.matches(rule, h));
+}
+
+}  // namespace
+}  // namespace apple::hsa

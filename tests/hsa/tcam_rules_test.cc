@@ -1,0 +1,116 @@
+#include "hsa/tcam_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apple::hsa {
+namespace {
+
+class TcamRulesTest : public ::testing::Test {
+ protected:
+  BddManager mgr_ = make_header_space_manager();
+  PredicateBuilder b_{mgr_};
+};
+
+TEST_F(TcamRulesTest, FalseIsEmpty) {
+  EXPECT_TRUE(enumerate_tcam_entries(mgr_, kBddFalse).empty());
+  EXPECT_EQ(count_tcam_entries(mgr_, kBddFalse), 0u);
+}
+
+TEST_F(TcamRulesTest, TrueIsOneFullyWildcardedEntry) {
+  const auto entries = enumerate_tcam_entries(mgr_, kBddTrue);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].wildcard_bits(), kHeaderBits);
+  PacketHeader any;
+  any.src_ip = 0xdeadbeef;
+  EXPECT_TRUE(entries[0].matches(any));
+  EXPECT_EQ(count_tcam_entries(mgr_, kBddTrue), 1u);
+}
+
+TEST_F(TcamRulesTest, PrefixIsOneEntry) {
+  const BddRef p = b_.cidr(Field::kSrcIp, "10.1.1.0/24");
+  const auto entries = enumerate_tcam_entries(mgr_, p);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].wildcard_bits(), kHeaderBits - 24);
+  PacketHeader in, out;
+  in.src_ip = parse_ipv4("10.1.1.200");
+  out.src_ip = parse_ipv4("10.1.2.200");
+  EXPECT_TRUE(entries[0].matches(in));
+  EXPECT_FALSE(entries[0].matches(out));
+}
+
+TEST_F(TcamRulesTest, RangeExpandsToItsPrefixCount) {
+  // [80, 443] decomposes into a known set of aligned blocks.
+  const BddRef p = b_.range(Field::kDstPort, 80, 443);
+  const auto entries = enumerate_tcam_entries(mgr_, p);
+  EXPECT_EQ(entries.size(), count_tcam_entries(mgr_, p));
+  EXPECT_GT(entries.size(), 1u);
+  // Every port in range matches exactly one entry; out of range: none.
+  for (const std::uint32_t port : {80u, 81u, 255u, 256u, 400u, 443u}) {
+    PacketHeader h;
+    h.dst_port = static_cast<std::uint16_t>(port);
+    int hits = 0;
+    for (const auto& entry : entries) hits += entry.matches(h);
+    EXPECT_EQ(hits, 1) << "port " << port;
+  }
+  for (const std::uint32_t port : {79u, 444u, 0u, 65535u}) {
+    PacketHeader h;
+    h.dst_port = static_cast<std::uint16_t>(port);
+    for (const auto& entry : entries) EXPECT_FALSE(entry.matches(h));
+  }
+}
+
+TEST_F(TcamRulesTest, EntriesAreDisjointAndExactlyCoverPredicate) {
+  const BddRef p = mgr_.apply_or(
+      mgr_.apply_and(b_.cidr(Field::kSrcIp, "10.0.0.0/8"),
+                     b_.exact(Field::kProto, 6)),
+      b_.cidr(Field::kDstIp, "192.168.0.0/16"));
+  const auto entries = enumerate_tcam_entries(mgr_, p);
+  ASSERT_FALSE(entries.empty());
+
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::uint32_t> word(0, 0xffffffffu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    PacketHeader h;
+    h.src_ip = word(rng);
+    h.dst_ip = word(rng);
+    h.src_port = static_cast<std::uint16_t>(word(rng));
+    h.dst_port = static_cast<std::uint16_t>(word(rng));
+    h.proto = static_cast<std::uint8_t>(word(rng));
+    int hits = 0;
+    for (const auto& entry : entries) hits += entry.matches(h);
+    // Disjoint: at most one entry matches; exact: matches iff in predicate.
+    EXPECT_LE(hits, 1);
+    EXPECT_EQ(hits == 1, b_.matches(p, h));
+  }
+}
+
+TEST_F(TcamRulesTest, ExpansionLimitThrows) {
+  // Parity over 16 bits has exponentially many paths.
+  BddRef parity = kBddFalse;
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    parity = mgr_.apply_xor(parity, mgr_.var(v));
+  }
+  EXPECT_THROW(enumerate_tcam_entries(mgr_, parity, /*max_entries=*/64),
+               std::length_error);
+  // The counter saturates instead of throwing.
+  EXPECT_GE(count_tcam_entries(mgr_, parity, 1000), 1000u);
+}
+
+TEST_F(TcamRulesTest, CountMatchesEnumerationOnRandomPredicates) {
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::uint32_t> word(0, 0xffffffffu);
+  std::uniform_int_distribution<std::uint32_t> len(4, 20);
+  for (int trial = 0; trial < 10; ++trial) {
+    BddRef p = kBddFalse;
+    for (int k = 0; k < 4; ++k) {
+      p = mgr_.apply_or(p, b_.prefix(Field::kSrcIp, word(rng), len(rng)));
+    }
+    EXPECT_EQ(enumerate_tcam_entries(mgr_, p).size(),
+              count_tcam_entries(mgr_, p));
+  }
+}
+
+}  // namespace
+}  // namespace apple::hsa

@@ -1,0 +1,109 @@
+#include "lp/lp_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lp/simplex.h"
+
+namespace apple::lp {
+namespace {
+
+LpModel sample_model() {
+  LpModel m;
+  const VarId x = m.add_var(-3.0);
+  const VarId y = m.add_var(-5.0, true);
+  const VarId z = m.add_var(0.0);
+  m.add_row(Sense::kLessEqual, 4.0, {{x, 1.0}});
+  m.add_row(Sense::kLessEqual, 12.0, {{y, 2.0}});
+  m.add_row(Sense::kGreaterEqual, -1.5, {{x, 3.0}, {y, -2.0}, {z, 0.5}});
+  m.add_row(Sense::kEqual, 7.0, {{x, 1.0}, {z, 1.0}});
+  return m;
+}
+
+TEST(LpFormat, WritesRecognizableSections) {
+  std::ostringstream out;
+  write_lp_format(sample_model(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+  EXPECT_NE(text.find("x1"), std::string::npos);
+}
+
+TEST(LpFormat, RoundTripPreservesStructure) {
+  const LpModel original = sample_model();
+  std::stringstream buffer;
+  write_lp_format(original, buffer);
+  const LpModel parsed = read_lp_format(buffer);
+
+  ASSERT_EQ(parsed.num_vars(), original.num_vars());
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  for (std::size_t v = 0; v < original.num_vars(); ++v) {
+    EXPECT_DOUBLE_EQ(parsed.var(static_cast<VarId>(v)).objective,
+                     original.var(static_cast<VarId>(v)).objective);
+    EXPECT_EQ(parsed.var(static_cast<VarId>(v)).integer,
+              original.var(static_cast<VarId>(v)).integer);
+  }
+  for (std::size_t r = 0; r < original.num_rows(); ++r) {
+    const Row& a = original.row(static_cast<RowId>(r));
+    const Row& b = parsed.row(static_cast<RowId>(r));
+    EXPECT_EQ(a.sense, b.sense);
+    EXPECT_DOUBLE_EQ(a.rhs, b.rhs);
+    ASSERT_EQ(a.terms.size(), b.terms.size());
+    for (std::size_t t = 0; t < a.terms.size(); ++t) {
+      EXPECT_EQ(a.terms[t].first, b.terms[t].first);
+      EXPECT_DOUBLE_EQ(a.terms[t].second, b.terms[t].second);
+    }
+  }
+}
+
+TEST(LpFormat, RoundTripPreservesOptimum) {
+  LpModel m;
+  const VarId x = m.add_var(-3.0);
+  const VarId y = m.add_var(-5.0);
+  m.add_row(Sense::kLessEqual, 4.0, {{x, 1.0}});
+  m.add_row(Sense::kLessEqual, 12.0, {{y, 2.0}});
+  m.add_row(Sense::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  std::stringstream buffer;
+  write_lp_format(m, buffer);
+  const LpModel parsed = read_lp_format(buffer);
+  const LpSolution a = SimplexSolver().solve(m);
+  const LpSolution b = SimplexSolver().solve(parsed);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(LpFormat, EmptyObjectiveAndModel) {
+  LpModel m;
+  m.add_var(0.0);
+  std::stringstream buffer;
+  write_lp_format(m, buffer);
+  const LpModel parsed = read_lp_format(buffer);
+  EXPECT_EQ(parsed.num_vars(), 1u);
+  EXPECT_EQ(parsed.num_rows(), 0u);
+}
+
+TEST(LpFormat, ParserRejectsGarbage) {
+  std::istringstream bad("Maximize\n x0\nEnd\n");
+  EXPECT_THROW(read_lp_format(bad), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(read_lp_format(empty), std::runtime_error);
+}
+
+TEST(LpFormat, NegativeRhsRoundTrips) {
+  LpModel m;
+  const VarId x = m.add_var(1.0);
+  m.add_row(Sense::kGreaterEqual, -2.5, {{x, -1.0}});
+  std::stringstream buffer;
+  write_lp_format(m, buffer);
+  const LpModel parsed = read_lp_format(buffer);
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.row(0).rhs, -2.5);
+  EXPECT_DOUBLE_EQ(parsed.row(0).terms[0].second, -1.0);
+}
+
+}  // namespace
+}  // namespace apple::lp

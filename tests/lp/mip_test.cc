@@ -1,0 +1,166 @@
+#include "lp/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apple::lp {
+namespace {
+
+// Knapsack as a 0/1 MIP: max value, weight <= 10.
+//   items (value, weight): (10,5) (6,4) (4,3) (8,6)
+// Optimum: items 0+2 (value 14, weight 8)? 0+1 = 16 weight 9 -> best 16.
+TEST(Mip, SmallKnapsack) {
+  LpModel m;
+  const double values[] = {10, 6, 4, 8};
+  const double weights[] = {5, 4, 3, 6};
+  std::vector<VarId> pick;
+  std::vector<std::pair<VarId, double>> wrow;
+  for (int i = 0; i < 4; ++i) {
+    const VarId v = m.add_var(-values[i], true);
+    pick.push_back(v);
+    wrow.emplace_back(v, weights[i]);
+    m.add_row(Sense::kLessEqual, 1.0, {{v, 1.0}});  // binary upper bound
+  }
+  m.add_row(Sense::kLessEqual, 10.0, wrow);
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-6);
+  EXPECT_NEAR(r.x[pick[0]], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[pick[1]], 1.0, 1e-6);
+}
+
+// Set cover: universe {1..5}, sets A={1,2,3} B={2,4} C={3,4,5} D={1,5}.
+// Optimal cover: {A, C} = 2 sets.
+TEST(Mip, SetCover) {
+  LpModel m;
+  const std::vector<std::vector<int>> sets{{1, 2, 3}, {2, 4}, {3, 4, 5},
+                                           {1, 5}};
+  std::vector<VarId> use;
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    const VarId v = m.add_var(1.0, true);
+    use.push_back(v);
+    m.add_row(Sense::kLessEqual, 1.0, {{v, 1.0}});
+  }
+  for (int e = 1; e <= 5; ++e) {
+    std::vector<std::pair<VarId, double>> row;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      for (int member : sets[s]) {
+        if (member == e) row.emplace_back(use[s], 1.0);
+      }
+    }
+    m.add_row(Sense::kGreaterEqual, 1.0, row);
+  }
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(Mip, IntegerRounding) {
+  // min x s.t. x >= 2.5, x integer  -> x = 3.
+  LpModel m;
+  const VarId x = m.add_var(1.0, true);
+  m.add_row(Sense::kGreaterEqual, 2.5, {{x, 1.0}});
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-9);
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min 3q - y  s.t. 1 <= y <= 4.3, y <= 2q, q integer.
+  // On the binding face y = 2q the objective is q, so the smallest feasible
+  // q wins: y >= 1 forces q >= 0.5, hence q = 1, y = 2, objective 1.
+  LpModel m;
+  const VarId q = m.add_var(3.0, true);
+  const VarId y = m.add_var(-1.0);
+  m.add_row(Sense::kLessEqual, 4.3, {{y, 1.0}});
+  m.add_row(Sense::kGreaterEqual, 1.0, {{y, 1.0}});
+  m.add_row(Sense::kLessEqual, 0.0, {{y, 1.0}, {q, -2.0}});
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-6);
+  EXPECT_NEAR(r.x[q], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 2.0, 1e-6);
+}
+
+TEST(Mip, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 with x integer: no integer point.
+  LpModel m;
+  const VarId x = m.add_var(1.0, true);
+  m.add_row(Sense::kGreaterEqual, 0.4, {{x, 1.0}});
+  m.add_row(Sense::kLessEqual, 0.6, {{x, 1.0}});
+  const MipResult r = MipSolver().solve(m);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(Mip, PureLpPassesThrough) {
+  LpModel m;
+  const VarId x = m.add_var(1.0);
+  m.add_row(Sense::kGreaterEqual, 2.5, {{x, 1.0}});
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.5, 1e-9);  // no rounding for continuous vars
+}
+
+TEST(Mip, NodeLimitReportsLimit) {
+  // A knapsack-like instance with a tight node budget; with max_nodes=1 only
+  // the root relaxation (fractional) is explored, so no incumbent exists.
+  LpModel m;
+  std::vector<std::pair<VarId, double>> wrow;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(1.0, 10.0);
+  for (int i = 0; i < 12; ++i) {
+    const VarId v = m.add_var(-u(rng), true);
+    m.add_row(Sense::kLessEqual, 1.0, {{v, 1.0}});
+    wrow.emplace_back(v, u(rng));
+  }
+  m.add_row(Sense::kLessEqual, 15.0, wrow);
+  MipOptions opt;
+  opt.max_nodes = 1;
+  const MipResult r = MipSolver(opt).solve(m);
+  EXPECT_FALSE(r.proven_optimal);
+}
+
+// Property sweep: random small covering MIPs — the MIP optimum must be
+// feasible, integral, and at least the LP relaxation bound.
+class MipRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipRandomSweep, OptimumDominatesLpBoundAndIsIntegral) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> cost(1.0, 5.0);
+  std::bernoulli_distribution member(0.45);
+  const int num_sets = 8, num_elems = 6;
+  LpModel m;
+  std::vector<VarId> use;
+  for (int s = 0; s < num_sets; ++s) {
+    const VarId v = m.add_var(cost(rng), true);
+    use.push_back(v);
+    m.add_row(Sense::kLessEqual, 1.0, {{v, 1.0}});
+  }
+  for (int e = 0; e < num_elems; ++e) {
+    std::vector<std::pair<VarId, double>> row;
+    for (int s = 0; s < num_sets; ++s) {
+      if (member(rng)) row.emplace_back(use[s], 1.0);
+    }
+    // Ensure coverability.
+    if (row.empty()) row.emplace_back(use[0], 1.0);
+    m.add_row(Sense::kGreaterEqual, 1.0, row);
+  }
+  const LpSolution relax = SimplexSolver().solve(m);
+  ASSERT_TRUE(relax.optimal());
+  const MipResult r = MipSolver().solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.max_violation(r.x), 1e-6);
+  for (VarId v : use) {
+    const double frac = r.x[v] - std::floor(r.x[v]);
+    EXPECT_LT(std::min(frac, 1.0 - frac), 1e-6);
+  }
+  EXPECT_GE(r.objective, relax.objective - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipRandomSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace apple::lp

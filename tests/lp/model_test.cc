@@ -1,0 +1,88 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::lp {
+namespace {
+
+TEST(LpModel, AddVarAndRow) {
+  LpModel m;
+  const VarId x = m.add_var(1.0);
+  const VarId y = m.add_var(2.0, true, "y");
+  EXPECT_EQ(m.num_vars(), 2u);
+  EXPECT_TRUE(m.var(y).integer);
+  EXPECT_EQ(m.var(y).name, "y");
+  m.add_row(Sense::kLessEqual, 10.0, {{x, 1.0}, {y, 3.0}});
+  EXPECT_EQ(m.num_rows(), 1u);
+  EXPECT_EQ(m.row(0).terms.size(), 2u);
+}
+
+TEST(LpModel, MergesDuplicateTermsAndDropsZeros) {
+  LpModel m;
+  const VarId x = m.add_var(0.0);
+  const VarId y = m.add_var(0.0);
+  m.add_row(Sense::kEqual, 1.0, {{x, 2.0}, {x, 3.0}, {y, 0.0}});
+  ASSERT_EQ(m.row(0).terms.size(), 1u);
+  EXPECT_EQ(m.row(0).terms[0].first, x);
+  EXPECT_DOUBLE_EQ(m.row(0).terms[0].second, 5.0);
+}
+
+TEST(LpModel, CancellingTermsDisappear) {
+  LpModel m;
+  const VarId x = m.add_var(0.0);
+  m.add_row(Sense::kEqual, 0.0, {{x, 1.0}, {x, -1.0}});
+  EXPECT_TRUE(m.row(0).terms.empty());
+}
+
+TEST(LpModel, RejectsUnknownVariable) {
+  LpModel m;
+  m.add_var(0.0);
+  EXPECT_THROW(m.add_row(Sense::kEqual, 0.0, {{5, 1.0}}), std::out_of_range);
+  EXPECT_THROW(m.add_row(Sense::kEqual, 0.0, {{-1, 1.0}}), std::out_of_range);
+}
+
+TEST(LpModel, HasIntegerVars) {
+  LpModel m;
+  m.add_var(0.0);
+  EXPECT_FALSE(m.has_integer_vars());
+  m.add_var(0.0, true);
+  EXPECT_TRUE(m.has_integer_vars());
+}
+
+TEST(LpModel, ObjectiveValue) {
+  LpModel m;
+  m.add_var(2.0);
+  m.add_var(-1.0);
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.objective_value(x), 2.0);
+}
+
+TEST(LpModel, MaxViolationFeasiblePoint) {
+  LpModel m;
+  const VarId x = m.add_var(0.0);
+  const VarId y = m.add_var(0.0);
+  m.add_row(Sense::kLessEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Sense::kGreaterEqual, 1.0, {{x, 1.0}});
+  m.add_row(Sense::kEqual, 2.0, {{y, 1.0}});
+  const std::vector<double> ok{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.max_violation(ok), 0.0);
+  const std::vector<double> bad{0.0, 7.0};
+  EXPECT_DOUBLE_EQ(m.max_violation(bad), 5.0);  // y=7: eq off by 5, <= off by 2
+}
+
+TEST(LpModel, MaxViolationNegativeVariable) {
+  LpModel m;
+  m.add_var(0.0);
+  const std::vector<double> x{-3.0};
+  EXPECT_DOUBLE_EQ(m.max_violation(x), 3.0);
+}
+
+TEST(SolveStatusStrings, AllNamed) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace apple::lp

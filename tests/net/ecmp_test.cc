@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/routing.h"
+#include "net/topologies.h"
+
+namespace apple::net {
+namespace {
+
+TEST(EcmpNodeUnion, LineHasExactlyThePath) {
+  const Topology t = make_line(5);
+  const AllPairsPaths paths(t);
+  const auto unio = ecmp_node_union(paths, t.num_nodes(), 0, 4);
+  EXPECT_EQ(unio, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(EcmpNodeUnion, Univ1EdgePairSeesBothCores) {
+  const Topology t = make_univ1();
+  const AllPairsPaths paths(t);
+  const NodeId e1 = t.find_node("edge-1");
+  const NodeId e2 = t.find_node("edge-2");
+  const auto unio = ecmp_node_union(paths, t.num_nodes(), e1, e2);
+  // Both cores are on equal-cost paths between any two edge switches.
+  EXPECT_NE(std::find(unio.begin(), unio.end(), t.find_node("core-1")),
+            unio.end());
+  EXPECT_NE(std::find(unio.begin(), unio.end(), t.find_node("core-2")),
+            unio.end());
+  EXPECT_EQ(unio.size(), 4u);  // e1, core-1, core-2, e2
+}
+
+TEST(EcmpNodeUnion, RingHasTwoEqualPathsBetweenAntipodes) {
+  const Topology t = make_ring(6);
+  const AllPairsPaths paths(t);
+  // Antipodal nodes 0 and 3: both 3-hop arcs are shortest.
+  const auto unio = ecmp_node_union(paths, t.num_nodes(), 0, 3);
+  EXPECT_EQ(unio.size(), 6u);  // the whole ring
+}
+
+TEST(EcmpNodeUnion, SelfPairIsJustTheNode) {
+  const Topology t = make_line(3);
+  const AllPairsPaths paths(t);
+  const auto unio = ecmp_node_union(paths, t.num_nodes(), 1, 1);
+  EXPECT_EQ(unio, (std::vector<NodeId>{1}));
+}
+
+TEST(EcmpNodeUnion, DisconnectedPairIsEmpty) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  const AllPairsPaths paths(t);
+  EXPECT_TRUE(ecmp_node_union(paths, t.num_nodes(), 0, 1).empty());
+}
+
+TEST(EcmpNodeUnion, SupersetOfAnyShortestPath) {
+  const Topology t = make_geant();
+  const AllPairsPaths paths(t);
+  for (NodeId s = 0; s < t.num_nodes(); s += 3) {
+    for (NodeId d = 0; d < t.num_nodes(); d += 5) {
+      if (s == d) continue;
+      const auto unio = ecmp_node_union(paths, t.num_nodes(), s, d);
+      const auto path = paths.path(s, d);  // keep the optional alive
+      for (const NodeId v : *path) {
+        EXPECT_NE(std::find(unio.begin(), unio.end(), v), unio.end())
+            << s << "->" << d << " missing " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apple::net

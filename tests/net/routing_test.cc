@@ -1,0 +1,107 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace apple::net {
+namespace {
+
+TEST(ShortestPathTree, LineDistances) {
+  const Topology t = make_line(5);
+  const ShortestPathTree spt(t, 0);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(spt.distance(i), static_cast<double>(i));
+  }
+  const auto p = spt.path_to(4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 2, 3, 4}));
+}
+
+TEST(ShortestPathTree, UnreachableNode) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  const ShortestPathTree spt(t, 0);
+  EXPECT_FALSE(spt.reachable(1));
+  EXPECT_FALSE(spt.path_to(1).has_value());
+}
+
+TEST(ShortestPathTree, RespectsWeights) {
+  // Triangle where the direct edge is more expensive than the detour.
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  t.add_link(a, c, 1000.0, 10.0);
+  t.add_link(a, b, 1000.0, 1.0);
+  t.add_link(b, c, 1000.0, 1.0);
+  const ShortestPathTree spt(t, a);
+  EXPECT_DOUBLE_EQ(spt.distance(c), 2.0);
+  EXPECT_EQ(*spt.path_to(c), (Path{a, b, c}));
+}
+
+TEST(ShortestPathTree, SourceToItself) {
+  const Topology t = make_line(3);
+  const ShortestPathTree spt(t, 1);
+  const auto p = spt.path_to(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{1}));
+}
+
+TEST(ShortestPathTree, InvalidSourceThrows) {
+  const Topology t = make_line(3);
+  EXPECT_THROW(ShortestPathTree(t, 7), std::out_of_range);
+}
+
+TEST(AllPairsPaths, SymmetricDistancesOnUnweightedGraph) {
+  const Topology t = make_internet2();
+  const AllPairsPaths apsp(t);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      EXPECT_DOUBLE_EQ(apsp.distance(s, d), apsp.distance(d, s));
+    }
+  }
+}
+
+TEST(AllPairsPaths, PathsAreValidSimplePaths) {
+  const Topology t = make_geant();
+  const AllPairsPaths apsp(t);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      const auto p = apsp.path(s, d);
+      ASSERT_TRUE(p.has_value()) << s << "->" << d;
+      EXPECT_TRUE(is_valid_simple_path(t, *p));
+      EXPECT_EQ(p->front(), s);
+      EXPECT_EQ(p->back(), d);
+    }
+  }
+}
+
+TEST(AllPairsPaths, Deterministic) {
+  const Topology t = make_univ1();
+  const AllPairsPaths a(t), b(t);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      EXPECT_EQ(a.path(s, d), b.path(s, d));
+    }
+  }
+}
+
+TEST(PathHelpers, HopCount) {
+  EXPECT_EQ(hop_count({}), 0u);
+  EXPECT_EQ(hop_count({3}), 0u);
+  EXPECT_EQ(hop_count({3, 4, 5}), 2u);
+}
+
+TEST(PathHelpers, ValidSimplePath) {
+  const Topology t = make_line(4);
+  EXPECT_TRUE(is_valid_simple_path(t, {0, 1, 2}));
+  EXPECT_FALSE(is_valid_simple_path(t, {}));
+  EXPECT_FALSE(is_valid_simple_path(t, {0, 2}));     // not adjacent
+  EXPECT_FALSE(is_valid_simple_path(t, {0, 1, 0}));  // repeated node
+  EXPECT_FALSE(is_valid_simple_path(t, {0, 9}));     // out of range
+}
+
+}  // namespace
+}  // namespace apple::net

@@ -1,0 +1,75 @@
+#include "net/topology_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topologies.h"
+
+namespace apple::net {
+namespace {
+
+TEST(TopologyIo, ParsesBasicFile) {
+  std::istringstream in(R"(# a comment
+topology demo
+node a 64
+node b
+link a b 500 2
+)");
+  const Topology t = load_topology(in);
+  EXPECT_EQ(t.name(), "demo");
+  ASSERT_EQ(t.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(t.node(0).host_cores, 64.0);
+  EXPECT_DOUBLE_EQ(t.node(1).host_cores, 0.0);
+  ASSERT_EQ(t.num_links(), 1u);
+  EXPECT_DOUBLE_EQ(t.link(0).capacity_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(t.link(0).weight, 2.0);
+}
+
+TEST(TopologyIo, RoundTripsEvaluationTopology) {
+  const Topology original = make_internet2();
+  std::stringstream buf;
+  save_topology(original, buf);
+  const Topology parsed = load_topology(buf);
+  EXPECT_EQ(parsed.name(), original.name());
+  ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+  ASSERT_EQ(parsed.num_links(), original.num_links());
+  for (std::size_t i = 0; i < original.num_nodes(); ++i) {
+    EXPECT_EQ(parsed.node(static_cast<NodeId>(i)).name,
+              original.node(static_cast<NodeId>(i)).name);
+  }
+  for (std::size_t l = 0; l < original.num_links(); ++l) {
+    EXPECT_EQ(parsed.link(static_cast<LinkId>(l)).a,
+              original.link(static_cast<LinkId>(l)).a);
+    EXPECT_EQ(parsed.link(static_cast<LinkId>(l)).b,
+              original.link(static_cast<LinkId>(l)).b);
+  }
+}
+
+TEST(TopologyIo, RejectsUnknownKeyword) {
+  std::istringstream in("switch a\n");
+  EXPECT_THROW(load_topology(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsDuplicateNode) {
+  std::istringstream in("node a\nnode a\n");
+  EXPECT_THROW(load_topology(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsLinkToUnknownNode) {
+  std::istringstream in("node a\nlink a ghost\n");
+  EXPECT_THROW(load_topology(in), std::runtime_error);
+}
+
+TEST(TopologyIo, ReportsLineNumbers) {
+  std::istringstream in("node a\nnode b\nbogus x\n");
+  try {
+    load_topology(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace apple::net

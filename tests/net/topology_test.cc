@@ -1,0 +1,91 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace apple::net {
+namespace {
+
+TEST(Topology, StartsEmpty) {
+  Topology t;
+  EXPECT_EQ(t.num_nodes(), 0u);
+  EXPECT_EQ(t.num_links(), 0u);
+  EXPECT_TRUE(t.is_connected());  // vacuously
+}
+
+TEST(Topology, AddNodeAssignsDenseIds) {
+  Topology t;
+  EXPECT_EQ(t.add_node("a"), 0u);
+  EXPECT_EQ(t.add_node("b", 64.0), 1u);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.node(0).name, "a");
+  EXPECT_FALSE(t.node(0).has_host());
+  EXPECT_TRUE(t.node(1).has_host());
+  EXPECT_DOUBLE_EQ(t.node(1).host_cores, 64.0);
+}
+
+TEST(Topology, RejectsNegativeCores) {
+  Topology t;
+  EXPECT_THROW(t.add_node("a", -1.0), std::invalid_argument);
+}
+
+TEST(Topology, AddLinkWiresAdjacency) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const LinkId l = t.add_link(a, b, 100.0, 2.0);
+  EXPECT_EQ(t.num_links(), 1u);
+  EXPECT_EQ(t.link(l).capacity_mbps, 100.0);
+  EXPECT_EQ(t.link(l).weight, 2.0);
+  EXPECT_EQ(t.link(l).other(a), b);
+  EXPECT_EQ(t.link(l).other(b), a);
+  ASSERT_EQ(t.incident_links(a).size(), 1u);
+  EXPECT_EQ(t.neighbors(a), std::vector<NodeId>{b});
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  EXPECT_THROW(t.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, 99), std::out_of_range);
+  EXPECT_THROW(t.add_link(a, b, -5.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, FindNodeByName) {
+  Topology t;
+  t.add_node("alpha");
+  t.add_node("beta");
+  EXPECT_EQ(t.find_node("beta"), 1u);
+  EXPECT_EQ(t.find_node("gamma"), kInvalidNode);
+}
+
+TEST(Topology, FindLink) {
+  Topology t = make_line(3);
+  EXPECT_TRUE(t.find_link(0, 1).has_value());
+  EXPECT_TRUE(t.find_link(1, 0).has_value());
+  EXPECT_FALSE(t.find_link(0, 2).has_value());
+}
+
+TEST(Topology, ConnectivityDetection) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.add_node("island");
+  t.add_link(a, b);
+  EXPECT_FALSE(t.is_connected());
+}
+
+TEST(Topology, HostAccounting) {
+  Topology t;
+  t.add_node("a", 64.0);
+  t.add_node("b");
+  t.add_node("c", 32.0);
+  EXPECT_DOUBLE_EQ(t.total_host_cores(), 96.0);
+  EXPECT_EQ(t.host_nodes(), (std::vector<NodeId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace apple::net

@@ -1,0 +1,150 @@
+#include "orch/resource_orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace apple::orch {
+namespace {
+
+using vnf::NfType;
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  OrchestratorTest() : topo_(net::make_line(3, /*host_cores=*/8.0)) {}
+
+  net::Topology topo_;
+};
+
+TEST_F(OrchestratorTest, LaunchAllocatesCores) {
+  ResourceOrchestrator orch(topo_);
+  EXPECT_DOUBLE_EQ(orch.available_cores(0), 8.0);
+  const auto result = orch.launch(NfType::kFirewall, 0, /*now=*/0.0);
+  ASSERT_TRUE(result.ok()) << to_string(result.status);
+  EXPECT_DOUBLE_EQ(orch.available_cores(0), 4.0);  // FW needs 4 cores
+  EXPECT_DOUBLE_EQ(orch.used_cores(0), 4.0);
+  EXPECT_EQ(result.instance.type, NfType::kFirewall);
+  EXPECT_EQ(result.instance.host_switch, 0u);
+  EXPECT_DOUBLE_EQ(result.instance.capacity_mbps, 900.0);
+}
+
+TEST_F(OrchestratorTest, OpenStackBootTakesSeconds) {
+  ResourceOrchestrator orch(topo_);
+  const auto result =
+      orch.launch(NfType::kFirewall, 0, 10.0, LaunchPath::kOpenStack);
+  ASSERT_TRUE(result.ok());
+  // Paper Sec. VIII-B: 3.9 - 4.6 s through OpenStack.
+  EXPECT_GE(result.ready_at, 13.9);
+  EXPECT_LE(result.ready_at, 14.6);
+}
+
+TEST_F(OrchestratorTest, BareXenBootIsMilliseconds) {
+  ResourceOrchestrator orch(topo_);
+  const auto result =
+      orch.launch(NfType::kNat, 0, 10.0, LaunchPath::kBareXen);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.ready_at, 10.030, 1e-9);
+}
+
+TEST_F(OrchestratorTest, NormalVmBootIsSlow) {
+  ResourceOrchestrator orch(topo_);
+  const auto result = orch.launch(NfType::kIds, 0, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.ready_at, orch.timings().normal_vm_boot);
+}
+
+TEST_F(OrchestratorTest, NonClickOsCannotTakeFastPath) {
+  ResourceOrchestrator orch(topo_);
+  const auto result =
+      orch.launch(NfType::kIds, 0, 0.0, LaunchPath::kBareXen);
+  EXPECT_EQ(result.status, LaunchStatus::kNotReconfigurable);
+  EXPECT_DOUBLE_EQ(orch.used_cores(0), 0.0);  // nothing allocated
+}
+
+TEST_F(OrchestratorTest, ResourceExhaustion) {
+  ResourceOrchestrator orch(topo_);
+  ASSERT_TRUE(orch.launch(NfType::kFirewall, 0, 0.0).ok());  // 4 of 8
+  ASSERT_TRUE(orch.launch(NfType::kNat, 0, 0.0).ok());       // 6 of 8
+  const auto result = orch.launch(NfType::kFirewall, 0, 0.0);
+  EXPECT_EQ(result.status, LaunchStatus::kInsufficientResources);
+  // A 2-core NAT still fits.
+  EXPECT_TRUE(orch.launch(NfType::kNat, 0, 0.0).ok());
+  EXPECT_DOUBLE_EQ(orch.available_cores(0), 0.0);
+}
+
+TEST_F(OrchestratorTest, LaunchValidation) {
+  ResourceOrchestrator orch(topo_);
+  EXPECT_EQ(orch.launch(NfType::kNat, 99, 0.0).status,
+            LaunchStatus::kUnknownHost);
+  net::Topology bare;
+  bare.add_node("no-host", 0.0);
+  ResourceOrchestrator orch2(bare);
+  EXPECT_EQ(orch2.launch(NfType::kNat, 0, 0.0).status,
+            LaunchStatus::kNoAppleHost);
+}
+
+TEST_F(OrchestratorTest, CancelReleasesResources) {
+  ResourceOrchestrator orch(topo_);
+  const auto result = orch.launch(NfType::kIds, 1, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(orch.available_cores(1), 0.0);  // IDS: 8 cores
+  EXPECT_TRUE(orch.cancel(result.instance.id));
+  EXPECT_DOUBLE_EQ(orch.available_cores(1), 8.0);
+  EXPECT_FALSE(orch.cancel(result.instance.id));  // already gone
+  EXPECT_EQ(orch.num_instances(), 0u);
+}
+
+TEST_F(OrchestratorTest, ReconfigureSwapsClickOsTypes) {
+  ResourceOrchestrator orch(topo_);
+  const auto fw = orch.launch(NfType::kFirewall, 0, 0.0);
+  ASSERT_TRUE(fw.ok());
+  const auto result = orch.reconfigure(fw.instance.id, NfType::kNat, 100.0);
+  ASSERT_TRUE(result.ok()) << to_string(result.status);
+  EXPECT_NEAR(result.ready_at, 100.030, 1e-9);  // 30 ms (Sec. VIII-D)
+  EXPECT_EQ(result.instance.type, NfType::kNat);
+  EXPECT_DOUBLE_EQ(orch.used_cores(0), 2.0);  // NAT releases 2 cores
+}
+
+TEST_F(OrchestratorTest, ReconfigureRejectsNonClickOs) {
+  ResourceOrchestrator orch(topo_);
+  const auto ids = orch.launch(NfType::kIds, 0, 0.0);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(orch.reconfigure(ids.instance.id, NfType::kNat, 0.0).status,
+            LaunchStatus::kNotReconfigurable);
+  const auto fw = orch.launch(NfType::kFirewall, 1, 0.0);
+  EXPECT_EQ(orch.reconfigure(fw.instance.id, NfType::kIds, 0.0).status,
+            LaunchStatus::kNotReconfigurable);
+  EXPECT_EQ(orch.reconfigure(4242, NfType::kNat, 0.0).status,
+            LaunchStatus::kUnknownInstance);
+}
+
+TEST_F(OrchestratorTest, InstanceLookupAndPerHostListing) {
+  ResourceOrchestrator orch(topo_);
+  const auto a = orch.launch(NfType::kNat, 0, 0.0);
+  const auto b = orch.launch(NfType::kNat, 0, 0.0);
+  const auto c = orch.launch(NfType::kNat, 1, 0.0);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(orch.instances_at(0).size(), 2u);
+  EXPECT_EQ(orch.instances_at(1).size(), 1u);
+  EXPECT_EQ(orch.instances_at(2).size(), 0u);
+  ASSERT_TRUE(orch.instance(a.instance.id).has_value());
+  EXPECT_EQ(orch.instance(a.instance.id)->host_switch, 0u);
+  EXPECT_FALSE(orch.instance(999).has_value());
+}
+
+TEST(OpenStackBootTime, StaysInMeasuredBandAndVaries) {
+  const OrchestrationTimings t;
+  double lo = 1e9, hi = 0.0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const double b = openstack_boot_time(t, i);
+    EXPECT_GE(b, t.clickos_boot_openstack_min);
+    EXPECT_LE(b, t.clickos_boot_openstack_max);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_GT(hi - lo, 0.3);  // spread covers most of the band
+  EXPECT_DOUBLE_EQ(openstack_boot_time(t, 7), openstack_boot_time(t, 7));
+}
+
+}  // namespace
+}  // namespace apple::orch

@@ -1,0 +1,43 @@
+#include "orch/timings.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::orch {
+namespace {
+
+TEST(LaunchTimeline, HasElevenFigureFiveSteps) {
+  const OrchestrationTimings timings;
+  const auto steps = openstack_launch_timeline(timings, 0);
+  EXPECT_EQ(steps.size(), 11u);
+  for (const LaunchStep& step : steps) {
+    EXPECT_GE(step.duration_s, 0.0) << step.description;
+  }
+}
+
+TEST(LaunchTimeline, DurationsSumToBootPlusRuleInstall) {
+  const OrchestrationTimings timings;
+  for (std::uint64_t seq : {0ULL, 7ULL, 99ULL}) {
+    const auto steps = openstack_launch_timeline(timings, seq);
+    double total = 0.0;
+    for (const LaunchStep& step : steps) total += step.duration_s;
+    EXPECT_NEAR(total,
+                openstack_boot_time(timings, seq) + timings.rule_install,
+                1e-9);
+  }
+}
+
+TEST(LaunchTimeline, NetworkingPreparationDominates) {
+  // Sec. VIII-B: steps 1-5 (orchestration hand-offs) are the reason the
+  // boot takes seconds instead of ClickOS's native 30 ms.
+  const OrchestrationTimings timings;
+  const auto steps = openstack_launch_timeline(timings, 3);
+  double prep = 0.0;
+  for (int i = 0; i < 5; ++i) prep += steps[i].duration_s;
+  double rest = 0.0;
+  for (std::size_t i = 5; i < steps.size(); ++i) rest += steps[i].duration_s;
+  EXPECT_GT(prep, rest);
+  EXPECT_GT(prep, 100.0 * timings.clickos_boot_bare_xen);
+}
+
+}  // namespace
+}  // namespace apple::orch

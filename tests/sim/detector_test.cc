@@ -1,0 +1,87 @@
+#include "sim/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::sim {
+namespace {
+
+TEST(OverloadDetector, TripsAboveThreshold) {
+  DetectorConfig cfg;
+  cfg.overload_threshold = 0.9;
+  OverloadDetector det(cfg);
+  // 900 Mbps capacity: trip above 810.
+  EXPECT_FALSE(det.sample(0.0, 1, 500.0, 900.0).has_value());
+  const auto event = det.sample(0.1, 1, 850.0, 900.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, LoadEventKind::kOverloaded);
+  EXPECT_EQ(event->instance, 1u);
+  EXPECT_TRUE(det.is_overloaded(1));
+}
+
+TEST(OverloadDetector, EdgeTriggeredNotLevelTriggered) {
+  OverloadDetector det;
+  ASSERT_TRUE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+  // Still overloaded: no duplicate event.
+  EXPECT_FALSE(det.sample(0.1, 1, 1000.0, 900.0).has_value());
+}
+
+TEST(OverloadDetector, HysteresisClearsOnlyBelowClearThreshold) {
+  DetectorConfig cfg;
+  cfg.overload_threshold = 0.9;
+  cfg.clear_threshold = 0.45;
+  OverloadDetector det(cfg);
+  ASSERT_TRUE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+  // Between clear and overload thresholds: still overloaded.
+  EXPECT_FALSE(det.sample(0.1, 1, 600.0, 900.0).has_value());
+  EXPECT_TRUE(det.is_overloaded(1));
+  // Below the clear threshold (paper: roll back at 4 Kpps of 8.5): clears.
+  const auto event = det.sample(0.2, 1, 300.0, 900.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, LoadEventKind::kCleared);
+  EXPECT_FALSE(det.is_overloaded(1));
+}
+
+TEST(OverloadDetector, PerFlowCounterDelayPostponesDetection) {
+  DetectorConfig cfg;
+  cfg.poll_interval = 0.1;
+  cfg.counter_delay = 1.0;  // per-flow counters lag ~1 s (Sec. VII-B)
+  OverloadDetector det(cfg);
+  // Rate jumps at t=0; the delayed counter still reads the old rate.
+  EXPECT_FALSE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+  EXPECT_FALSE(det.sample(0.5, 1, 1000.0, 900.0).has_value());
+  // After the delay has elapsed, the high rate becomes visible.
+  const auto event = det.sample(1.1, 1, 1000.0, 900.0);
+  EXPECT_TRUE(event.has_value());
+}
+
+TEST(OverloadDetector, PerPortCountersDetectImmediately) {
+  DetectorConfig cfg;
+  cfg.counter_delay = 0.0;
+  OverloadDetector det(cfg);
+  EXPECT_TRUE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+}
+
+TEST(OverloadDetector, TracksInstancesIndependently) {
+  OverloadDetector det;
+  ASSERT_TRUE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+  EXPECT_FALSE(det.sample(0.0, 2, 100.0, 900.0).has_value());
+  EXPECT_TRUE(det.is_overloaded(1));
+  EXPECT_FALSE(det.is_overloaded(2));
+}
+
+TEST(OverloadDetector, ForgetDropsState) {
+  OverloadDetector det;
+  ASSERT_TRUE(det.sample(0.0, 1, 1000.0, 900.0).has_value());
+  det.forget(1);
+  EXPECT_FALSE(det.is_overloaded(1));
+  // A fresh overload event fires again after forgetting.
+  EXPECT_TRUE(det.sample(0.1, 1, 1000.0, 900.0).has_value());
+}
+
+TEST(OverloadDetector, ZeroCapacityNeverTrips) {
+  OverloadDetector det;
+  EXPECT_FALSE(det.sample(0.0, 1, 1000.0, 0.0).has_value());
+}
+
+}  // namespace
+}  // namespace apple::sim

@@ -1,0 +1,78 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, FifoAmongSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonExcludesLaterEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&] { ++ran; });
+  q.schedule_at(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.run_until(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(5.0);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  // Periodic self-rescheduling task.
+  std::function<void()> periodic = [&] {
+    fired.push_back(q.now());
+    if (q.now() < 0.45) q.schedule_in(0.1, periodic);
+  };
+  q.schedule_at(0.1, periodic);
+  q.run_until(1.0);
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_NEAR(fired.back(), 0.5, 1e-9);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  double ran_at = -1.0;
+  q.schedule_at(1.0, [&] { ran_at = q.now(); });  // in the past
+  q.run_until(3.0);
+  EXPECT_DOUBLE_EQ(ran_at, 2.0);
+}
+
+TEST(EventQueue, StepRunsExactlyOne) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&] { ++ran; });
+  q.schedule_at(2.0, [&] { ++ran; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+}  // namespace
+}  // namespace apple::sim

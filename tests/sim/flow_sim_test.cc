@@ -1,0 +1,143 @@
+#include "sim/flow_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::sim {
+namespace {
+
+using dataplane::HostVisit;
+using dataplane::SubclassPlan;
+using vnf::NfType;
+using vnf::VnfInstance;
+
+SubclassPlan plan_through(traffic::ClassId cls,
+                          std::vector<vnf::InstanceId> instances,
+                          double weight = 1.0,
+                          dataplane::SubclassId sub = 0) {
+  SubclassPlan plan;
+  plan.class_id = cls;
+  plan.subclass_id = sub;
+  plan.weight = weight;
+  HostVisit visit;
+  visit.at_switch = 0;
+  visit.instances = std::move(instances);
+  plan.itinerary = {visit};
+  return plan;
+}
+
+TEST(FlowSimulation, NoLossUnderCapacity) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 500.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  const TickStats stats = sim.step();
+  EXPECT_DOUBLE_EQ(stats.offered_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(stats.delivered_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(stats.loss_rate, 0.0);
+}
+
+TEST(FlowSimulation, OverloadDropsExcess) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 1800.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  const TickStats stats = sim.step();
+  EXPECT_NEAR(stats.loss_rate, 0.5, 1e-12);
+  EXPECT_NEAR(stats.delivered_mbps, 900.0, 1e-9);
+}
+
+TEST(FlowSimulation, BootingInstanceDropsEverything) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kNat, 0, 900.0},
+                   /*ready_at=*/1.0);
+  sim.set_class_rate(0, 100.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  // While booting: total loss (Fig. 7's throughput gap).
+  EXPECT_DOUBLE_EQ(sim.step().loss_rate, 1.0);
+  sim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(sim.step().loss_rate, 0.0);  // ready now
+}
+
+TEST(FlowSimulation, SharedInstanceAggregatesLoad) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 600.0);
+  sim.set_class_rate(1, 600.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  sim.install_class_plans(1, {plan_through(1, {1})});
+  const TickStats stats = sim.step();
+  // 1200 offered into 900 capacity: 25% loss.
+  EXPECT_NEAR(stats.loss_rate, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(1), 1200.0);
+}
+
+TEST(FlowSimulation, ChainLossCompounds) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 450.0});
+  sim.add_instance(VnfInstance{2, NfType::kIds, 0, 450.0});
+  sim.set_class_rate(0, 900.0);
+  sim.install_class_plans(0, {plan_through(0, {1, 2})});
+  const TickStats stats = sim.step();
+  // Each stage passes 450/900 = 0.5; survival = 0.25.
+  EXPECT_NEAR(stats.delivered_mbps, 900.0 * 0.25, 1e-9);
+}
+
+TEST(FlowSimulation, SubclassWeightsSplitLoad) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.add_instance(VnfInstance{2, NfType::kFirewall, 1, 900.0});
+  sim.set_class_rate(0, 1000.0);
+  auto a = plan_through(0, {1}, 0.5, 0);
+  auto b = plan_through(0, {2}, 0.5, 1);
+  sim.install_class_plans(0, {a, b});
+  const TickStats stats = sim.step();
+  EXPECT_DOUBLE_EQ(stats.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(1), 500.0);
+  EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(2), 500.0);
+}
+
+TEST(FlowSimulation, PlanValidation) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  EXPECT_THROW(sim.install_class_plans(0, {plan_through(0, {99})}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.install_class_plans(0, {plan_through(0, {1}, 0.5)}),
+               std::invalid_argument);
+  auto neg = plan_through(0, {1}, -0.5);
+  EXPECT_THROW(sim.install_class_plans(0, {neg}), std::invalid_argument);
+  EXPECT_THROW(FlowSimulation(0.0), std::invalid_argument);
+}
+
+TEST(FlowSimulation, HistoryAndClockAdvance) {
+  FlowSimulation sim(0.5);
+  sim.set_class_rate(0, 10.0);
+  sim.install_class_plans(0, {plan_through(0, {})});
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.history().size(), 4u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.history()[2].time, 1.0);
+  // Empty itinerary means nothing to drop.
+  EXPECT_DOUBLE_EQ(sim.history().back().loss_rate, 0.0);
+}
+
+TEST(FlowSimulation, RemoveInstance) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  EXPECT_TRUE(sim.has_instance(1));
+  sim.remove_instance(1);
+  EXPECT_FALSE(sim.has_instance(1));
+}
+
+TEST(FlowSimulation, ZeroRateClassCostsNothing) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 0.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  const TickStats stats = sim.step();
+  EXPECT_DOUBLE_EQ(stats.offered_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(stats.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(1), 0.0);
+}
+
+}  // namespace
+}  // namespace apple::sim

@@ -1,0 +1,104 @@
+#include "sim/packet_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::sim {
+namespace {
+
+TEST(PacketQueue, NoLossBelowServiceRate) {
+  QueueConfig cfg;
+  cfg.service_pps = 8500.0;
+  const QueueStats stats = simulate_packet_queue_cbr(cfg, 5000.0, 5.0);
+  EXPECT_GT(stats.arrived, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_LE(stats.max_queue, 1u);  // arrivals never find a backlog
+}
+
+TEST(PacketQueue, SteadyOverloadConvergesToFluidLoss) {
+  // 10 Kpps into an 8.5 Kpps server: the fluid model predicts 15% loss.
+  QueueConfig cfg;
+  cfg.service_pps = 8500.0;
+  cfg.buffer_packets = 128;
+  const QueueStats stats = simulate_packet_queue_cbr(cfg, 10000.0, 30.0);
+  EXPECT_NEAR(stats.loss_rate(), 1.0 - 8500.0 / 10000.0, 0.01);
+}
+
+TEST(PacketQueue, BufferAbsorbsShortBurst) {
+  // A 0.5 s 10 Kpps burst over a 1 Kpps base: excess 1.5 Kpps x 0.5 s = 750
+  // packets. With a 1024-packet buffer the transient is absorbed with ZERO
+  // loss — the effect behind the paper's 0%-loss failover (Sec. VIII-E).
+  QueueConfig cfg;
+  cfg.service_pps = 8500.0;
+  cfg.buffer_packets = 1024;
+  const RateSegment timeline[] = {
+      {5.0, 1000.0},   // base
+      {5.5, 10000.0},  // burst (detection + mitigation window)
+      {10.0, 1000.0},  // mitigated
+  };
+  const QueueStats stats = simulate_packet_queue(cfg, timeline);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GT(stats.max_queue, 500u);  // the burst really queued up
+}
+
+TEST(PacketQueue, SmallBufferDropsTheSameBurst) {
+  QueueConfig cfg;
+  cfg.service_pps = 8500.0;
+  cfg.buffer_packets = 64;
+  const RateSegment timeline[] = {
+      {5.0, 1000.0},
+      {5.5, 10000.0},
+      {10.0, 1000.0},
+  };
+  const QueueStats stats = simulate_packet_queue(cfg, timeline);
+  EXPECT_GT(stats.dropped, 0u);
+}
+
+TEST(PacketQueue, ZeroLossBufferBoundIsTight) {
+  const double service = 8500.0, burst = 10000.0, duration = 0.5;
+  const std::size_t bound = zero_loss_buffer_bound(service, burst, duration);
+  QueueConfig enough;
+  enough.service_pps = service;
+  enough.buffer_packets = bound;
+  const RateSegment timeline[] = {{duration, burst}};
+  EXPECT_EQ(simulate_packet_queue(enough, timeline).dropped, 0u);
+
+  QueueConfig scarce = enough;
+  scarce.buffer_packets = bound / 2;
+  EXPECT_GT(simulate_packet_queue(scarce, timeline).dropped, 0u);
+
+  // No excess, no buffer needed.
+  EXPECT_EQ(zero_loss_buffer_bound(service, service / 2, 1.0), 0u);
+}
+
+TEST(PacketQueue, QueueDrainsBetweenSegments) {
+  QueueConfig cfg;
+  cfg.service_pps = 1000.0;
+  cfg.buffer_packets = 10000;
+  // Burst, then silence long enough to drain, then another burst: the
+  // second burst must start from an empty queue (same max as the first).
+  const RateSegment one_burst[] = {{1.0, 2000.0}};
+  const RateSegment two_bursts[] = {{1.0, 2000.0}, {10.0, 1.0}, {11.0, 2000.0}};
+  const QueueStats a = simulate_packet_queue(cfg, one_burst);
+  const QueueStats b = simulate_packet_queue(cfg, two_bursts);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(b.dropped, 0u);
+}
+
+TEST(PacketQueue, Validation) {
+  QueueConfig bad;
+  bad.service_pps = 0.0;
+  EXPECT_THROW(simulate_packet_queue_cbr(bad, 100.0, 1.0),
+               std::invalid_argument);
+  QueueConfig ok;
+  const RateSegment decreasing[] = {{2.0, 100.0}, {1.0, 100.0}};
+  EXPECT_THROW(simulate_packet_queue(ok, decreasing), std::invalid_argument);
+}
+
+TEST(PacketQueue, ArrivalCountMatchesRateTimesDuration) {
+  QueueConfig cfg;
+  const QueueStats stats = simulate_packet_queue_cbr(cfg, 1000.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(stats.arrived), 2000.0, 2.0);
+}
+
+}  // namespace
+}  // namespace apple::sim

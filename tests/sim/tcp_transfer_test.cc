@@ -1,0 +1,63 @@
+#include "sim/tcp_transfer.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::sim {
+namespace {
+
+const auto kNoLoss = [](double) { return 0.0; };
+
+TEST(TcpTransfer, CompletesNearBottleneckRate) {
+  TcpTransferConfig cfg;
+  cfg.file_mbits = 160.0;  // 20 MB
+  cfg.bottleneck_mbps = 94.0;
+  const double t = simulate_tcp_transfer(cfg, kNoLoss);
+  // Ideal time 160/94 = 1.70 s; AIMD ramp-up adds a little.
+  EXPECT_GT(t, 160.0 / 94.0);
+  EXPECT_LT(t, 2.0 * 160.0 / 94.0);
+}
+
+TEST(TcpTransfer, LossWindowDelaysCompletion) {
+  TcpTransferConfig cfg;
+  const double clean = simulate_tcp_transfer(cfg, kNoLoss);
+  // Total outage for 4.2 s starting at t=0.5 (the Fig. 7 scenario: rules
+  // flipped before the ClickOS VM finished booting).
+  const auto outage = [](double t) {
+    return (t >= 0.5 && t < 0.5 + 4.2) ? 1.0 : 0.0;
+  };
+  const double disturbed = simulate_tcp_transfer(cfg, outage);
+  EXPECT_GT(disturbed, clean + 4.0);
+}
+
+TEST(TcpTransfer, FasterBottleneckFinishesSooner) {
+  TcpTransferConfig slow, fast;
+  slow.bottleneck_mbps = 50.0;
+  fast.bottleneck_mbps = 200.0;
+  EXPECT_LT(simulate_tcp_transfer(fast, kNoLoss),
+            simulate_tcp_transfer(slow, kNoLoss));
+}
+
+TEST(TcpTransfer, GivesUpAtMaxDuration) {
+  TcpTransferConfig cfg;
+  cfg.max_duration = 1.0;
+  const double t = simulate_tcp_transfer(cfg, [](double) { return 1.0; });
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(TcpTransfer, Validation) {
+  TcpTransferConfig bad;
+  bad.tick = 0.0;
+  EXPECT_THROW(simulate_tcp_transfer(bad, kNoLoss), std::invalid_argument);
+}
+
+TEST(UdpLoss, IntegratesLossTimeline) {
+  // 1 s outage in a 10 s flow: 10% loss.
+  const auto outage = [](double t) { return t < 1.0 ? 1.0 : 0.0; };
+  EXPECT_NEAR(udp_loss_fraction(10.0, 0.001, outage), 0.1, 1e-3);
+  EXPECT_DOUBLE_EQ(udp_loss_fraction(5.0, 0.01, kNoLoss), 0.0);
+  EXPECT_THROW(udp_loss_fraction(0.0, 0.01, kNoLoss),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apple::sim

@@ -1,0 +1,131 @@
+#include "traffic/flow_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "traffic/stats.h"
+#include "traffic/synthesis.h"
+
+namespace apple::traffic {
+namespace {
+
+TEST(UniformChainAssignment, DeterministicAndInRange) {
+  const auto assign = uniform_chain_assignment(4, 9);
+  const auto a = assign(3, 7);
+  const auto b = assign(3, 7);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a[0].first, 4u);
+  EXPECT_DOUBLE_EQ(a[0].second, 1.0);
+}
+
+TEST(UniformChainAssignment, RejectsZeroChains) {
+  EXPECT_THROW(uniform_chain_assignment(0), std::invalid_argument);
+}
+
+TEST(BuildClasses, OneClassPerActiveOdPair) {
+  const net::Topology topo = net::make_line(4);
+  const net::AllPairsPaths routing(topo);
+  TrafficMatrix tm(4);
+  tm.set(0, 3, 100.0);
+  tm.set(1, 2, 50.0);
+  const auto classes =
+      build_classes(topo, routing, tm, uniform_chain_assignment(3));
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].src, 0u);
+  EXPECT_EQ(classes[0].dst, 3u);
+  EXPECT_EQ(classes[0].path, (net::Path{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(classes[0].rate_mbps, 100.0);
+  EXPECT_EQ(classes[1].path, (net::Path{1, 2}));
+}
+
+TEST(BuildClasses, DropsTinyDemands) {
+  const net::Topology topo = net::make_line(3);
+  const net::AllPairsPaths routing(topo);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 1e-9);
+  const auto classes =
+      build_classes(topo, routing, tm, uniform_chain_assignment(2), 1e-3);
+  EXPECT_TRUE(classes.empty());
+}
+
+TEST(BuildClasses, SplitsAcrossChains) {
+  const net::Topology topo = net::make_line(3);
+  const net::AllPairsPaths routing(topo);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 100.0);
+  const ChainAssignment half_half = [](net::NodeId, net::NodeId) {
+    return std::vector<std::pair<ChainId, double>>{{0, 0.5}, {1, 0.5}};
+  };
+  const auto classes = build_classes(topo, routing, tm, half_half);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].chain_id, 0u);
+  EXPECT_EQ(classes[1].chain_id, 1u);
+  EXPECT_DOUBLE_EQ(classes[0].rate_mbps + classes[1].rate_mbps, 100.0);
+}
+
+TEST(BuildClasses, SizeMismatchThrows) {
+  const net::Topology topo = net::make_line(3);
+  const net::AllPairsPaths routing(topo);
+  EXPECT_THROW(build_classes(topo, routing, TrafficMatrix(4),
+                             uniform_chain_assignment(1)),
+               std::invalid_argument);
+}
+
+TEST(BuildClasses, IdsAreDense) {
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  const TrafficMatrix tm = make_gravity_matrix(topo.num_nodes(), {});
+  const auto classes =
+      build_classes(topo, routing, tm, uniform_chain_assignment(4));
+  // Every OD pair active: 12*11 classes with dense ids.
+  ASSERT_EQ(classes.size(), 132u);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_EQ(classes[i].id, static_cast<ClassId>(i));
+  }
+}
+
+TEST(UpdateRates, TracksNewSnapshot) {
+  const net::Topology topo = net::make_line(3);
+  const net::AllPairsPaths routing(topo);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 100.0);
+  const auto assign = uniform_chain_assignment(2);
+  auto classes = build_classes(topo, routing, tm, assign);
+  ASSERT_EQ(classes.size(), 1u);
+  TrafficMatrix tm2(3);
+  tm2.set(0, 2, 40.0);
+  update_rates(classes, tm2, assign);
+  EXPECT_DOUBLE_EQ(classes[0].rate_mbps, 40.0);
+  // Path and identity unchanged.
+  EXPECT_EQ(classes[0].path, (net::Path{0, 1, 2}));
+}
+
+TEST(TotalRate, SumsClasses) {
+  std::vector<TrafficClass> classes(3);
+  classes[0].rate_mbps = 1.0;
+  classes[1].rate_mbps = 2.5;
+  classes[2].rate_mbps = 4.0;
+  EXPECT_DOUBLE_EQ(total_rate(classes), 7.5);
+}
+
+// Property: aggregated traffic is smoother than its parts (Sec. IV-A).
+TEST(Aggregation, ReducesCoefficientOfVariation) {
+  const TrafficMatrix base = make_gravity_matrix(8, {});
+  DiurnalConfig cfg;
+  cfg.num_snapshots = 300;
+  cfg.diurnal_amplitude = 0.0;  // isolate stochastic noise
+  cfg.noise_sigma = 0.4;
+  const auto series = make_diurnal_series(base, cfg);
+  // Per-OD CoV vs network-aggregate CoV.
+  std::vector<double> od01, aggregate;
+  for (const auto& tm : series) {
+    od01.push_back(tm.at(0, 1));
+    aggregate.push_back(tm.total());
+  }
+  EXPECT_LT(coefficient_of_variation(aggregate),
+            coefficient_of_variation(od01));
+}
+
+}  // namespace
+}  // namespace apple::traffic

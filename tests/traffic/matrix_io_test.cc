@@ -1,0 +1,65 @@
+#include "traffic/matrix_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "traffic/synthesis.h"
+
+namespace apple::traffic {
+namespace {
+
+TEST(MatrixIo, RoundTripsSingleMatrix) {
+  const TrafficMatrix original = make_gravity_matrix(7, {.seed = 5});
+  std::stringstream buffer;
+  save_matrix_csv(original, buffer);
+  const TrafficMatrix parsed = load_matrix_csv(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t s = 0; s < 7; ++s) {
+    for (std::size_t d = 0; d < 7; ++d) {
+      EXPECT_NEAR(parsed.at(s, d), original.at(s, d), 1e-9);
+    }
+  }
+}
+
+TEST(MatrixIo, RoundTripsSeries) {
+  const TrafficMatrix base = make_gravity_matrix(4, {});
+  DiurnalConfig cfg;
+  cfg.num_snapshots = 5;
+  const auto series = make_diurnal_series(base, cfg);
+  std::stringstream buffer;
+  save_series_csv(series, buffer);
+  const auto parsed = load_series_csv(buffer);
+  ASSERT_EQ(parsed.size(), series.size());
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    EXPECT_NEAR(parsed[t].total(), series[t].total(), 1e-6);
+  }
+}
+
+TEST(MatrixIo, EmptySeriesYieldsNothing) {
+  std::istringstream empty("");
+  EXPECT_TRUE(load_series_csv(empty).empty());
+}
+
+TEST(MatrixIo, RejectsMissingHeader) {
+  std::istringstream bad("1,2\n3,4\n");
+  EXPECT_THROW(load_matrix_csv(bad), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsTruncatedBody) {
+  std::istringstream bad("# traffic-matrix n=3\n1,2,3\n4,5,6\n");
+  EXPECT_THROW(load_matrix_csv(bad), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsShortRow) {
+  std::istringstream bad("# traffic-matrix n=2\n1,2\n3\n");
+  EXPECT_THROW(load_matrix_csv(bad), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsZeroSize) {
+  std::istringstream bad("# traffic-matrix n=0\n");
+  EXPECT_THROW(load_matrix_csv(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apple::traffic

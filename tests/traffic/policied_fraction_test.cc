@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "net/routing.h"
+#include "net/topologies.h"
+#include "traffic/flow_classes.h"
+#include "traffic/synthesis.h"
+
+namespace apple::traffic {
+namespace {
+
+TEST(PoliciedFraction, OneMeansEveryPairPolicied) {
+  const auto assign = uniform_chain_assignment(4, 0, 1.0);
+  for (net::NodeId s = 0; s < 10; ++s) {
+    for (net::NodeId d = 0; d < 10; ++d) {
+      EXPECT_EQ(assign(s, d).size(), 1u);
+    }
+  }
+}
+
+TEST(PoliciedFraction, ZeroMeansNothingPolicied) {
+  const auto assign = uniform_chain_assignment(4, 0, 0.0);
+  for (net::NodeId s = 0; s < 10; ++s) {
+    for (net::NodeId d = 0; d < 10; ++d) {
+      EXPECT_TRUE(assign(s, d).empty());
+    }
+  }
+}
+
+TEST(PoliciedFraction, FractionIsApproximatelyHonored) {
+  const auto assign = uniform_chain_assignment(4, 0, 0.4);
+  int policied = 0;
+  const int kPairs = 4000;
+  for (int i = 0; i < kPairs; ++i) {
+    const net::NodeId s = static_cast<net::NodeId>(i * 2654435761u);
+    const net::NodeId d = static_cast<net::NodeId>(i * 40503u + 17u);
+    if (!assign(s, d).empty()) ++policied;
+  }
+  EXPECT_NEAR(static_cast<double>(policied) / kPairs, 0.4, 0.05);
+}
+
+TEST(PoliciedFraction, DeterministicPerPair) {
+  const auto assign = uniform_chain_assignment(4, 9, 0.4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(assign(3, 8).size(), assign(3, 8).size());
+    if (!assign(3, 8).empty()) {
+      EXPECT_EQ(assign(3, 8)[0].first, assign(3, 8)[0].first);
+    }
+  }
+}
+
+TEST(PoliciedFraction, Validation) {
+  EXPECT_THROW(uniform_chain_assignment(4, 0, -0.1), std::invalid_argument);
+  EXPECT_THROW(uniform_chain_assignment(4, 0, 1.1), std::invalid_argument);
+}
+
+TEST(PoliciedFraction, ReducesClassCount) {
+  const net::Topology topo = net::make_internet2();
+  const net::AllPairsPaths routing(topo);
+  const TrafficMatrix tm = make_gravity_matrix(topo.num_nodes(), {});
+  const auto all =
+      build_classes(topo, routing, tm, uniform_chain_assignment(4, 0, 1.0));
+  const auto some =
+      build_classes(topo, routing, tm, uniform_chain_assignment(4, 0, 0.4));
+  EXPECT_EQ(all.size(), 132u);
+  EXPECT_LT(some.size(), all.size());
+  EXPECT_GT(some.size(), 0u);
+}
+
+}  // namespace
+}  // namespace apple::traffic

@@ -1,0 +1,81 @@
+#include "traffic/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace apple::traffic {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(mean(one), 5.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxplotStats b = boxplot(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].probability, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].probability, cdf[i - 1].probability);
+  }
+}
+
+TEST(CoefficientOfVariation, ZeroMeanSafe) {
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(zeros), 0.0);
+}
+
+TEST(CoefficientOfVariation, ScaleInvariant) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> scaled{10.0, 20.0, 30.0};
+  EXPECT_NEAR(coefficient_of_variation(xs), coefficient_of_variation(scaled),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace apple::traffic

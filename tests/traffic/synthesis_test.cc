@@ -1,0 +1,113 @@
+#include "traffic/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/stats.h"
+
+namespace apple::traffic {
+namespace {
+
+TEST(GravityModel, HitsTargetTotal) {
+  GravityModelConfig cfg;
+  cfg.total_mbps = 12345.0;
+  const TrafficMatrix tm = make_gravity_matrix(10, cfg);
+  EXPECT_NEAR(tm.total(), 12345.0, 1e-6);
+}
+
+TEST(GravityModel, DeterministicForSeed) {
+  const TrafficMatrix a = make_gravity_matrix(8, {.seed = 42});
+  const TrafficMatrix b = make_gravity_matrix(8, {.seed = 42});
+  const TrafficMatrix c = make_gravity_matrix(8, {.seed = 43});
+  EXPECT_DOUBLE_EQ(a.at(1, 2), b.at(1, 2));
+  EXPECT_NE(a.at(1, 2), c.at(1, 2));
+}
+
+TEST(GravityModel, AllOffDiagonalPositive) {
+  const TrafficMatrix tm = make_gravity_matrix(6, {});
+  for (std::size_t s = 0; s < 6; ++s) {
+    for (std::size_t d = 0; d < 6; ++d) {
+      if (s == d) {
+        EXPECT_DOUBLE_EQ(tm.at(s, d), 0.0);
+      } else {
+        EXPECT_GT(tm.at(s, d), 0.0);
+      }
+    }
+  }
+}
+
+TEST(GravityModel, RejectsTinyNetwork) {
+  EXPECT_THROW(make_gravity_matrix(1, {}), std::invalid_argument);
+}
+
+TEST(DiurnalSeries, ProducesRequestedSnapshots) {
+  const TrafficMatrix base = make_gravity_matrix(5, {});
+  DiurnalConfig cfg;
+  cfg.num_snapshots = 100;
+  const auto series = make_diurnal_series(base, cfg);
+  EXPECT_EQ(series.size(), 100u);
+}
+
+TEST(DiurnalSeries, MeanTracksBase) {
+  const TrafficMatrix base = make_gravity_matrix(5, {.total_mbps = 5000.0});
+  DiurnalConfig cfg;
+  cfg.num_snapshots = 672;
+  const auto series = make_diurnal_series(base, cfg);
+  const TrafficMatrix mean = mean_matrix(series);
+  // Diurnal factor averages to 1 over whole days; noise has mean 1.
+  EXPECT_NEAR(mean.total(), base.total(), 0.05 * base.total());
+}
+
+TEST(DiurnalSeries, HasDayNightSwing) {
+  const TrafficMatrix base = make_gravity_matrix(5, {});
+  DiurnalConfig cfg;
+  cfg.num_snapshots = 96;
+  cfg.noise_sigma = 0.0;
+  const auto series = make_diurnal_series(base, cfg);
+  // Midnight trough vs mid-day peak.
+  EXPECT_LT(series.front().total(), series[48].total());
+  EXPECT_NEAR(series[48].total() / series.front().total(),
+              (1.0 + cfg.diurnal_amplitude) / (1.0 - cfg.diurnal_amplitude),
+              0.05);
+}
+
+TEST(BurstInjection, AmplifiesSomeEntries) {
+  const TrafficMatrix base = make_gravity_matrix(6, {});
+  DiurnalConfig dcfg;
+  dcfg.num_snapshots = 200;
+  dcfg.noise_sigma = 0.0;
+  auto series = make_diurnal_series(base, dcfg);
+  auto burst = series;
+  BurstConfig bcfg;
+  bcfg.probability = 0.2;
+  inject_bursts(burst, bcfg);
+  double amplified = 0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (burst[t].total() > series[t].total() * 1.01) ++amplified;
+  }
+  EXPECT_GT(amplified, 0);
+}
+
+TEST(BurstInjection, NoOpOnEmptySeries) {
+  std::vector<TrafficMatrix> empty;
+  inject_bursts(empty, {});  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TraceReplay, HeavyTailedButFiniteMean) {
+  TraceReplayConfig cfg;
+  cfg.num_snapshots = 300;
+  const auto series = make_trace_replay_series(23, cfg);
+  ASSERT_EQ(series.size(), 300u);
+  std::vector<double> totals;
+  totals.reserve(series.size());
+  for (const auto& tm : series) totals.push_back(tm.total());
+  const double expected =
+      cfg.mean_flow_mbps * static_cast<double>(cfg.flows_per_snapshot);
+  // Pareto(1.5) has high variance; allow a generous band around the mean.
+  EXPECT_NEAR(mean(totals), expected, 0.5 * expected);
+  // Heavy tail: the max snapshot should clearly exceed the mean.
+  EXPECT_GT(quantile(totals, 1.0), 1.2 * mean(totals));
+}
+
+}  // namespace
+}  // namespace apple::traffic

@@ -1,0 +1,65 @@
+#include "traffic/traffic_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::traffic {
+namespace {
+
+TEST(TrafficMatrix, DefaultIsEmpty) {
+  TrafficMatrix tm;
+  EXPECT_EQ(tm.size(), 0u);
+  EXPECT_DOUBLE_EQ(tm.total(), 0.0);
+}
+
+TEST(TrafficMatrix, SetGetAdd) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 10.0);
+  tm.add(0, 1, 5.0);
+  tm.set(2, 0, 7.0);
+  EXPECT_DOUBLE_EQ(tm.at(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(tm.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(tm.at(1, 2), 0.0);
+}
+
+TEST(TrafficMatrix, TotalSkipsDiagonal) {
+  TrafficMatrix tm(2);
+  tm.set(0, 0, 100.0);  // self traffic ignored
+  tm.set(0, 1, 3.0);
+  tm.set(1, 0, 4.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 7.0);
+}
+
+TEST(TrafficMatrix, ScaleAndMax) {
+  TrafficMatrix tm(2);
+  tm.set(0, 1, 3.0);
+  tm.set(1, 0, 9.0);
+  tm.scale(2.0);
+  EXPECT_DOUBLE_EQ(tm.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(tm.max_entry(), 18.0);
+}
+
+TEST(TrafficMatrix, OutOfRangeThrows) {
+  TrafficMatrix tm(2);
+  EXPECT_THROW(tm.at(2, 0), std::out_of_range);
+  EXPECT_THROW(tm.set(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(MeanMatrix, AveragesSnapshots) {
+  TrafficMatrix a(2), b(2);
+  a.set(0, 1, 2.0);
+  b.set(0, 1, 4.0);
+  b.set(1, 0, 6.0);
+  const std::vector<TrafficMatrix> snaps{a, b};
+  const TrafficMatrix mean = mean_matrix(snaps);
+  EXPECT_DOUBLE_EQ(mean.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(mean.at(1, 0), 3.0);
+}
+
+TEST(MeanMatrix, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(mean_matrix({}), std::invalid_argument);
+  const std::vector<TrafficMatrix> bad{TrafficMatrix(2), TrafficMatrix(3)};
+  EXPECT_THROW(mean_matrix(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apple::traffic

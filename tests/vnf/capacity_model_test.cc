@@ -1,0 +1,65 @@
+#include "vnf/capacity_model.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::vnf {
+namespace {
+
+TEST(LossFraction, ZeroBelowCapacity) {
+  EXPECT_DOUBLE_EQ(loss_fraction(100.0, 900.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss_fraction(900.0, 900.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss_fraction(0.0, 900.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss_fraction(-5.0, 900.0), 0.0);
+}
+
+TEST(LossFraction, SoarsBeyondCapacity) {
+  // Fig. 6 shape: loss climbs steeply once offered > capacity.
+  EXPECT_DOUBLE_EQ(loss_fraction(1800.0, 900.0), 0.5);
+  EXPECT_NEAR(loss_fraction(9000.0, 900.0), 0.9, 1e-12);
+  EXPECT_GT(loss_fraction(1000.0, 900.0), 0.0);
+}
+
+TEST(LossFraction, ZeroCapacityDropsEverything) {
+  EXPECT_DOUBLE_EQ(loss_fraction(10.0, 0.0), 1.0);
+}
+
+TEST(UnitConversion, PpsMbpsRoundTrip) {
+  // 8.5 Kpps of 1500-byte packets = 102 Mbps.
+  EXPECT_DOUBLE_EQ(pps_to_mbps(8500.0, 1500), 102.0);
+  EXPECT_DOUBLE_EQ(mbps_to_pps(102.0, 1500), 8500.0);
+  EXPECT_THROW(mbps_to_pps(1.0, 0), std::invalid_argument);
+}
+
+TEST(MonitorLossCurve, MatchesFig6Shape) {
+  const auto curve = monitor_loss_curve(kMonitorCapacityPps, 15000.0, 31);
+  ASSERT_EQ(curve.size(), 31u);
+  EXPECT_DOUBLE_EQ(curve.front().offered_pps, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().offered_pps, 15000.0);
+  // Monotone non-decreasing loss; zero below capacity, positive above.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].loss_rate, curve[i - 1].loss_rate);
+    if (curve[i].offered_pps <= kMonitorCapacityPps) {
+      EXPECT_DOUBLE_EQ(curve[i].loss_rate, 0.0);
+    } else {
+      EXPECT_GT(curve[i].loss_rate, 0.0);
+    }
+  }
+  EXPECT_THROW(monitor_loss_curve(1000.0, 2000.0, 1), std::invalid_argument);
+}
+
+TEST(MeasureCapacity, FindsTrueCapacityWithinOneStep) {
+  const double measured = measure_capacity_pps(8500.0, 100.0, 0.01);
+  EXPECT_LE(measured, 8600.0);
+  EXPECT_GE(measured, 8400.0);
+  EXPECT_THROW(measure_capacity_pps(8500.0, 0.0, 0.01),
+               std::invalid_argument);
+}
+
+TEST(MeasureCapacity, CoarseStepsUnderestimate) {
+  const double coarse = measure_capacity_pps(8500.0, 2000.0, 0.01);
+  EXPECT_LE(coarse, 8500.0);
+  EXPECT_GT(coarse, 0.0);
+}
+
+}  // namespace
+}  // namespace apple::vnf

@@ -1,0 +1,73 @@
+#include "vnf/nf_types.h"
+
+#include <gtest/gtest.h>
+
+namespace apple::vnf {
+namespace {
+
+TEST(NfCatalog, MatchesTableIV) {
+  const auto catalog = nf_catalog();
+  ASSERT_EQ(catalog.size(), kNumNfTypes);
+  // Firewall: 4 cores, 900 Mbps, ClickOS.
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kFirewall).cores_required, 4.0);
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kFirewall).capacity_mbps, 900.0);
+  EXPECT_TRUE(spec_of(NfType::kFirewall).clickos);
+  // Proxy: 4 cores, 900 Mbps, not ClickOS.
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kProxy).cores_required, 4.0);
+  EXPECT_FALSE(spec_of(NfType::kProxy).clickos);
+  // NAT: 2 cores, 900 Mbps, ClickOS.
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kNat).cores_required, 2.0);
+  EXPECT_TRUE(spec_of(NfType::kNat).clickos);
+  // IDS: 8 cores, 600 Mbps, not ClickOS.
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kIds).cores_required, 8.0);
+  EXPECT_DOUBLE_EQ(spec_of(NfType::kIds).capacity_mbps, 600.0);
+  EXPECT_FALSE(spec_of(NfType::kIds).clickos);
+}
+
+TEST(NfCatalog, SpecIndexMatchesType) {
+  for (const NfSpec& spec : nf_catalog()) {
+    EXPECT_EQ(&spec_of(spec.type), &spec);
+  }
+}
+
+TEST(NfNames, RoundTrip) {
+  EXPECT_EQ(to_string(NfType::kFirewall), "FW");
+  EXPECT_EQ(to_string(NfType::kProxy), "Proxy");
+  EXPECT_EQ(to_string(NfType::kNat), "NAT");
+  EXPECT_EQ(to_string(NfType::kIds), "IDS");
+}
+
+TEST(PolicyChains, DefaultTemplatesAreValid) {
+  const auto chains = default_policy_chains();
+  ASSERT_GE(chains.size(), 4u);
+  for (const PolicyChain& chain : chains) {
+    EXPECT_FALSE(chain.empty());
+    EXPECT_LE(chain.size(), kNumNfTypes);
+    // No NF repeats within a chain (a packet never visits an instance
+    // twice, Sec. V-B assumption).
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      for (std::size_t j = i + 1; j < chain.size(); ++j) {
+        EXPECT_NE(chain[i], chain[j]);
+      }
+    }
+  }
+}
+
+TEST(PolicyChains, IncludesPaperIntroChain) {
+  // Intro example: firewall -> IDS -> web proxy.
+  const PolicyChain want{NfType::kFirewall, NfType::kIds, NfType::kProxy};
+  bool found = false;
+  for (const PolicyChain& chain : default_policy_chains()) {
+    if (chain == want) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PolicyChains, ChainToString) {
+  const PolicyChain chain{NfType::kFirewall, NfType::kIds};
+  EXPECT_EQ(chain_to_string(chain), "FW->IDS");
+  EXPECT_EQ(chain_to_string({}), "");
+}
+
+}  // namespace
+}  // namespace apple::vnf

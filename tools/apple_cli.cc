@@ -1,0 +1,237 @@
+// apple_cli — drive the APPLE pipeline from the command line.
+//
+// Examples:
+//   apple_cli --topology internet2 --total-mbps 6000 --snapshots 32
+//   apple_cli --topology geant --strategy lp-round --no-failover
+//   apple_cli --topology univ1 --tm-series series.csv --reoptimize 8
+//   apple_cli --topology as3679 --export-lp model.lp --snapshots 0
+//   apple_cli --topology-file mynet.topo --total-mbps 2000
+//
+// The topology file format is documented in src/net/topology_io.h; the
+// traffic CSV format in src/traffic/matrix_io.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/apple_controller.h"
+#include "core/ilp_builder.h"
+#include "lp/lp_format.h"
+#include "net/topologies.h"
+#include "net/topology_io.h"
+#include "traffic/matrix_io.h"
+
+namespace {
+
+using namespace apple;
+
+struct Options {
+  std::string topology = "internet2";
+  std::string topology_file;
+  std::string tm_series_file;
+  std::string export_lp;
+  double total_mbps = 6000.0;
+  std::size_t snapshots = 32;
+  std::string strategy = "greedy";
+  bool failover = true;
+  double policied = 0.5;
+  std::size_t reoptimize = 0;
+  std::uint64_t seed = 1;
+};
+
+void usage() {
+  std::puts(
+      "usage: apple_cli [options]\n"
+      "  --topology internet2|geant|univ1|as3679   evaluation topology\n"
+      "  --topology-file <path>                    custom topology file\n"
+      "  --tm-series <path>                        replay this CSV series\n"
+      "  --total-mbps <x>                          synthetic load (default 6000)\n"
+      "  --snapshots <n>                           synthetic snapshots (default 32; 0 = no replay)\n"
+      "  --strategy greedy|lp-round|exact          placement strategy\n"
+      "  --no-failover                             disable the Dynamic Handler\n"
+      "  --policied <f>                            policied OD fraction (default 0.5)\n"
+      "  --reoptimize <n>                          re-run the engine every n snapshots\n"
+      "  --export-lp <path>                        dump the placement ILP in LP format\n"
+      "  --seed <s>                                synthesis seed");
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return std::nullopt;
+    } else if (arg == "--topology") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.topology = v;
+    } else if (arg == "--topology-file") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.topology_file = v;
+    } else if (arg == "--tm-series") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.tm_series_file = v;
+    } else if (arg == "--total-mbps") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.total_mbps = std::stod(v);
+    } else if (arg == "--snapshots") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.snapshots = std::stoul(v);
+    } else if (arg == "--strategy") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.strategy = v;
+    } else if (arg == "--no-failover") {
+      opt.failover = false;
+    } else if (arg == "--policied") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.policied = std::stod(v);
+    } else if (arg == "--reoptimize") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.reoptimize = std::stoul(v);
+    } else if (arg == "--export-lp") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.export_lp = v;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.seed = std::stoull(v);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+net::Topology load_topology(const Options& opt) {
+  if (!opt.topology_file.empty()) {
+    std::ifstream in(opt.topology_file);
+    if (!in) throw std::runtime_error("cannot open " + opt.topology_file);
+    return net::load_topology(in);
+  }
+  if (opt.topology == "internet2") return net::make_internet2();
+  if (opt.topology == "geant") return net::make_geant();
+  if (opt.topology == "univ1") return net::make_univ1();
+  if (opt.topology == "as3679") return net::make_as3679();
+  throw std::runtime_error("unknown topology " + opt.topology);
+}
+
+core::PlacementStrategy strategy_of(const std::string& name) {
+  if (name == "greedy") return core::PlacementStrategy::kGreedy;
+  if (name == "lp-round") return core::PlacementStrategy::kLpRound;
+  if (name == "exact") return core::PlacementStrategy::kExact;
+  throw std::runtime_error("unknown strategy " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse(argc, argv);
+  if (!opt) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  try {
+    const net::Topology topo = load_topology(*opt);
+    std::printf("topology: %s (%zu switches, %zu links, %.0f cores/host)\n",
+                topo.name().c_str(), topo.num_nodes(), topo.num_links(),
+                topo.num_nodes() ? topo.node(0).host_cores : 0.0);
+
+    core::ControllerConfig cfg;
+    cfg.engine.strategy = strategy_of(opt->strategy);
+    cfg.policied_fraction = opt->policied;
+    cfg.reoptimize_every = opt->reoptimize;
+    cfg.snapshot_duration = 0.5;
+    cfg.tick = 0.05;
+    const core::AppleController controller(
+        topo, vnf::default_policy_chains(), cfg);
+
+    // Traffic: either a CSV series or synthetic diurnal snapshots.
+    std::vector<traffic::TrafficMatrix> series;
+    if (!opt->tm_series_file.empty()) {
+      std::ifstream in(opt->tm_series_file);
+      if (!in) throw std::runtime_error("cannot open " + opt->tm_series_file);
+      series = traffic::load_series_csv(in);
+    } else if (opt->snapshots > 0) {
+      const traffic::TrafficMatrix base = traffic::make_gravity_matrix(
+          topo.num_nodes(), {.total_mbps = opt->total_mbps, .seed = opt->seed});
+      traffic::DiurnalConfig diurnal;
+      diurnal.num_snapshots = opt->snapshots;
+      diurnal.seed = opt->seed + 1;
+      series = traffic::make_diurnal_series(base, diurnal);
+      traffic::BurstConfig bursts;
+      bursts.seed = opt->seed + 2;
+      traffic::inject_bursts(series, bursts);
+    }
+    const traffic::TrafficMatrix mean =
+        series.empty()
+            ? traffic::make_gravity_matrix(
+                  topo.num_nodes(),
+                  {.total_mbps = opt->total_mbps, .seed = opt->seed})
+            : traffic::mean_matrix(series);
+
+    const core::Epoch epoch = controller.optimize(mean);
+    std::printf(
+        "placement (%s): %zu classes, %llu instances, %.0f cores, %.3f s\n",
+        epoch.plan.strategy.c_str(), epoch.classes.size(),
+        static_cast<unsigned long long>(epoch.plan.total_instances()),
+        epoch.plan.total_cores(), epoch.plan.solve_seconds);
+    std::printf("rules: %zu TCAM entries with tagging, %zu without (%.2fx), "
+                "%zu vSwitch entries\n",
+                epoch.rules.tcam_with_tagging,
+                epoch.rules.tcam_without_tagging,
+                epoch.rules.tcam_reduction_ratio(), epoch.rules.vswitch_rules);
+
+    if (!opt->export_lp.empty()) {
+      core::PlacementInput input;
+      input.topology = &topo;
+      input.classes = epoch.classes;
+      input.chains = controller.chains();
+      const core::IlpBuilder builder(input);
+      std::ofstream out(opt->export_lp);
+      if (!out) throw std::runtime_error("cannot write " + opt->export_lp);
+      lp::write_lp_format(builder.model(), out);
+      std::printf("ILP exported to %s (%zu vars, %zu rows)\n",
+                  opt->export_lp.c_str(), builder.model().num_vars(),
+                  builder.model().num_rows());
+    }
+
+    if (!series.empty()) {
+      const core::ReplayReport report =
+          controller.replay(epoch, series, opt->failover);
+      std::printf("replay: %zu snapshots, %zu epoch(s), fast failover %s\n",
+                  series.size(), report.epochs,
+                  opt->failover ? "on" : "off");
+      std::printf("  mean loss %.4f, max loss %.4f\n", report.mean_loss,
+                  report.max_loss);
+      if (opt->failover) {
+        std::printf("  failover: %zu overloads, %zu launches, extra cores "
+                    "avg %.1f / peak %.0f\n",
+                    report.failover.overload_events,
+                    report.failover.instances_launched,
+                    report.failover.mean_extra_cores(),
+                    report.failover.peak_extra_cores);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
