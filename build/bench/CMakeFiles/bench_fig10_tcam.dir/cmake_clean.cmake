@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tcam.dir/bench_fig10_tcam.cc.o"
+  "CMakeFiles/bench_fig10_tcam.dir/bench_fig10_tcam.cc.o.d"
+  "bench_fig10_tcam"
+  "bench_fig10_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_monitor_loss.dir/bench_fig6_monitor_loss.cc.o"
+  "CMakeFiles/bench_fig6_monitor_loss.dir/bench_fig6_monitor_loss.cc.o.d"
+  "bench_fig6_monitor_loss"
+  "bench_fig6_monitor_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_monitor_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

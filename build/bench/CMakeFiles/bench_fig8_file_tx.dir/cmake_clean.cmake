@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_file_tx.dir/bench_fig8_file_tx.cc.o"
+  "CMakeFiles/bench_fig8_file_tx.dir/bench_fig8_file_tx.cc.o.d"
+  "bench_fig8_file_tx"
+  "bench_fig8_file_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_file_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

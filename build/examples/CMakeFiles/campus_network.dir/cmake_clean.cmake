@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_network.dir/campus_network.cpp.o"
+  "CMakeFiles/campus_network.dir/campus_network.cpp.o.d"
+  "campus_network"
+  "campus_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_failover.dir/datacenter_failover.cpp.o"
+  "CMakeFiles/datacenter_failover.dir/datacenter_failover.cpp.o.d"
+  "datacenter_failover"
+  "datacenter_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

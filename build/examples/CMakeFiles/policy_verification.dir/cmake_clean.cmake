@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_verification.dir/policy_verification.cpp.o"
+  "CMakeFiles/policy_verification.dir/policy_verification.cpp.o.d"
+  "policy_verification"
+  "policy_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("traffic")
+subdirs("hsa")
+subdirs("lp")
+subdirs("vnf")
+subdirs("dataplane")
+subdirs("orch")
+subdirs("sim")
+subdirs("core")
+subdirs("baselines")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_baselines.dir/comb.cc.o"
+  "CMakeFiles/apple_baselines.dir/comb.cc.o.d"
+  "CMakeFiles/apple_baselines.dir/ingress.cc.o"
+  "CMakeFiles/apple_baselines.dir/ingress.cc.o.d"
+  "CMakeFiles/apple_baselines.dir/pace.cc.o"
+  "CMakeFiles/apple_baselines.dir/pace.cc.o.d"
+  "CMakeFiles/apple_baselines.dir/properties.cc.o"
+  "CMakeFiles/apple_baselines.dir/properties.cc.o.d"
+  "CMakeFiles/apple_baselines.dir/steering.cc.o"
+  "CMakeFiles/apple_baselines.dir/steering.cc.o.d"
+  "libapple_baselines.a"
+  "libapple_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apple_controller.cc" "src/core/CMakeFiles/apple_core.dir/apple_controller.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/apple_controller.cc.o.d"
+  "/root/repo/src/core/dynamic_handler.cc" "src/core/CMakeFiles/apple_core.dir/dynamic_handler.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/dynamic_handler.cc.o.d"
+  "/root/repo/src/core/ilp_builder.cc" "src/core/CMakeFiles/apple_core.dir/ilp_builder.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/ilp_builder.cc.o.d"
+  "/root/repo/src/core/online_placer.cc" "src/core/CMakeFiles/apple_core.dir/online_placer.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/online_placer.cc.o.d"
+  "/root/repo/src/core/optimization_engine.cc" "src/core/CMakeFiles/apple_core.dir/optimization_engine.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/optimization_engine.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/apple_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/rule_generator.cc" "src/core/CMakeFiles/apple_core.dir/rule_generator.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/rule_generator.cc.o.d"
+  "/root/repo/src/core/subclass_assigner.cc" "src/core/CMakeFiles/apple_core.dir/subclass_assigner.cc.o" "gcc" "src/core/CMakeFiles/apple_core.dir/subclass_assigner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/apple_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/apple_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/apple_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/apple_hsa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_core.dir/apple_controller.cc.o"
+  "CMakeFiles/apple_core.dir/apple_controller.cc.o.d"
+  "CMakeFiles/apple_core.dir/dynamic_handler.cc.o"
+  "CMakeFiles/apple_core.dir/dynamic_handler.cc.o.d"
+  "CMakeFiles/apple_core.dir/ilp_builder.cc.o"
+  "CMakeFiles/apple_core.dir/ilp_builder.cc.o.d"
+  "CMakeFiles/apple_core.dir/online_placer.cc.o"
+  "CMakeFiles/apple_core.dir/online_placer.cc.o.d"
+  "CMakeFiles/apple_core.dir/optimization_engine.cc.o"
+  "CMakeFiles/apple_core.dir/optimization_engine.cc.o.d"
+  "CMakeFiles/apple_core.dir/placement.cc.o"
+  "CMakeFiles/apple_core.dir/placement.cc.o.d"
+  "CMakeFiles/apple_core.dir/rule_generator.cc.o"
+  "CMakeFiles/apple_core.dir/rule_generator.cc.o.d"
+  "CMakeFiles/apple_core.dir/subclass_assigner.cc.o"
+  "CMakeFiles/apple_core.dir/subclass_assigner.cc.o.d"
+  "libapple_core.a"
+  "libapple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

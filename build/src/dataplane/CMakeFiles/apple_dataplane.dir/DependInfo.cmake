@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/data_plane.cc" "src/dataplane/CMakeFiles/apple_dataplane.dir/data_plane.cc.o" "gcc" "src/dataplane/CMakeFiles/apple_dataplane.dir/data_plane.cc.o.d"
+  "/root/repo/src/dataplane/rule_table.cc" "src/dataplane/CMakeFiles/apple_dataplane.dir/rule_table.cc.o" "gcc" "src/dataplane/CMakeFiles/apple_dataplane.dir/rule_table.cc.o.d"
+  "/root/repo/src/dataplane/types.cc" "src/dataplane/CMakeFiles/apple_dataplane.dir/types.cc.o" "gcc" "src/dataplane/CMakeFiles/apple_dataplane.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/apple_hsa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_dataplane.dir/data_plane.cc.o"
+  "CMakeFiles/apple_dataplane.dir/data_plane.cc.o.d"
+  "CMakeFiles/apple_dataplane.dir/rule_table.cc.o"
+  "CMakeFiles/apple_dataplane.dir/rule_table.cc.o.d"
+  "CMakeFiles/apple_dataplane.dir/types.cc.o"
+  "CMakeFiles/apple_dataplane.dir/types.cc.o.d"
+  "libapple_dataplane.a"
+  "libapple_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsa/atomic.cc" "src/hsa/CMakeFiles/apple_hsa.dir/atomic.cc.o" "gcc" "src/hsa/CMakeFiles/apple_hsa.dir/atomic.cc.o.d"
+  "/root/repo/src/hsa/bdd.cc" "src/hsa/CMakeFiles/apple_hsa.dir/bdd.cc.o" "gcc" "src/hsa/CMakeFiles/apple_hsa.dir/bdd.cc.o.d"
+  "/root/repo/src/hsa/classifier.cc" "src/hsa/CMakeFiles/apple_hsa.dir/classifier.cc.o" "gcc" "src/hsa/CMakeFiles/apple_hsa.dir/classifier.cc.o.d"
+  "/root/repo/src/hsa/predicate.cc" "src/hsa/CMakeFiles/apple_hsa.dir/predicate.cc.o" "gcc" "src/hsa/CMakeFiles/apple_hsa.dir/predicate.cc.o.d"
+  "/root/repo/src/hsa/tcam_rules.cc" "src/hsa/CMakeFiles/apple_hsa.dir/tcam_rules.cc.o" "gcc" "src/hsa/CMakeFiles/apple_hsa.dir/tcam_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_hsa.dir/atomic.cc.o"
+  "CMakeFiles/apple_hsa.dir/atomic.cc.o.d"
+  "CMakeFiles/apple_hsa.dir/bdd.cc.o"
+  "CMakeFiles/apple_hsa.dir/bdd.cc.o.d"
+  "CMakeFiles/apple_hsa.dir/classifier.cc.o"
+  "CMakeFiles/apple_hsa.dir/classifier.cc.o.d"
+  "CMakeFiles/apple_hsa.dir/predicate.cc.o"
+  "CMakeFiles/apple_hsa.dir/predicate.cc.o.d"
+  "CMakeFiles/apple_hsa.dir/tcam_rules.cc.o"
+  "CMakeFiles/apple_hsa.dir/tcam_rules.cc.o.d"
+  "libapple_hsa.a"
+  "libapple_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_lp.dir/lp_format.cc.o"
+  "CMakeFiles/apple_lp.dir/lp_format.cc.o.d"
+  "CMakeFiles/apple_lp.dir/mip.cc.o"
+  "CMakeFiles/apple_lp.dir/mip.cc.o.d"
+  "CMakeFiles/apple_lp.dir/model.cc.o"
+  "CMakeFiles/apple_lp.dir/model.cc.o.d"
+  "CMakeFiles/apple_lp.dir/simplex.cc.o"
+  "CMakeFiles/apple_lp.dir/simplex.cc.o.d"
+  "libapple_lp.a"
+  "libapple_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_net.dir/routing.cc.o"
+  "CMakeFiles/apple_net.dir/routing.cc.o.d"
+  "CMakeFiles/apple_net.dir/topologies.cc.o"
+  "CMakeFiles/apple_net.dir/topologies.cc.o.d"
+  "CMakeFiles/apple_net.dir/topology.cc.o"
+  "CMakeFiles/apple_net.dir/topology.cc.o.d"
+  "CMakeFiles/apple_net.dir/topology_io.cc.o"
+  "CMakeFiles/apple_net.dir/topology_io.cc.o.d"
+  "libapple_net.a"
+  "libapple_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orch/resource_orchestrator.cc" "src/orch/CMakeFiles/apple_orch.dir/resource_orchestrator.cc.o" "gcc" "src/orch/CMakeFiles/apple_orch.dir/resource_orchestrator.cc.o.d"
+  "/root/repo/src/orch/timings.cc" "src/orch/CMakeFiles/apple_orch.dir/timings.cc.o" "gcc" "src/orch/CMakeFiles/apple_orch.dir/timings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_orch.dir/resource_orchestrator.cc.o"
+  "CMakeFiles/apple_orch.dir/resource_orchestrator.cc.o.d"
+  "CMakeFiles/apple_orch.dir/timings.cc.o"
+  "CMakeFiles/apple_orch.dir/timings.cc.o.d"
+  "libapple_orch.a"
+  "libapple_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapple_orch.a"
+)

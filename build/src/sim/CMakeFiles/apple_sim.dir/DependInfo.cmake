@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/detector.cc" "src/sim/CMakeFiles/apple_sim.dir/detector.cc.o" "gcc" "src/sim/CMakeFiles/apple_sim.dir/detector.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/apple_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/apple_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/flow_sim.cc" "src/sim/CMakeFiles/apple_sim.dir/flow_sim.cc.o" "gcc" "src/sim/CMakeFiles/apple_sim.dir/flow_sim.cc.o.d"
+  "/root/repo/src/sim/packet_queue.cc" "src/sim/CMakeFiles/apple_sim.dir/packet_queue.cc.o" "gcc" "src/sim/CMakeFiles/apple_sim.dir/packet_queue.cc.o.d"
+  "/root/repo/src/sim/tcp_transfer.cc" "src/sim/CMakeFiles/apple_sim.dir/tcp_transfer.cc.o" "gcc" "src/sim/CMakeFiles/apple_sim.dir/tcp_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/apple_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/apple_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_sim.dir/detector.cc.o"
+  "CMakeFiles/apple_sim.dir/detector.cc.o.d"
+  "CMakeFiles/apple_sim.dir/event_queue.cc.o"
+  "CMakeFiles/apple_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/apple_sim.dir/flow_sim.cc.o"
+  "CMakeFiles/apple_sim.dir/flow_sim.cc.o.d"
+  "CMakeFiles/apple_sim.dir/packet_queue.cc.o"
+  "CMakeFiles/apple_sim.dir/packet_queue.cc.o.d"
+  "CMakeFiles/apple_sim.dir/tcp_transfer.cc.o"
+  "CMakeFiles/apple_sim.dir/tcp_transfer.cc.o.d"
+  "libapple_sim.a"
+  "libapple_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

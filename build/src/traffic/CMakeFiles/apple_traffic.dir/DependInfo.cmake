@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/flow_classes.cc" "src/traffic/CMakeFiles/apple_traffic.dir/flow_classes.cc.o" "gcc" "src/traffic/CMakeFiles/apple_traffic.dir/flow_classes.cc.o.d"
+  "/root/repo/src/traffic/matrix_io.cc" "src/traffic/CMakeFiles/apple_traffic.dir/matrix_io.cc.o" "gcc" "src/traffic/CMakeFiles/apple_traffic.dir/matrix_io.cc.o.d"
+  "/root/repo/src/traffic/stats.cc" "src/traffic/CMakeFiles/apple_traffic.dir/stats.cc.o" "gcc" "src/traffic/CMakeFiles/apple_traffic.dir/stats.cc.o.d"
+  "/root/repo/src/traffic/synthesis.cc" "src/traffic/CMakeFiles/apple_traffic.dir/synthesis.cc.o" "gcc" "src/traffic/CMakeFiles/apple_traffic.dir/synthesis.cc.o.d"
+  "/root/repo/src/traffic/traffic_matrix.cc" "src/traffic/CMakeFiles/apple_traffic.dir/traffic_matrix.cc.o" "gcc" "src/traffic/CMakeFiles/apple_traffic.dir/traffic_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

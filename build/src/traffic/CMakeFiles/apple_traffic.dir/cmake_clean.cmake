@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_traffic.dir/flow_classes.cc.o"
+  "CMakeFiles/apple_traffic.dir/flow_classes.cc.o.d"
+  "CMakeFiles/apple_traffic.dir/matrix_io.cc.o"
+  "CMakeFiles/apple_traffic.dir/matrix_io.cc.o.d"
+  "CMakeFiles/apple_traffic.dir/stats.cc.o"
+  "CMakeFiles/apple_traffic.dir/stats.cc.o.d"
+  "CMakeFiles/apple_traffic.dir/synthesis.cc.o"
+  "CMakeFiles/apple_traffic.dir/synthesis.cc.o.d"
+  "CMakeFiles/apple_traffic.dir/traffic_matrix.cc.o"
+  "CMakeFiles/apple_traffic.dir/traffic_matrix.cc.o.d"
+  "libapple_traffic.a"
+  "libapple_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnf/capacity_model.cc" "src/vnf/CMakeFiles/apple_vnf.dir/capacity_model.cc.o" "gcc" "src/vnf/CMakeFiles/apple_vnf.dir/capacity_model.cc.o.d"
+  "/root/repo/src/vnf/nf_types.cc" "src/vnf/CMakeFiles/apple_vnf.dir/nf_types.cc.o" "gcc" "src/vnf/CMakeFiles/apple_vnf.dir/nf_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_vnf.dir/capacity_model.cc.o"
+  "CMakeFiles/apple_vnf.dir/capacity_model.cc.o.d"
+  "CMakeFiles/apple_vnf.dir/nf_types.cc.o"
+  "CMakeFiles/apple_vnf.dir/nf_types.cc.o.d"
+  "libapple_vnf.a"
+  "libapple_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

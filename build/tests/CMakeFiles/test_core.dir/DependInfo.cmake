@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/apple_controller_test.cc" "tests/CMakeFiles/test_core.dir/core/apple_controller_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/apple_controller_test.cc.o.d"
+  "/root/repo/tests/core/dynamic_handler_test.cc" "tests/CMakeFiles/test_core.dir/core/dynamic_handler_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dynamic_handler_test.cc.o.d"
+  "/root/repo/tests/core/ilp_builder_test.cc" "tests/CMakeFiles/test_core.dir/core/ilp_builder_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ilp_builder_test.cc.o.d"
+  "/root/repo/tests/core/optimization_engine_test.cc" "tests/CMakeFiles/test_core.dir/core/optimization_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/optimization_engine_test.cc.o.d"
+  "/root/repo/tests/core/placement_test.cc" "tests/CMakeFiles/test_core.dir/core/placement_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/placement_test.cc.o.d"
+  "/root/repo/tests/core/rule_generator_test.cc" "tests/CMakeFiles/test_core.dir/core/rule_generator_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/rule_generator_test.cc.o.d"
+  "/root/repo/tests/core/subclass_assigner_test.cc" "tests/CMakeFiles/test_core.dir/core/subclass_assigner_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/subclass_assigner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/apple_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/apple_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/apple_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/apple_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/apple_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/apple_controller_test.cc.o"
+  "CMakeFiles/test_core.dir/core/apple_controller_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/dynamic_handler_test.cc.o"
+  "CMakeFiles/test_core.dir/core/dynamic_handler_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/ilp_builder_test.cc.o"
+  "CMakeFiles/test_core.dir/core/ilp_builder_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/optimization_engine_test.cc.o"
+  "CMakeFiles/test_core.dir/core/optimization_engine_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/placement_test.cc.o"
+  "CMakeFiles/test_core.dir/core/placement_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/rule_generator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/rule_generator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/subclass_assigner_test.cc.o"
+  "CMakeFiles/test_core.dir/core/subclass_assigner_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

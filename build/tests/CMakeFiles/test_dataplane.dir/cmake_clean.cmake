@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataplane.dir/dataplane/data_plane_test.cc.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/data_plane_test.cc.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/rule_table_test.cc.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/rule_table_test.cc.o.d"
+  "test_dataplane"
+  "test_dataplane.pdb"
+  "test_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsa.dir/hsa/atomic_test.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/atomic_test.cc.o.d"
+  "CMakeFiles/test_hsa.dir/hsa/bdd_test.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/bdd_test.cc.o.d"
+  "CMakeFiles/test_hsa.dir/hsa/classifier_test.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/classifier_test.cc.o.d"
+  "CMakeFiles/test_hsa.dir/hsa/predicate_test.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/predicate_test.cc.o.d"
+  "CMakeFiles/test_hsa.dir/hsa/tcam_rules_test.cc.o"
+  "CMakeFiles/test_hsa.dir/hsa/tcam_rules_test.cc.o.d"
+  "test_hsa"
+  "test_hsa.pdb"
+  "test_hsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

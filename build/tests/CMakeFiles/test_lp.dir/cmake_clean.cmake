@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp.dir/lp/lp_format_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/lp_format_test.cc.o.d"
+  "CMakeFiles/test_lp.dir/lp/mip_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/mip_test.cc.o.d"
+  "CMakeFiles/test_lp.dir/lp/model_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/model_test.cc.o.d"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cc.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cc.o.d"
+  "test_lp"
+  "test_lp.pdb"
+  "test_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online.dir/core/consolidation_test.cc.o"
+  "CMakeFiles/test_online.dir/core/consolidation_test.cc.o.d"
+  "CMakeFiles/test_online.dir/core/failure_recovery_test.cc.o"
+  "CMakeFiles/test_online.dir/core/failure_recovery_test.cc.o.d"
+  "CMakeFiles/test_online.dir/core/online_placer_test.cc.o"
+  "CMakeFiles/test_online.dir/core/online_placer_test.cc.o.d"
+  "test_online"
+  "test_online.pdb"
+  "test_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

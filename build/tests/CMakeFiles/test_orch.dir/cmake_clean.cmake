@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orch.dir/orch/resource_orchestrator_test.cc.o"
+  "CMakeFiles/test_orch.dir/orch/resource_orchestrator_test.cc.o.d"
+  "CMakeFiles/test_orch.dir/orch/timings_test.cc.o"
+  "CMakeFiles/test_orch.dir/orch/timings_test.cc.o.d"
+  "test_orch"
+  "test_orch.pdb"
+  "test_orch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/traffic/flow_classes_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/flow_classes_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/flow_classes_test.cc.o.d"
+  "/root/repo/tests/traffic/matrix_io_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/matrix_io_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/matrix_io_test.cc.o.d"
+  "/root/repo/tests/traffic/stats_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/stats_test.cc.o.d"
+  "/root/repo/tests/traffic/synthesis_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/synthesis_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/synthesis_test.cc.o.d"
+  "/root/repo/tests/traffic/traffic_matrix_test.cc" "tests/CMakeFiles/test_traffic.dir/traffic/traffic_matrix_test.cc.o" "gcc" "tests/CMakeFiles/test_traffic.dir/traffic/traffic_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/apple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/apple_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/apple_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/apple_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/apple_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/apple_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/apple_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/apple_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/flow_classes_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/flow_classes_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/matrix_io_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/matrix_io_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/stats_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/stats_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/synthesis_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/synthesis_test.cc.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/traffic_matrix_test.cc.o"
+  "CMakeFiles/test_traffic.dir/traffic/traffic_matrix_test.cc.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnf.dir/vnf/capacity_model_test.cc.o"
+  "CMakeFiles/test_vnf.dir/vnf/capacity_model_test.cc.o.d"
+  "CMakeFiles/test_vnf.dir/vnf/nf_types_test.cc.o"
+  "CMakeFiles/test_vnf.dir/vnf/nf_types_test.cc.o.d"
+  "test_vnf"
+  "test_vnf.pdb"
+  "test_vnf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

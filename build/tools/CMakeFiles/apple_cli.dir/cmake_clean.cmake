@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apple_cli.dir/apple_cli.cc.o"
+  "CMakeFiles/apple_cli.dir/apple_cli.cc.o.d"
+  "apple_cli"
+  "apple_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apple_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
