@@ -1,5 +1,7 @@
 #include "baselines/properties.h"
 
+#include "common/check.h"
+
 #include "baselines/comb.h"
 #include "baselines/ingress.h"
 #include "baselines/pace.h"
@@ -21,6 +23,7 @@ bool enforces(const core::PlacementInput& input,
 
 std::vector<FrameworkProperties> evaluate_frameworks(
     const core::PlacementInput& input, const net::AllPairsPaths& routing) {
+  APPLE_CHECK(input.topology != nullptr);
   std::vector<FrameworkProperties> rows;
 
   // SIMPLE/StEERING-style steering: enforcement via detours, VM isolation,

@@ -82,7 +82,8 @@ SteeringPlacement place_steering(const core::PlacementInput& input,
     result.plan.distribution[h].fraction.assign(
         cls.path.size(), std::vector<double>(chain.size(), 0.0));
   }
-  result.mean_path_stretch = measured > 0 ? stretch_sum / measured : 1.0;
+  result.mean_path_stretch =
+      measured > 0 ? stretch_sum / static_cast<double>(measured) : 1.0;
 
   for (const net::NodeId site : sites) {
     for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {

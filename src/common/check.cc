@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apple::common {
+
+namespace {
+
+void default_handler(const std::string& message) {
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+std::atomic<CheckFailureHandler> g_handler{&default_handler};
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler);
+}
+
+namespace internal {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& operands) {
+  std::string message = std::string(file) + ":" + std::to_string(line) +
+                        ": check failed: " + expr + operands;
+  g_handler.load()(message);
+  // A custom handler normally throws; if it (or the default) returns, the
+  // contract is still violated and continuing would run on corrupt state.
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace apple::common

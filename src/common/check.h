@@ -1,0 +1,122 @@
+// Contract-check macros for the APPLE reproduction.
+//
+// APPLE's guarantees are correctness guarantees (interference-free
+// placement, exact flow-class aggregation, loss-free failover), so internal
+// invariants are enforced with machine-checked contracts rather than
+// comments:
+//
+//   APPLE_CHECK(cond)            — always on, aborts on violation.
+//   APPLE_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                                — like CHECK, but prints both operand
+//                                  values on failure.
+//   APPLE_DCHECK(cond), APPLE_DCHECK_* — compiled out when the build sets
+//                                  APPLE_ENABLE_CHECKS=0 (CMake option
+//                                  -DAPPLE_ENABLE_CHECKS=OFF); use on hot
+//                                  paths.
+//
+// Failures print "file:line: check failed: <expr> (<lhs> vs <rhs>)" and
+// abort via a replaceable failure handler so tests can intercept them
+// (gtest death tests use the default aborting handler; unit tests may
+// install a throwing handler instead).
+//
+// Use CHECK for caller-facing preconditions whose cost is negligible and
+// DCHECK for per-element/per-iteration invariants on hot paths. Contracts
+// guard programmer errors; recoverable input errors (file parsing, user
+// scenarios) keep throwing std:: exceptions.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace apple::common {
+
+// Called with a fully formatted "file:line: check failed: ..." message.
+// The handler may throw (to surface the failure as an exception in tests);
+// if it returns, the process aborts.
+using CheckFailureHandler = void (*)(const std::string& message);
+
+// Installs `handler` and returns the previous one. Passing nullptr restores
+// the default (print to stderr and abort).
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+namespace internal {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& operands);
+
+// Best-effort operand formatting: streamable types print their value,
+// everything else prints a placeholder so CHECK_EQ works on any type with
+// operator==.
+template <typename T>
+std::string stringify(const T& value) {
+  if constexpr (requires(std::ostringstream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void check_op_failed(const char* file, int line, const char* expr,
+                                  const A& lhs, const B& rhs) {
+  check_failed(file, line, expr,
+               " (" + stringify(lhs) + " vs " + stringify(rhs) + ")");
+}
+
+}  // namespace internal
+}  // namespace apple::common
+
+#define APPLE_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::apple::common::internal::check_failed(__FILE__, __LINE__,      \
+                                              #cond, std::string());   \
+    }                                                                  \
+  } while (false)
+
+#define APPLE_CHECK_OP_IMPL(lhs, rhs, op)                                   \
+  do {                                                                      \
+    auto&& apple_check_lhs_ = (lhs);                                        \
+    auto&& apple_check_rhs_ = (rhs);                                        \
+    if (!(apple_check_lhs_ op apple_check_rhs_)) [[unlikely]] {             \
+      ::apple::common::internal::check_op_failed(                           \
+          __FILE__, __LINE__, #lhs " " #op " " #rhs, apple_check_lhs_,      \
+          apple_check_rhs_);                                                \
+    }                                                                       \
+  } while (false)
+
+#define APPLE_CHECK_EQ(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, ==)
+#define APPLE_CHECK_NE(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, !=)
+#define APPLE_CHECK_LT(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, <)
+#define APPLE_CHECK_LE(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, <=)
+#define APPLE_CHECK_GT(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, >)
+#define APPLE_CHECK_GE(lhs, rhs) APPLE_CHECK_OP_IMPL(lhs, rhs, >=)
+
+// Debug checks: full CHECKs when APPLE_ENABLE_CHECKS is on, type-checked
+// but never evaluated otherwise (no side effects, no runtime cost).
+#if defined(APPLE_ENABLE_CHECKS) && APPLE_ENABLE_CHECKS
+#define APPLE_DCHECK(cond) APPLE_CHECK(cond)
+#define APPLE_DCHECK_EQ(lhs, rhs) APPLE_CHECK_EQ(lhs, rhs)
+#define APPLE_DCHECK_NE(lhs, rhs) APPLE_CHECK_NE(lhs, rhs)
+#define APPLE_DCHECK_LT(lhs, rhs) APPLE_CHECK_LT(lhs, rhs)
+#define APPLE_DCHECK_LE(lhs, rhs) APPLE_CHECK_LE(lhs, rhs)
+#define APPLE_DCHECK_GT(lhs, rhs) APPLE_CHECK_GT(lhs, rhs)
+#define APPLE_DCHECK_GE(lhs, rhs) APPLE_CHECK_GE(lhs, rhs)
+#else
+#define APPLE_DCHECK_DISABLED_IMPL(cond)          \
+  do {                                            \
+    if (false) {                                  \
+      static_cast<void>(cond);                    \
+    }                                             \
+  } while (false)
+#define APPLE_DCHECK(cond) APPLE_DCHECK_DISABLED_IMPL(cond)
+#define APPLE_DCHECK_EQ(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) == (rhs))
+#define APPLE_DCHECK_NE(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) != (rhs))
+#define APPLE_DCHECK_LT(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) < (rhs))
+#define APPLE_DCHECK_LE(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) <= (rhs))
+#define APPLE_DCHECK_GT(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) > (rhs))
+#define APPLE_DCHECK_GE(lhs, rhs) APPLE_DCHECK_DISABLED_IMPL((lhs) >= (rhs))
+#endif

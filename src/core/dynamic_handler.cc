@@ -366,7 +366,9 @@ void DynamicHandler::handle_overload(double now, vnf::InstanceId hot) {
               interim[s].weight += hot_weight > 0.0
                                        ? booting * (updated[s].weight /
                                                     hot_weight)
-                                       : booting / hot_subs.size();
+                                       : booting /
+                                             static_cast<double>(
+                                                 hot_subs.size());
             }
           }
           sim_->install_class_plans(class_id, interim);

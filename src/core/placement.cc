@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace apple::core {
 
 void PlacementInput::validate() const {
@@ -20,6 +22,11 @@ void PlacementInput::validate() const {
     }
     if (cls.chain_id >= chains.size()) {
       throw std::invalid_argument("class references unknown policy chain");
+    }
+    if (!std::isfinite(cls.rate_mbps)) {
+      // NaN slips past the sign check below (every comparison is false) and
+      // would corrupt the ILP right-hand sides.
+      throw std::invalid_argument("class rate must be finite");
     }
     if (cls.rate_mbps < 0.0) {
       throw std::invalid_argument("class has negative rate");
@@ -43,6 +50,7 @@ double PlacementPlan::total_cores() const {
                vnf::spec_of(static_cast<vnf::NfType>(n)).cores_required;
     }
   }
+  APPLE_DCHECK(std::isfinite(cores));
   return cores;
 }
 

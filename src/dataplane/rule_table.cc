@@ -1,6 +1,9 @@
 #include "dataplane/rule_table.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace apple::dataplane {
 
@@ -15,6 +18,12 @@ void check_switch(std::size_t num, net::NodeId v) {
 void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
                                          net::NodeId ingress) {
   check_switch(switches_.size(), ingress);
+  // Sub-class plan contracts: a sub-class always needs at least one
+  // classifier entry, and its traffic share d_c^s is a valid fraction.
+  APPLE_CHECK_GE(plan.classifier_prefix_rules, 1u);
+  APPLE_DCHECK(std::isfinite(plan.weight));
+  APPLE_DCHECK_GE(plan.weight, -1e-9);
+  APPLE_DCHECK_LE(plan.weight, 1.0 + 1e-9);
   // Ingress classifies once: wildcard prefix rules that tag sub-class id
   // and first host id (rows 2-3 of Table III).
   switches_[ingress].classification += plan.classifier_prefix_rules;
@@ -22,6 +31,10 @@ void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
   // Every visited host switch recognizes its own host tag (row 1).
   for (const HostVisit& visit : plan.itinerary) {
     check_switch(switches_.size(), visit.at_switch);
+    // Host tags must round-trip to the switch they encode (Sec. V-B): a
+    // mismatch here would steer packets into the wrong APPLE host.
+    APPLE_DCHECK_EQ(switch_of_host_tag(host_tag_for(visit.at_switch)),
+                    visit.at_switch);
     switches_[visit.at_switch].host_tags.insert(
         host_tag_for(visit.at_switch));
     switches_[visit.at_switch].any_rule = true;
@@ -30,6 +43,7 @@ void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
 
 void TcamAccountant::add_untagged_subclass(
     const SubclassPlan& plan, std::span<const net::NodeId> classify_at) {
+  APPLE_CHECK_GE(plan.classifier_prefix_rules, 1u);
   // Without tags every decision point re-classifies the sub-class: each
   // switch the flow can traverse must match the full wildcard rule set to
   // decide between "divert into my APPLE host" and "forward onward".

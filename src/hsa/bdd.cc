@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace apple::hsa {
 
 namespace {
@@ -19,11 +21,20 @@ std::uint64_t hash_triple(std::uint32_t var, BddRef lo, BddRef hi) {
 }  // namespace
 
 BddManager::BddManager(std::uint32_t num_vars) : num_vars_(num_vars) {
-  nodes_.push_back(Node{kTerminalVar, kBddFalse, kBddFalse});  // false
-  nodes_.push_back(Node{kTerminalVar, kBddTrue, kBddTrue});    // true
+  nodes_.emplace_back(kTerminalVar, kBddFalse, kBddFalse);  // false
+  nodes_.emplace_back(kTerminalVar, kBddTrue, kBddTrue);    // true
 }
 
 BddRef BddManager::make_node(std::uint32_t var, BddRef lo, BddRef hi) {
+  // ROBDD structural invariants: children are interned refs, the tested
+  // variable is in range, and the variable order is strictly increasing
+  // toward the terminals (terminals carry kTerminalVar = 2^32-1, so the
+  // comparison also admits them).
+  APPLE_DCHECK_LT(lo, nodes_.size());
+  APPLE_DCHECK_LT(hi, nodes_.size());
+  APPLE_DCHECK_LT(var, num_vars_);
+  APPLE_DCHECK_GT(nodes_[lo].var, var);
+  APPLE_DCHECK_GT(nodes_[hi].var, var);
   if (lo == hi) return lo;  // reduction rule
   const std::uint64_t key = hash_triple(var, lo, hi);
   // Collision-safe: verify on hit, probe linearly on mismatch. In practice
@@ -49,7 +60,7 @@ BddRef BddManager::make_node(std::uint32_t var, BddRef lo, BddRef hi) {
     }
   }
   const BddRef ref = static_cast<BddRef>(nodes_.size());
-  nodes_.push_back(Node{var, lo, hi});
+  nodes_.emplace_back(var, lo, hi);
   it->second = ref;
   return ref;
 }
@@ -77,6 +88,9 @@ bool BddManager::terminal_apply(Op op, bool a, bool b) {
 }
 
 BddRef BddManager::apply(Op op, BddRef f, BddRef g) {
+  // Operands must be refs previously interned by this manager.
+  APPLE_DCHECK_LT(f, nodes_.size());
+  APPLE_DCHECK_LT(g, nodes_.size());
   // Terminal short-cuts.
   if (f <= kBddTrue && g <= kBddTrue) {
     return terminal_apply(op, f == kBddTrue, g == kBddTrue) ? kBddTrue
@@ -127,6 +141,7 @@ BddRef BddManager::apply_or(BddRef f, BddRef g) { return apply(Op::kOr, f, g); }
 BddRef BddManager::apply_xor(BddRef f, BddRef g) { return apply(Op::kXor, f, g); }
 
 BddRef BddManager::negate(BddRef f) {
+  APPLE_DCHECK_LT(f, nodes_.size());
   if (f == kBddFalse) return kBddTrue;
   if (f == kBddTrue) return kBddFalse;
   if (auto it = not_cache_.find(f); it != not_cache_.end()) return it->second;
@@ -143,6 +158,7 @@ bool BddManager::evaluate(BddRef f, const std::vector<bool>& assignment) const {
   if (assignment.size() < num_vars_) {
     throw std::invalid_argument("assignment shorter than variable count");
   }
+  APPLE_CHECK_LT(f, nodes_.size());
   while (f > kBddTrue) {
     const Node& n = nodes_[f];
     f = assignment[n.var] ? n.hi : n.lo;
@@ -159,6 +175,7 @@ BddManager::NodeView BddManager::node_view(BddRef f) const {
 }
 
 double BddManager::sat_count(BddRef f) const {
+  APPLE_CHECK_LT(f, nodes_.size());
   // Fraction-based count avoids tracking variable gaps: density(f) is the
   // probability a uniform assignment satisfies f.
   std::unordered_map<BddRef, double> memo;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
+
 namespace apple::lp {
 
 namespace {
@@ -42,7 +44,14 @@ class Tableau {
       const double sign = flip ? -1.0 : 1.0;
       const Sense sense = flip ? flipped(row.sense) : row.sense;
       double* t = row_ptr(r);
-      for (const auto& [v, coef] : row.terms) t[v] = sign * coef;
+      for (const auto& [v, coef] : row.terms) {
+        // Model sanity: every term references a declared variable and has a
+        // finite coefficient (NaN here would silently corrupt every pivot).
+        APPLE_CHECK_LT(static_cast<std::size_t>(v), n_struct_);
+        APPLE_CHECK(std::isfinite(coef));
+        t[v] = sign * coef;
+      }
+      APPLE_CHECK(std::isfinite(row.rhs));
       t[n_total_] = sign * row.rhs;
       switch (sense) {
         case Sense::kLessEqual:
@@ -78,7 +87,14 @@ class Tableau {
   // eliminates the column from all other active rows and the cost rows.
   void pivot(std::size_t prow, std::size_t pcol, std::vector<double>& cost0,
              std::vector<double>* cost1) {
+    APPLE_DCHECK_LT(prow, num_rows());
+    APPLE_DCHECK_LT(pcol, n_total_);
+    APPLE_DCHECK(row_active_[prow]);
     double* p = row_ptr(prow);
+    // A zero or non-finite pivot element means the ratio test picked an
+    // invalid row; dividing through would spread NaN across the tableau.
+    APPLE_DCHECK(std::isfinite(p[pcol]));
+    APPLE_DCHECK_NE(p[pcol], 0.0);
     const double inv = 1.0 / p[pcol];
     for (std::size_t j = 0; j <= n_total_; ++j) p[j] *= inv;
     p[pcol] = 1.0;  // kill roundoff
@@ -98,6 +114,7 @@ class Tableau {
   // Cost vectors have n_total_+1 entries; the last is -objective value.
   void eliminate_from_cost(std::vector<double>& cost, std::size_t prow,
                            std::size_t pcol) const {
+    APPLE_DCHECK_EQ(cost.size(), n_total_ + 1);
     const double f = cost[pcol];
     if (f == 0.0) return;
     const double* p = row_ptr(prow);
@@ -201,6 +218,10 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
     ++iterations;
 
     const double obj = -cost.back();
+    // Objective staying finite is the cheapest whole-tableau NaN detector:
+    // any NaN/inf introduced by a degenerate pivot reaches the cost row on
+    // the next elimination.
+    APPLE_DCHECK(std::isfinite(obj));
     if (obj < last_obj - 1e-12) {
       last_obj = obj;
       stall = 0;
@@ -226,6 +247,7 @@ LpSolution SimplexSolver::solve(const LpModel& model) const {
   std::vector<double> cost2(n_total + 1, 0.0);
   for (std::size_t v = 0; v < model.num_vars(); ++v) {
     cost2[v] = model.var(static_cast<VarId>(v)).objective;
+    APPLE_CHECK(std::isfinite(cost2[v]));
   }
 
   // Phase-1 cost row: minimize the sum of artificials. Reduced costs for

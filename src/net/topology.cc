@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace apple::net {
 
 NodeId Topology::add_node(std::string name, double host_cores) {
@@ -10,7 +12,7 @@ NodeId Topology::add_node(std::string name, double host_cores) {
     throw std::invalid_argument("host_cores must be non-negative");
   }
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{std::move(name), host_cores});
+  nodes_.emplace_back(std::move(name), host_cores);
   adjacency_.emplace_back();
   return id;
 }
@@ -27,9 +29,12 @@ LinkId Topology::add_link(NodeId a, NodeId b, double capacity_mbps,
     throw std::invalid_argument("link capacity and weight must be positive");
   }
   const LinkId id = static_cast<LinkId>(links_.size());
-  links_.push_back(Link{a, b, capacity_mbps, weight});
+  links_.emplace_back(a, b, capacity_mbps, weight);
   adjacency_[a].push_back(id);
   adjacency_[b].push_back(id);
+  // Graph representation invariant: the adjacency index always mirrors the
+  // node list (add_node grows both in lockstep).
+  APPLE_DCHECK_EQ(adjacency_.size(), nodes_.size());
   return id;
 }
 

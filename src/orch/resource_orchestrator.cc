@@ -1,5 +1,7 @@
 #include "orch/resource_orchestrator.h"
 
+#include "common/check.h"
+
 namespace apple::orch {
 
 const char* to_string(LaunchStatus s) {
@@ -56,6 +58,9 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
   }
 
   used_cores_[v] += spec.cores_required;
+  // The admission test above makes oversubscription impossible; a violation
+  // here means the accounting drifted (e.g. a lost cancel/reconfigure).
+  APPLE_DCHECK_LE(used_cores_[v], topo_->node(v).host_cores + 1e-9);
   vnf::VnfInstance inst;
   inst.id = next_id_++;
   inst.type = type;
@@ -104,6 +109,9 @@ LaunchResult ResourceOrchestrator::reconfigure(vnf::InstanceId id,
     return result;
   }
   used_cores_[inst.host_switch] += delta;
+  APPLE_DCHECK_LE(used_cores_[inst.host_switch],
+                  topo_->node(inst.host_switch).host_cores + 1e-9);
+  APPLE_DCHECK_GE(used_cores_[inst.host_switch], -1e-9);
   inst.type = new_type;
   inst.capacity_mbps = new_spec.capacity_mbps;
   result.instance = inst;
@@ -116,6 +124,9 @@ bool ResourceOrchestrator::cancel(vnf::InstanceId id) {
   if (it == instances_.end()) return false;
   used_cores_[it->second.host_switch] -=
       vnf::spec_of(it->second.type).cores_required;
+  // Releasing more cores than were ever acquired means double-cancel or
+  // corrupted instance bookkeeping.
+  APPLE_DCHECK_GE(used_cores_[it->second.host_switch], -1e-9);
   instances_.erase(it);
   return true;
 }

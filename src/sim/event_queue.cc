@@ -1,19 +1,29 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "common/check.h"
 
 namespace apple::sim {
 
 void EventQueue::schedule_at(double at, Callback fn) {
+  // Non-finite times are programmer errors: NaN would poison the heap
+  // ordering (every comparison is false) and +/-inf would silently park or
+  // front-run the event. Past times remain clamped to now, as documented.
+  APPLE_CHECK(std::isfinite(at));
+  APPLE_CHECK(fn != nullptr);
   queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
 }
 
 void EventQueue::schedule_in(double delay, Callback fn) {
+  APPLE_CHECK(std::isfinite(delay));
   schedule_at(now_ + std::max(0.0, delay), std::move(fn));
 }
 
 std::size_t EventQueue::run_until(double horizon) {
+  APPLE_CHECK(!std::isnan(horizon));
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().at <= horizon) {
     if (step()) ++executed;
@@ -27,6 +37,9 @@ bool EventQueue::step() {
   // Copy out before pop: the callback may schedule new events.
   Event ev = queue_.top();
   queue_.pop();
+  // Simulated time is monotone: schedule_at clamps to now, so the earliest
+  // pending event can never precede the clock.
+  APPLE_DCHECK_GE(ev.at, now_);
   now_ = ev.at;
   ev.fn();
   return true;

@@ -16,8 +16,11 @@ class EventQueue {
   double now() const { return now_; }
 
   // Schedules `fn` at absolute time `at` (>= now, clamped otherwise).
+  // Contract: `at` must be finite (NaN/inf abort via APPLE_CHECK) and `fn`
+  // must be callable.
   void schedule_at(double at, Callback fn);
-  // Schedules `fn` after a relative delay.
+  // Schedules `fn` after a relative delay (>= 0, clamped otherwise; must be
+  // finite).
   void schedule_in(double delay, Callback fn);
 
   bool empty() const { return queue_.empty(); }

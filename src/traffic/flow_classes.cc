@@ -28,7 +28,7 @@ ChainAssignment uniform_chain_assignment(std::size_t num_chains,
   return [num_chains, seed,
           policied_fraction](net::NodeId src, net::NodeId dst) {
     const std::uint64_t h =
-        mix64((static_cast<std::uint64_t>(src) << 32) | dst ^ seed);
+        mix64((static_cast<std::uint64_t>(src) << 32) | (dst ^ seed));
     // Upper bits decide whether the pair is policied at all; lower bits
     // pick the chain, so the two decisions stay independent.
     const double coin =

@@ -1,7 +1,10 @@
 #include "traffic/traffic_matrix.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace apple::traffic {
 
@@ -23,6 +26,10 @@ double TrafficMatrix::total() const {
 }
 
 void TrafficMatrix::scale(double factor) {
+  // A non-finite factor would silently poison every downstream placement;
+  // negative demand has no physical meaning.
+  APPLE_CHECK(std::isfinite(factor));
+  APPLE_CHECK_GE(factor, 0.0);
   for (double& v : demand_) v *= factor;
 }
 
@@ -49,6 +56,8 @@ TrafficMatrix mean_matrix(std::span<const TrafficMatrix> snapshots) {
     }
   }
   mean.scale(1.0 / static_cast<double>(snapshots.size()));
+  // Postcondition: averaging finite snapshots yields finite demand.
+  APPLE_DCHECK(std::isfinite(mean.total()));
   return mean;
 }
 

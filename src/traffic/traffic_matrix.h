@@ -5,9 +5,12 @@
 // GEANT) and feeds the *mean* matrix to the Optimization Engine (Sec. IX-A).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "common/check.h"
 
 namespace apple::traffic {
 
@@ -24,9 +27,11 @@ class TrafficMatrix {
     return demand_[index(src, dst)];
   }
   void set(std::size_t src, std::size_t dst, double mbps) {
+    APPLE_DCHECK(std::isfinite(mbps));
     demand_[index(src, dst)] = mbps;
   }
   void add(std::size_t src, std::size_t dst, double mbps) {
+    APPLE_DCHECK(std::isfinite(mbps));
     demand_[index(src, dst)] += mbps;
   }
 

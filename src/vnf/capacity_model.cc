@@ -1,11 +1,18 @@
 #include "vnf/capacity_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace apple::vnf {
 
 double loss_fraction(double offered, double capacity) {
+  // NaN rates would make both comparisons false and return a NaN loss that
+  // propagates into the Fig. 6/12 curves unnoticed.
+  APPLE_DCHECK(!std::isnan(offered));
+  APPLE_DCHECK(!std::isnan(capacity));
   if (offered <= 0.0) return 0.0;
   if (capacity <= 0.0) return 1.0;
   return std::max(0.0, 1.0 - capacity / offered);
@@ -29,7 +36,7 @@ std::vector<LossCurvePoint> monitor_loss_curve(double capacity_pps,
   for (std::size_t i = 0; i < points; ++i) {
     const double rate =
         max_pps * static_cast<double>(i) / static_cast<double>(points - 1);
-    curve.push_back(LossCurvePoint{rate, loss_fraction(rate, capacity_pps)});
+    curve.emplace_back(rate, loss_fraction(rate, capacity_pps));
   }
   return curve;
 }

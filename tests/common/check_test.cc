@@ -1,0 +1,105 @@
+// Death tests for the APPLE contract-check library (common/check.h): the
+// failure path aborts with a file:line diagnostic, operand values are
+// printed, the failure handler is replaceable, and passing checks are free
+// of side effects on control flow.
+#include "common/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Check, PassingChecksDoNothing) {
+  APPLE_CHECK(true);
+  APPLE_CHECK(1 + 1 == 2);
+  APPLE_CHECK_EQ(4, 4);
+  APPLE_CHECK_NE(4, 5);
+  APPLE_CHECK_LT(1, 2);
+  APPLE_CHECK_LE(2, 2);
+  APPLE_CHECK_GT(3, 2);
+  APPLE_CHECK_GE(3, 3);
+  APPLE_DCHECK(true);
+  APPLE_DCHECK_EQ(std::string("a"), std::string("a"));
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  APPLE_CHECK_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+  APPLE_CHECK_LE(0, next());
+  EXPECT_EQ(calls, 2);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureAbortsWithFileAndLine) {
+  EXPECT_DEATH(APPLE_CHECK(false), "check_test.cc:[0-9]+: check failed: false");
+}
+
+TEST(CheckDeathTest, BinaryFailurePrintsOperands) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(APPLE_CHECK_EQ(lhs, rhs),
+               "check failed: lhs == rhs \\(3 vs 4\\)");
+  EXPECT_DEATH(APPLE_CHECK_GT(lhs, rhs), "\\(3 vs 4\\)");
+}
+
+TEST(CheckDeathTest, StringOperandsPrint) {
+  const std::string a = "apple";
+  const std::string b = "paper";
+  EXPECT_DEATH(APPLE_CHECK_EQ(a, b), "\\(apple vs paper\\)");
+}
+
+#if defined(APPLE_ENABLE_CHECKS) && APPLE_ENABLE_CHECKS
+TEST(CheckDeathTest, DcheckIsFatalWhenChecksEnabled) {
+  EXPECT_DEATH(APPLE_DCHECK(false), "check failed: false");
+  EXPECT_DEATH(APPLE_DCHECK_LT(2, 1), "\\(2 vs 1\\)");
+}
+#else
+TEST(Check, DcheckCompiledOutWhenChecksDisabled) {
+  int evaluations = 0;
+  APPLE_DCHECK(++evaluations > 0);       // must not evaluate
+  APPLE_DCHECK_EQ(++evaluations, 1234);  // must not evaluate or fail
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+// RAII guard so a throwing handler never leaks into later tests.
+class ScopedThrowingHandler {
+ public:
+  ScopedThrowingHandler()
+      : previous_(apple::common::set_check_failure_handler(
+            [](const std::string& message) {
+              throw std::runtime_error(message);
+            })) {}
+  ~ScopedThrowingHandler() {
+    apple::common::set_check_failure_handler(previous_);
+  }
+
+ private:
+  apple::common::CheckFailureHandler previous_;
+};
+
+TEST(Check, ReplaceableHandlerTurnsFailuresIntoExceptions) {
+  ScopedThrowingHandler guard;
+  EXPECT_THROW(APPLE_CHECK(false), std::runtime_error);
+  try {
+    APPLE_CHECK_EQ(2 + 2, 5);
+    FAIL() << "check should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("(4 vs 5)"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, HandlerRestores) {
+  { ScopedThrowingHandler guard; }
+  // Back to the default aborting handler.
+  EXPECT_DEATH(APPLE_CHECK(false), "check failed");
+}
+
+}  // namespace

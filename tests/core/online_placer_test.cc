@@ -202,7 +202,7 @@ TEST_P(OnlineChurnSweep, FootprintStaysNearGlobalRerun) {
     } else {
       net::NodeId a = static_cast<net::NodeId>(pick_node(rng));
       net::NodeId b = static_cast<net::NodeId>(pick_node(rng));
-      if (a == b) b = (b + 1) % topo.num_nodes();
+      if (a == b) b = static_cast<net::NodeId>((b + 1) % topo.num_nodes());
       traffic::TrafficClass arrival;
       arrival.id = next_id++;
       arrival.src = a;

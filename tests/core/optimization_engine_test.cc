@@ -86,8 +86,8 @@ INSTANTIATE_TEST_SUITE_P(Strategies, AllStrategies,
                          ::testing::Values(PlacementStrategy::kExact,
                                            PlacementStrategy::kLpRound,
                                            PlacementStrategy::kGreedy),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
                            std::erase(name, '-');  // gtest-safe identifier
                            return name;
                          });
@@ -169,7 +169,7 @@ TEST_P(EngineRandomSweep, StrategiesAgreeWithinFactor) {
   for (std::uint32_t k = 0; k < 5; ++k) {
     net::NodeId s = static_cast<net::NodeId>(node(rng));
     net::NodeId d = static_cast<net::NodeId>(node(rng));
-    if (s == d) d = (d + 1) % topo.num_nodes();
+    if (s == d) d = static_cast<net::NodeId>((d + 1) % topo.num_nodes());
     traffic::TrafficClass cls;
     cls.id = k;
     cls.src = s;

@@ -71,12 +71,12 @@ TEST_F(PredicateTest, PrefixValidation) {
 TEST_F(PredicateTest, RangeMatch) {
   const BddRef p = b_.range(Field::kDstPort, 80, 443);
   PacketHeader h;
-  for (const std::uint16_t port : {80, 81, 250, 443}) {
-    h.dst_port = port;
+  for (const int port : {80, 81, 250, 443}) {
+    h.dst_port = static_cast<std::uint16_t>(port);
     EXPECT_TRUE(b_.matches(p, h)) << port;
   }
-  for (const std::uint16_t port : {79, 444, 8080, 0}) {
-    h.dst_port = port;
+  for (const int port : {79, 444, 8080, 0}) {
+    h.dst_port = static_cast<std::uint16_t>(port);
     EXPECT_FALSE(b_.matches(p, h)) << port;
   }
 }

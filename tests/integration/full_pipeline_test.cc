@@ -126,7 +126,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TopoParam{"Internet2", net::make_internet2, 4000.0},
                       TopoParam{"GEANT", net::make_geant, 8000.0},
                       TopoParam{"UNIV1", net::make_univ1, 8000.0}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& param_info) { return std::string(param_info.param.label); });
 
 TEST(PipelineLarge, As3679EndToEnd) {
   // The scalability case: 79 switches, thousands of classes, greedy

@@ -42,7 +42,7 @@ INSTANTIATE_TEST_SUITE_P(
                       TopoCase{"GEANT", make_geant, 23, 37},
                       TopoCase{"UNIV1", make_univ1, 23, 43},
                       TopoCase{"AS3679", make_as3679, 79, 147}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& param_info) { return std::string(param_info.param.label); });
 
 TEST(Internet2, HasAbileneBackboneShape) {
   const Topology t = make_internet2();

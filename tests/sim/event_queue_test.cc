@@ -1,5 +1,8 @@
 #include "sim/event_queue.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace apple::sim {
@@ -60,6 +63,28 @@ TEST(EventQueue, PastSchedulingClampsToNow) {
   q.schedule_at(1.0, [&] { ran_at = q.now(); });  // in the past
   q.run_until(3.0);
   EXPECT_DOUBLE_EQ(ran_at, 2.0);
+}
+
+// Regression: schedule_at documents clamping of past times, but a NaN time
+// used to slip through the clamp (NaN compares false against everything)
+// and poison the heap order. Non-finite times are now contract violations.
+TEST(EventQueueDeathTest, NonFiniteTimesAreRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(EventQueue().schedule_at(nan, [] {}), "check failed");
+  EXPECT_DEATH(EventQueue().schedule_at(inf, [] {}), "check failed");
+  EXPECT_DEATH(EventQueue().schedule_in(nan, [] {}), "check failed");
+  EXPECT_DEATH(EventQueue().schedule_in(-inf, [] {}), "check failed");
+  EXPECT_DEATH(EventQueue().run_until(nan), "check failed");
+}
+
+TEST(EventQueue, FiniteSchedulingStillWorksAfterContractHardening) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(0.5, [&] { ++ran; });
+  q.schedule_in(1.0, [&] { ++ran; });
+  q.run_until(2.0);
+  EXPECT_EQ(ran, 2);
 }
 
 TEST(EventQueue, StepRunsExactlyOne) {

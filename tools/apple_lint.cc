@@ -1,0 +1,255 @@
+// apple_lint — repo-specific source lint that clang-tidy cannot express.
+//
+// Walks every .h/.cc under the given source root (default: src/ relative to
+// the working directory) and enforces:
+//
+//   1. Module layering: each module may only #include from the modules
+//      listed in its row of the dependency DAG below (DESIGN.md Sec. 5).
+//      This is what keeps e.g. lp/ and hsa/ reusable substrates that never
+//      reach up into core/, and net/ dependency-free.
+//   2. Every header starts its include guard with `#pragma once`.
+//   3. No `using namespace` at any scope inside headers.
+//   4. No banned calls: `rand()`/`srand()` (all randomness goes through
+//      seeded <random> engines for reproducible experiments) and raw
+//      `new`/`delete` (ownership is std:: containers / smart pointers),
+//      outside an explicit whitelist.
+//
+// Exit status 0 when clean; 1 with one "file:line: message" diagnostic per
+// violation otherwise. Registered as the `apple_lint` ctest test so the
+// layering DAG is CI-enforced.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Allowed #include targets per module, mirroring the library link DAG in
+// src/*/CMakeLists.txt. A module always may include itself; common is the
+// dependency-free contracts/utility layer available everywhere.
+const std::map<std::string, std::set<std::string>>& layering_dag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"common", {}},
+      {"net", {"common"}},
+      {"lp", {"common"}},
+      {"traffic", {"common", "net"}},
+      {"vnf", {"common", "net"}},
+      {"hsa", {"common", "net", "traffic"}},
+      {"orch", {"common", "net", "vnf"}},
+      {"dataplane", {"common", "net", "traffic", "vnf", "hsa"}},
+      {"sim", {"common", "net", "vnf", "traffic", "hsa", "dataplane"}},
+      {"core",
+       {"common", "net", "traffic", "hsa", "lp", "vnf", "dataplane", "orch",
+        "sim"}},
+      {"baselines",
+       {"common", "net", "traffic", "hsa", "lp", "vnf", "dataplane", "orch",
+        "sim", "core"}},
+  };
+  return dag;
+}
+
+// Files allowed to use otherwise-banned constructs, as paths relative to
+// the source root (e.g. "lp/simplex.cc"). Currently empty — the tree is
+// clean — but the mechanism is the documented escape hatch.
+const std::set<std::string>& banned_call_whitelist() {
+  static const std::set<std::string> whitelist = {};
+  return whitelist;
+}
+
+struct Diagnostic {
+  fs::path file;
+  std::size_t line;
+  std::string message;
+};
+
+std::vector<Diagnostic> diagnostics;
+
+void report(const fs::path& file, std::size_t line, std::string message) {
+  diagnostics.push_back(Diagnostic{file, line, std::move(message)});
+}
+
+// Strips // and /* */ comments and string/char literals so the banned-call
+// and using-namespace scans cannot false-positive on prose or messages.
+// Block-comment state carries across lines via `in_block_comment`.
+std::string strip_comments_and_strings(const std::string& line,
+                                       bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(' ');
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// The module of a source file is its first path component under the root
+// ("net/topology.h" -> "net").
+std::string module_of(const fs::path& relative) {
+  return relative.begin() == relative.end() ? std::string()
+                                            : relative.begin()->string();
+}
+
+void lint_file(const fs::path& path, const fs::path& relative) {
+  std::ifstream in(path);
+  if (!in) {
+    report(path, 0, "cannot open file");
+    return;
+  }
+
+  const std::string module = module_of(relative);
+  const auto& dag = layering_dag();
+  const auto dag_it = dag.find(module);
+  if (dag_it == dag.end()) {
+    report(path, 0,
+           "module '" + module +
+               "' is not in the layering DAG; add it to tools/apple_lint.cc "
+               "and DESIGN.md");
+    return;
+  }
+
+  const bool is_header = relative.extension() == ".h";
+  const bool whitelisted =
+      banned_call_whitelist().count(relative.generic_string()) > 0;
+
+  static const std::regex include_re("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  static const std::regex using_namespace_re("\\busing\\s+namespace\\b");
+  static const std::regex rand_re("\\b(s?rand)\\s*\\(");
+  // new/delete *expressions* need an operand; `= delete;` (deleted member
+  // functions) and `operator new` declarations do not match.
+  static const std::regex new_re("\\bnew\\s+[A-Za-z_:(]");
+  static const std::regex delete_re(
+      "\\bdelete\\s*(\\[\\s*\\])?\\s*[A-Za-z_*(]");
+
+  bool saw_pragma_once = false;
+  bool in_block_comment = false;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const bool started_in_block_comment = in_block_comment;
+    const std::string code = strip_comments_and_strings(raw, in_block_comment);
+
+    if (code.find("#pragma once") != std::string::npos) {
+      saw_pragma_once = true;
+    }
+
+    std::smatch m;
+    // Includes are matched on the raw line: the stripper blanks string
+    // literals, which would erase the quoted include path. The ^#include
+    // anchor already excludes line comments; block comments are skipped via
+    // the carried state.
+    if (!started_in_block_comment && std::regex_search(raw, m, include_re)) {
+      const std::string target = m[1].str();
+      // Only project-relative includes ("module/header.h") are layered;
+      // system headers use <>.
+      const std::size_t slash = target.find('/');
+      if (slash != std::string::npos) {
+        const std::string target_module = target.substr(0, slash);
+        if (dag.count(target_module) > 0 && target_module != module &&
+            dag_it->second.count(target_module) == 0) {
+          report(path, lineno,
+                 "layering violation: module '" + module +
+                     "' must not include '" + target + "' (allowed: own "
+                     "module plus documented dependencies; see DESIGN.md)");
+        }
+      }
+    }
+
+    if (is_header && std::regex_search(code, using_namespace_re)) {
+      report(path, lineno, "'using namespace' is banned in headers");
+    }
+
+    if (!whitelisted) {
+      if (std::regex_search(code, m, rand_re)) {
+        report(path, lineno,
+               "banned call '" + m[1].str() +
+                   "()': use a seeded <random> engine for reproducibility");
+      }
+      if (std::regex_search(code, new_re)) {
+        report(path, lineno,
+               "raw 'new' is banned: use containers or smart pointers");
+      }
+      if (std::regex_search(code, delete_re)) {
+        report(path, lineno,
+               "raw 'delete' is banned: use containers or smart pointers");
+      }
+    }
+  }
+
+  if (is_header && !saw_pragma_once) {
+    report(path, 1, "header is missing '#pragma once'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path("src");
+  if (!fs::is_directory(root)) {
+    std::cerr << "apple_lint: source root '" << root.string()
+              << "' is not a directory\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& file : files) {
+    lint_file(file, file.lexically_relative(root));
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const Diagnostic& d : diagnostics) {
+    std::cerr << d.file.string() << ":" << d.line << ": " << d.message << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cerr << "apple_lint: " << diagnostics.size() << " violation(s) in "
+              << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "apple_lint: " << files.size() << " files clean\n";
+  return 0;
+}
