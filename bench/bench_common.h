@@ -13,6 +13,7 @@
 
 #include "core/apple_controller.h"
 #include "net/topologies.h"
+#include "obs/metrics.h"
 #include "traffic/synthesis.h"
 
 namespace apple::bench {
@@ -85,6 +86,20 @@ inline void print_header(const std::string& title) {
 
 inline void print_rule() {
   std::printf("--------------------------------------------------------------------------\n");
+}
+
+// Dumps every APPLE_OBS_* counter/gauge/histogram accumulated by this bench
+// run to BENCH_<name>.json in the working directory (see DESIGN.md Sec. 7).
+// With APPLE_ENABLE_METRICS=OFF the file still appears but carries only
+// empty sections, so downstream tooling never has to special-case the
+// disabled build. Call once at the end of main().
+inline void export_metrics_json(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (obs::default_registry().write_snapshot_json(path)) {
+    std::printf("\nmetrics snapshot: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace apple::bench

@@ -117,5 +117,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 10: >= 4x reduction on all three topologies, most\n"
       "pronounced on the data-center topology (UNIV1).\n");
+  apple::bench::export_metrics_json("fig10_tcam");
   return 0;
 }

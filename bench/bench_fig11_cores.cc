@@ -52,5 +52,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 11: ~4x reduction on Internet2, ~2.5x on GEANT, small\n"
       "gap on UNIV1 (resource multiplexing is limited to 2 core switches).\n");
+  apple::bench::export_metrics_json("fig11_cores");
   return 0;
 }

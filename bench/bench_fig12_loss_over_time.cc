@@ -80,5 +80,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 12: loss remains much lower with fast failover on all\n"
       "three topologies; < 17 additional cores on average support it.\n");
+  apple::bench::export_metrics_json("fig12_loss_over_time");
   return 0;
 }

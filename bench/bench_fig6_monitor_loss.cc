@@ -40,5 +40,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 6: loss ~0 below ~8.5 Kpps and climbs steeply above;\n"
       "performance depends on receiving rate, not packet size.\n");
+  apple::bench::export_metrics_json("fig6_monitor_loss");
   return 0;
 }

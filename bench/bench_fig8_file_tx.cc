@@ -81,5 +81,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 8: the three safe strategies have indistinguishable CDFs\n"
       "(UDP loss 0%% in every run); only flipping before boot adds seconds.\n");
+  apple::bench::export_metrics_json("fig8_file_tx");
   return 0;
 }

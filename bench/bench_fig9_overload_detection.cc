@@ -147,5 +147,6 @@ int main() {
       "\nPaper Fig. 9 / Sec. VIII-E: overloading detected immediately, a\n"
       "second monitor configured in tens of ms, 0%% packet loss throughout,\n"
       "rollback once the rate drops to 4 Kpps.\n");
+  apple::bench::export_metrics_json("fig9_overload_detection");
   return 0;
 }

@@ -4,6 +4,7 @@
 // Not a paper artifact — used to watch for performance regressions.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/optimization_engine.h"
 #include "core/rule_generator.h"
 #include "core/subclass_assigner.h"
@@ -13,6 +14,7 @@
 #include "lp/simplex.h"
 #include "net/routing.h"
 #include "net/topologies.h"
+#include "sim/event_queue.h"
 #include "traffic/flow_classes.h"
 #include "traffic/synthesis.h"
 
@@ -86,6 +88,25 @@ void BM_SimplexTransportation(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexTransportation)->Arg(8)->Arg(16);
 
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Reverse-sorted inserts exercise the heap's worst direction; each
+      // event reschedules once so pop-during-run is covered too.
+      queue.schedule_at(static_cast<double>(n - i), [&queue, &fired] {
+        ++fired;
+        queue.schedule_in(0.25, [&fired] { ++fired; });
+      });
+    }
+    queue.run_until(static_cast<double>(n) + 1.0);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueue)->Arg(1024)->Arg(8192);
+
 void BM_AllPairsRouting(benchmark::State& state) {
   const net::Topology topo = net::make_as3679();
   for (auto _ : state) {
@@ -154,4 +175,14 @@ BENCHMARK(BM_RuleGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the process can dump the APPLE_OBS_*
+// instrumentation accumulated across all iterations (simplex pivots,
+// event-queue totals, solve-time histograms) before exiting.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  apple::bench::export_metrics_json("micro");
+  return 0;
+}

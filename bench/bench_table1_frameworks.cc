@@ -43,5 +43,6 @@ int main() {
   std::printf(
       "\nPaper Table I: SIMPLE/StEERING lack interference freedom, PACE lacks\n"
       "policy enforcement, CoMb lacks isolation; APPLE provides all three.\n");
+  apple::bench::export_metrics_json("table1_frameworks");
   return 0;
 }

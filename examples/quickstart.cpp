@@ -8,6 +8,11 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Observability: run with APPLE_TRACE=1 to dump every pipeline stage as a
+// Chrome trace (quickstart_trace.json, loadable in chrome://tracing or
+// https://ui.perfetto.dev); APPLE_TRACE=/path/to/file.json picks the
+// destination. See DESIGN.md Sec. 7.
 #include <cstdio>
 
 #include "core/optimization_engine.h"
@@ -15,9 +20,16 @@
 #include "core/subclass_assigner.h"
 #include "dataplane/data_plane.h"
 #include "net/topologies.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace apple;
+
+  const obs::TraceRequest trace =
+      obs::trace_request_from_env("quickstart_trace.json");
+  obs::TraceSink sink;
+  if (trace.enabled) obs::default_registry().set_trace_sink(&sink);
 
   // 1. Network: four SDN switches in a line, each with a 64-core APPLE host.
   const net::Topology topo = net::make_line(4, 64.0);
@@ -43,8 +55,13 @@ int main() {
   //    policy, capacity and host-resource constraints.
   core::EngineOptions options;
   options.strategy = core::PlacementStrategy::kExact;  // tiny -> exact ILP
-  const core::PlacementPlan plan =
-      core::OptimizationEngine(options).place(input);
+  core::PlacementPlan plan;
+  {
+    // The nested core.engine.place / core.ilp.build / lp.* spans emitted
+    // inside this scope nest under it in the trace view.
+    APPLE_OBS_SPAN("example.quickstart.place_seconds");
+    plan = core::OptimizationEngine(options).place(input);
+  }
   if (!plan.feasible) {
     std::printf("placement infeasible: %s\n",
                 plan.infeasibility_reason.c_str());
@@ -65,32 +82,46 @@ int main() {
 
   // 5. Sub-classes + rules (Sec. V): pin flows to instance sequences and
   //    install the tagging rules.
-  const auto inventory = core::materialize_inventory(input, plan);
-  const auto subclasses = core::assign_subclasses(input, plan, inventory);
-  dataplane::DataPlane dp(topo);
-  const auto report =
-      core::RuleGenerator().install(input, subclasses, inventory, dp);
-  std::printf("TCAM: %zu entries with tagging (vs %zu without, %.1fx)\n",
-              report.tcam_with_tagging, report.tcam_without_tagging,
-              report.tcam_reduction_ratio());
+  {  // scope ends before the trace dump so this span makes it into the file
+    APPLE_OBS_SPAN("example.quickstart.rules_and_walk_seconds");
+    const auto inventory = core::materialize_inventory(input, plan);
+    const auto subclasses = core::assign_subclasses(input, plan, inventory);
+    dataplane::DataPlane dp(topo);
+    const auto report =
+        core::RuleGenerator().install(input, subclasses, inventory, dp);
+    std::printf("TCAM: %zu entries with tagging (vs %zu without, %.1fx)\n",
+                report.tcam_with_tagging, report.tcam_without_tagging,
+                report.tcam_reduction_ratio());
 
-  // 6. Walk a packet of class 0 through the data plane.
-  hsa::PacketHeader h;
-  h.src_ip = hsa::parse_ipv4("10.1.1.7");
-  h.dst_ip = hsa::parse_ipv4("10.2.0.9");
-  h.dst_port = 80;
-  h.proto = 6;
-  const auto walk = dp.walk(0, h);
-  if (!walk.delivered) {
-    std::printf("walk failed: %s\n", walk.error.c_str());
-    return 1;
+    // 6. Walk a packet of class 0 through the data plane.
+    hsa::PacketHeader h;
+    h.src_ip = hsa::parse_ipv4("10.1.1.7");
+    h.dst_ip = hsa::parse_ipv4("10.2.0.9");
+    h.dst_port = 80;
+    h.proto = 6;
+    const auto walk = dp.walk(0, h);
+    if (!walk.delivered) {
+      std::printf("walk failed: %s\n", walk.error.c_str());
+      return 1;
+    }
+    std::printf("packet walk (class 0): switches");
+    for (const net::NodeId v : walk.packet.switch_trace) std::printf(" %u", v);
+    std::printf(" | NFs");
+    for (const vnf::NfType t : dp.traversed_types(walk.packet)) {
+      std::printf(" %s", std::string(vnf::to_string(t)).c_str());
+    }
+    std::printf("\npolicy enforced in order on the original path — done.\n");
   }
-  std::printf("packet walk (class 0): switches");
-  for (const net::NodeId v : walk.packet.switch_trace) std::printf(" %u", v);
-  std::printf(" | NFs");
-  for (const vnf::NfType t : dp.traversed_types(walk.packet)) {
-    std::printf(" %s", std::string(vnf::to_string(t)).c_str());
+
+  if (trace.enabled) {
+    obs::default_registry().set_trace_sink(nullptr);
+    if (sink.write_chrome_trace_json(trace.path)) {
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  trace.path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace.path.c_str());
+    }
   }
-  std::printf("\npolicy enforced in order on the original path — done.\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "baselines/properties.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 #include "baselines/comb.h"
 #include "baselines/ingress.h"
@@ -24,6 +25,8 @@ bool enforces(const core::PlacementInput& input,
 std::vector<FrameworkProperties> evaluate_frameworks(
     const core::PlacementInput& input, const net::AllPairsPaths& routing) {
   APPLE_CHECK(input.topology != nullptr);
+  APPLE_OBS_SPAN("baselines.properties.evaluate_seconds");
+  APPLE_OBS_COUNT("baselines.properties.evaluations");
   std::vector<FrameworkProperties> rows;
 
   // SIMPLE/StEERING-style steering: enforcement via detours, VM isolation,

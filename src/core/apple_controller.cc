@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::core {
 
 AppleController::AppleController(const net::Topology& topo,
@@ -31,6 +33,8 @@ std::vector<traffic::TrafficClass> AppleController::build_classes(
 }
 
 Epoch AppleController::optimize(const traffic::TrafficMatrix& tm) const {
+  APPLE_OBS_SPAN("core.controller.optimize_seconds");
+  APPLE_OBS_COUNT("core.controller.epochs_optimized");
   Epoch epoch;
   epoch.classes = build_classes(tm);
   PlacementInput input;
@@ -126,6 +130,8 @@ ReplayReport AppleController::replay(
 void AppleController::replay_segment(
     const Epoch& epoch, std::span<const traffic::TrafficMatrix> series,
     bool fast_failover, ReplayReport& report) const {
+  APPLE_OBS_SPAN("core.controller.replay_segment_seconds");
+  APPLE_OBS_COUNT_N("core.controller.snapshots_replayed", series.size());
   // Bring up the epoch's instances through the Resource Orchestrator (the
   // proactive provisioning of Sec. III; everything is ready before replay
   // starts). Launch order matches materialize_inventory's id numbering.

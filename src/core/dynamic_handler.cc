@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace apple::core {
 
 namespace {
@@ -41,6 +43,10 @@ void DynamicHandler::poll(double now) {
     if (it->ready_at <= now) {
       sim_->install_class_plans(it->class_id, it->plans);
       ++metrics_.rebalances;
+      // Switchover latency in SIMULATED seconds: overload detection to the
+      // poll that applied the booted replacement's traffic shift.
+      APPLE_OBS_OBSERVE("core.failover.switchover_seconds",
+                        now - it->requested_at);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -56,9 +62,11 @@ void DynamicHandler::poll(double now) {
     if (event) {
       if (event->kind == sim::LoadEventKind::kOverloaded) {
         ++metrics_.overload_events;
+        APPLE_OBS_COUNT("core.failover.overload_events");
         handle_overload(now, id);
       } else {
         ++metrics_.clear_events;
+        APPLE_OBS_COUNT("core.failover.clear_events");
         handle_clear(now, id);
       }
       continue;
@@ -307,10 +315,13 @@ void DynamicHandler::handle_overload(double now, vnf::InstanceId hot) {
                   hot_inst->type, candidate, now, orch::LaunchPath::kBareXen);
               if (!launch.ok()) break;
               ++metrics_.instances_launched;
+              APPLE_OBS_COUNT("core.failover.instances_launched");
               metrics_.extra_cores_in_use +=
                   vnf::spec_of(launch.instance.type).cores_required;
               metrics_.peak_extra_cores = std::max(
                   metrics_.peak_extra_cores, metrics_.extra_cores_in_use);
+              APPLE_OBS_GAUGE_MAX("core.failover.peak_extra_cores",
+                                  metrics_.peak_extra_cores);
               vnf::VnfInstance fresh_inst = launch.instance;
               fresh_inst.capacity_mbps = knee;
               sim_->add_instance(fresh_inst, launch.ready_at);
@@ -376,7 +387,7 @@ void DynamicHandler::handle_overload(double now, vnf::InstanceId hot) {
           if (booting > 1e-12) {
             std::vector<dataplane::SubclassPlan> final_plans = updated;
             final_plans.insert(final_plans.end(), extra.begin(), extra.end());
-            pending_.push_back(PendingShift{latest_ready, class_id,
+            pending_.push_back(PendingShift{latest_ready, now, class_id,
                                             std::move(final_plans)});
           }
           released = 0.0;  // fully accounted (unabsorbed stays on subs)
@@ -444,6 +455,7 @@ void DynamicHandler::handle_clear(double now, vnf::InstanceId cleared) {
       detector_.forget(inst);
       last_action_.erase(inst);
       ++metrics_.instances_cancelled;
+      APPLE_OBS_COUNT("core.failover.instances_cancelled");
     }
     it = saved_.erase(it);
   }

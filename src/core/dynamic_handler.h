@@ -78,6 +78,10 @@ class DynamicHandler {
   };
   struct PendingShift {
     double ready_at = 0.0;
+    // Simulated time of the overload that requested this shift; the gap to
+    // the apply instant is the failover switchover latency
+    // (core.failover.switchover_seconds).
+    double requested_at = 0.0;
     traffic::ClassId class_id = 0;
     std::vector<dataplane::SubclassPlan> plans;
   };

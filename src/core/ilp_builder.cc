@@ -3,9 +3,12 @@
 #include <cmath>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace apple::core {
 
 IlpBuilder::IlpBuilder(const PlacementInput& input, bool integral_q) {
+  APPLE_OBS_SPAN("core.ilp.build_seconds");
   input.validate();
   const net::Topology& topo = *input.topology;
 
@@ -130,6 +133,10 @@ IlpBuilder::IlpBuilder(const PlacementInput& input, bool integral_q) {
     model_.add_row(lp::Sense::kLessEqual, topo.node(v).host_cores, row,
                    "res_v" + std::to_string(v));
   }
+
+  APPLE_OBS_COUNT("core.ilp.builds");
+  APPLE_OBS_GAUGE_SET("core.ilp.last_model_vars", model_.num_vars());
+  APPLE_OBS_GAUGE_SET("core.ilp.last_model_rows", model_.num_rows());
 }
 
 lp::VarId IlpBuilder::d_var(std::size_t class_index, std::size_t path_index,

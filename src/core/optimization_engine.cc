@@ -7,6 +7,7 @@
 
 #include "core/ilp_builder.h"
 #include "lp/simplex.h"
+#include "obs/obs.h"
 
 namespace apple::core {
 
@@ -53,16 +54,27 @@ const char* to_string(PlacementStrategy s) {
 }
 
 PlacementPlan OptimizationEngine::place(const PlacementInput& input) const {
+  APPLE_OBS_SPAN("core.engine.place_seconds");
   input.validate();
+  PlacementPlan plan;
   switch (options_.strategy) {
     case PlacementStrategy::kExact:
-      return place_exact(input);
+      plan = place_exact(input);
+      break;
     case PlacementStrategy::kLpRound:
-      return place_lp_round(input);
+      plan = place_lp_round(input);
+      break;
     case PlacementStrategy::kGreedy:
-      return place_greedy(input);
+      plan = place_greedy(input);
+      break;
   }
-  return place_greedy(input);
+  APPLE_OBS_COUNT("core.engine.placements");
+  if (plan.feasible) {
+    APPLE_OBS_COUNT_N("core.engine.instances_placed", plan.total_instances());
+  } else {
+    APPLE_OBS_COUNT("core.engine.infeasible_placements");
+  }
+  return plan;
 }
 
 PlacementPlan OptimizationEngine::place_exact(

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::core {
 
 RuleGenerationReport RuleGenerator::account(
@@ -35,6 +37,12 @@ RuleGenerationReport RuleGenerator::account(
   }
   report.tcam_with_tagging = tagged.total();
   report.tcam_without_tagging = untagged.total();
+  APPLE_OBS_COUNT("core.rules.generations");
+  APPLE_OBS_GAUGE_SET("core.rules.last_tcam_with_tagging",
+                      report.tcam_with_tagging);
+  APPLE_OBS_GAUGE_SET("core.rules.last_tcam_without_tagging",
+                      report.tcam_without_tagging);
+  APPLE_OBS_GAUGE_SET("core.rules.last_vswitch_rules", report.vswitch_rules);
   return report;
 }
 
@@ -56,6 +64,10 @@ RuleGenerationReport RuleGenerator::install(
   for (std::size_t h = 0; h < input.classes.size(); ++h) {
     dp.install_class(input.classes[h], subclasses[h]);
   }
+  APPLE_OBS_COUNT_N("core.rules.tcam_entries_installed",
+                    report.tcam_with_tagging);
+  APPLE_OBS_COUNT_N("core.rules.vswitch_rules_installed",
+                    report.vswitch_rules);
   return report;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::dataplane {
 
 void DataPlane::register_instance(const vnf::VnfInstance& instance) {
@@ -47,6 +49,7 @@ void DataPlane::install_class(const traffic::TrafficClass& cls,
                               std::vector<SubclassPlan> plans) {
   if (cls.path.empty()) throw std::invalid_argument("class has empty path");
   validate_plans(cls.path, plans);
+  APPLE_OBS_COUNT("dataplane.pipeline.classes_installed");
   classes_[cls.id] = InstalledClass{cls, std::move(plans)};
 }
 

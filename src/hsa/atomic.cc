@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::hsa {
 
 AtomicPredicates compute_atomic_predicates(
     BddManager& mgr, std::span<const BddRef> predicates) {
+  APPLE_OBS_SPAN("hsa.atomic.compute_seconds");
   AtomicPredicates out;
   out.atoms.push_back(kBddTrue);
   // Iteratively split every existing atom against the next predicate.
@@ -30,6 +33,7 @@ AtomicPredicates compute_atomic_predicates(
       }
     }
   }
+  APPLE_OBS_COUNT_N("hsa.atomic.atoms_computed", out.atoms.size());
   return out;
 }
 

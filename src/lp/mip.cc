@@ -7,6 +7,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace apple::lp {
 
 namespace {
@@ -60,6 +62,9 @@ LpModel with_cuts(const LpModel& base, const std::vector<BoundCut>& cuts) {
 }  // namespace
 
 MipResult MipSolver::solve(const LpModel& model) const {
+  APPLE_OBS_SPAN("lp.mip.solve_seconds");
+  APPLE_OBS_COUNT("lp.mip.solves");
+  std::uint64_t nodes_pruned = 0;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -69,6 +74,15 @@ MipResult MipSolver::solve(const LpModel& model) const {
   MipResult res;
   double incumbent_obj = kInf;
   std::vector<double> incumbent_x;
+  // Flush node counters on every exit path (limit, infeasible, optimal).
+  struct NodeCounterFlush {
+    const MipResult& res;
+    const std::uint64_t& pruned;
+    ~NodeCounterFlush() {
+      APPLE_OBS_COUNT_N("lp.mip.nodes_explored", res.nodes_explored);
+      APPLE_OBS_COUNT_N("lp.mip.nodes_pruned", pruned);
+    }
+  } node_counter_flush{res, nodes_pruned};
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
   open.push(Node{-kInf, {}});
@@ -87,6 +101,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
     // Bound-based prune (bounds can only tighten down the tree).
     if (node.bound >= incumbent_obj - options_.relative_gap *
                                           std::max(1.0, std::abs(incumbent_obj))) {
+      ++nodes_pruned;
       continue;
     }
     ++res.nodes_explored;
@@ -106,6 +121,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
     }
     if (rel.objective >= incumbent_obj - options_.relative_gap *
                                              std::max(1.0, std::abs(incumbent_obj))) {
+      ++nodes_pruned;
       continue;
     }
 

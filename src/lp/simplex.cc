@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace apple::lp {
 
@@ -235,6 +236,15 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
 }  // namespace
 
 LpSolution SimplexSolver::solve(const LpModel& model) const {
+  APPLE_OBS_SPAN("lp.simplex.solve_seconds");
+  LpSolution out = solve_impl(model);
+  APPLE_OBS_COUNT("lp.simplex.solves");
+  APPLE_OBS_COUNT_N("lp.simplex.iterations", out.iterations);
+  APPLE_OBS_OBSERVE_SIZE("lp.simplex.iterations_per_solve", out.iterations);
+  return out;
+}
+
+LpSolution SimplexSolver::solve_impl(const LpModel& model) const {
   LpSolution out;
   Tableau tab(model, options_);
   const std::size_t n_total = tab.num_cols();

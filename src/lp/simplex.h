@@ -37,6 +37,10 @@ class SimplexSolver {
   LpSolution solve(const LpModel& model) const;
 
  private:
+  // The uninstrumented solve; solve() wraps it in the obs span/counters
+  // (lp.simplex.* — see DESIGN.md Sec. 7).
+  LpSolution solve_impl(const LpModel& model) const;
+
   SimplexOptions options_;
 };
 

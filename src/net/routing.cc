@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace apple::net {
 
 namespace {
@@ -59,8 +61,10 @@ std::optional<Path> ShortestPathTree::path_to(NodeId dst) const {
 }
 
 AllPairsPaths::AllPairsPaths(const Topology& topo) {
+  APPLE_OBS_SPAN("net.routing.all_pairs_build_seconds");
   trees_.reserve(topo.num_nodes());
   for (NodeId s = 0; s < topo.num_nodes(); ++s) trees_.emplace_back(topo, s);
+  APPLE_OBS_COUNT_N("net.routing.trees_built", trees_.size());
 }
 
 std::optional<Path> AllPairsPaths::path(NodeId src, NodeId dst) const {

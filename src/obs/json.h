@@ -1,0 +1,98 @@
+// Minimal JSON support for the observability layer.
+//
+// The exporters (metrics snapshots, Chrome trace-event files) need a
+// correct-by-construction writer — escaping, finite-number formatting,
+// comma placement — and the tests need to prove the emitted documents are
+// well-formed by parsing them back. Both halves live here so they share
+// one definition of "valid": `Writer` emits, `parse()` accepts, and the
+// round-trip tests in tests/obs/ hold them together.
+//
+// This is deliberately not a general JSON library: no streaming input, no
+// unicode escapes beyond pass-through UTF-8, numbers parse into double.
+// That is exactly enough for metric names, counter values and trace spans.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apple::obs::json {
+
+// Escapes `raw` for embedding between double quotes in a JSON document.
+std::string escape(std::string_view raw);
+
+// Formats a double as a JSON number. Non-finite inputs (which JSON cannot
+// represent) are clamped to 0 — snapshot values are always finite in a
+// healthy registry, and a parseable document beats a poisoned one.
+std::string format_double(double value);
+
+// Streaming writer with explicit begin/end scopes. Keys and values must
+// alternate inside objects; the writer inserts commas. Usage:
+//
+//   Writer w;
+//   w.begin_object();
+//   w.key("counters");
+//   w.begin_object();
+//   w.key("lp.simplex.iterations");
+//   w.value(std::uint64_t{42});
+//   w.end_object();
+//   w.end_object();
+//   std::string doc = w.take();
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void null();
+
+  // Returns the finished document and resets the writer.
+  std::string take();
+
+ private:
+  void prefix();  // emits a separating comma when needed
+
+  std::string out_;
+  // One flag per open scope: true when the next element needs a ',' first.
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+// Parsed JSON value (tests use this to round-trip exporter output).
+// Children live in parallel vectors so the type can contain itself without
+// raw pointers.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  // kArray: `items` holds the elements. kObject: `keys[i]` maps to
+  // `items[i]`.
+  std::vector<std::string> keys;
+  std::vector<Value> items;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+};
+
+// Parses a complete JSON document (surrounding whitespace allowed).
+// Returns nullopt on any syntax error or trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace apple::obs::json

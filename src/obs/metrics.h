@@ -1,0 +1,266 @@
+// Metrics registry for the APPLE reproduction.
+//
+// Every quantity the paper's evaluation reports (solver runtime, failover
+// latency, packet loss, TCAM occupancy) flows through named instruments in
+// a `MetricsRegistry`:
+//
+//   Counter   — monotone uint64 with a saturation guard (never wraps).
+//   Gauge     — last-written double, plus a high-water helper (`set_max`).
+//   Histogram — fixed upper-bound buckets with count/sum/min/max and
+//               interpolated p50/p95/p99 readout.
+//
+// Naming scheme: `module.component.metric`, e.g. `lp.simplex.iterations`
+// or `core.failover.switchover_seconds` (see DESIGN.md Sec. 7). Names are
+// validated on creation.
+//
+// Time never comes from an ambient clock: the registry holds an injected
+// `Clock` (seconds as double) that spans and timers read. Benches inject a
+// steady wall clock (`steady_clock_seconds`); simulation code passes sim
+// time explicitly when recording latencies.
+//
+// Thread-safety: the registry's name->instrument map is guarded by a
+// pluggable `RegistryMutex` (no-op by default — the codebase is currently
+// single-threaded; install `make_std_registry_mutex()` when sharding
+// lands). Individual instrument updates are intentionally unsynchronized;
+// per-thread registries or external locking own that when threading
+// arrives.
+//
+// Zero-cost switch: the `APPLE_OBS_*` macros in obs/obs.h compile to
+// nothing (arguments type-checked, never evaluated) when the tree is built
+// with -DAPPLE_ENABLE_METRICS=OFF. Direct registry calls are always live.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apple::obs {
+
+// Seconds on an injected clock. Sub-microsecond precision is plenty: the
+// shortest spans we time are simplex solves.
+using Clock = std::function<double()>;
+
+// Monotone seconds from a process-local steady clock (first call is 0).
+// This is the wall clock benches inject; nothing in obs/ calls it
+// implicitly.
+double steady_clock_seconds();
+
+class Counter {
+ public:
+  // Saturating add: the counter pins at max() instead of wrapping, so a
+  // runaway increment can never masquerade as a small value.
+  void add(std::uint64_t delta = 1) {
+    value_ = delta > kMax - value_ ? kMax : value_ + delta;
+  }
+  std::uint64_t value() const { return value_; }
+  bool saturated() const { return value_ == kMax; }
+  void reset() { value_ = 0; }
+
+  static constexpr std::uint64_t kMax =
+      std::numeric_limits<std::uint64_t>::max();
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  // High-water update: keeps the maximum of all set_max() calls.
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be finite, strictly increasing and non-empty; an
+  // implicit +inf overflow bucket is appended. A value lands in the first
+  // bucket whose upper bound is >= value (`le` semantics, as in
+  // Prometheus), so observing exactly a bound counts into that bound's
+  // bucket.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Interpolated quantile readout, q in [0, 1]. Within the hit bucket the
+  // value is linearly interpolated between the bucket's bounds (the first
+  // bucket interpolates up from 0, the overflow bucket up to the observed
+  // max); the result is clamped to [min, max]. Empty histograms read 0.
+  double quantile(double q) const;
+
+  HistogramSnapshot snapshot() const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // counts() has upper_bounds().size() + 1 entries; the last is the
+  // overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Default bucket ladders. Times cover 1 us .. 100 s (decade steps with
+// 1/2/5 subdivision) — wide enough for a simplex pivot and an OpenStack
+// boot alike. Sizes cover 1 .. 1e6.
+std::vector<double> default_time_buckets_seconds();
+std::vector<double> default_size_buckets();
+
+// Pluggable registry lock. The default registry runs with no mutex (null);
+// install make_std_registry_mutex() once concurrent writers exist.
+class RegistryMutex {
+ public:
+  virtual ~RegistryMutex() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+};
+
+std::unique_ptr<RegistryMutex> make_std_registry_mutex();
+
+class TraceSink;  // obs/trace.h
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. References stay valid for the registry's lifetime —
+  // instruments are never removed (reset_values() zeroes them in place),
+  // which is what lets the APPLE_OBS_* macros cache them in static locals.
+  // Names must match [a-z0-9_.] with at least one '.', per the
+  // module.component.metric scheme.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Histogram with the default time ladder.
+  Histogram& histogram(std::string_view name);
+  // Histogram with explicit bounds; bounds are fixed on first creation
+  // (later calls with the same name return the existing instrument).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // Injected time source for spans/timers; defaults to
+  // steady_clock_seconds. Never sampled except through clock_now().
+  void set_clock(Clock clock);
+  double clock_now() const { return clock_(); }
+
+  // Optional trace sink; not owned. When set, TraceSpan emits Chrome
+  // trace events alongside the histogram record.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+  TraceSink* trace_sink() const { return trace_sink_; }
+
+  void set_mutex(std::unique_ptr<RegistryMutex> mutex);
+
+  // Zeroes every instrument, keeping the objects (cached references stay
+  // valid). Used by tests and between bench repetitions.
+  void reset_values();
+
+  // JSON snapshot of every instrument:
+  //   {"counters": {name: value, ...},
+  //    "gauges": {name: value, ...},
+  //    "histograms": {name: {count, sum, min, max, p50, p95, p99,
+  //                          buckets: [{"le": bound|"+Inf", count}...]}}}
+  std::string snapshot_json() const;
+  // Writes snapshot_json() to `path`; returns false on I/O failure.
+  bool write_snapshot_json(const std::string& path) const;
+
+  // Visitation (stable name order) for exporters/tests.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+
+ private:
+  class Guard;  // RAII over the optional mutex
+
+  // std::map: node-based, so instrument references are stable across
+  // inserts. Heterogeneous lookup avoids a string copy per cache miss.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  Clock clock_;
+  TraceSink* trace_sink_ = nullptr;
+  std::unique_ptr<RegistryMutex> mutex_;
+};
+
+// Process-wide registry the APPLE_OBS_* macros write to. Benches and
+// examples export it; tests may also read module instrumentation here.
+MetricsRegistry& default_registry();
+
+// Running min/mean/max accumulator — the helper the bench binaries used to
+// re-implement per figure (hoisted here; see bench/bench_common.h).
+class RunningStat {
+ public:
+  void observe(double v) {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Elapsed-time helper over an injected clock (replaces ad-hoc
+// std::chrono stopwatches in benches).
+class Stopwatch {
+ public:
+  explicit Stopwatch(Clock clock) : clock_(std::move(clock)) {
+    start_ = clock_();
+  }
+  Stopwatch() : Stopwatch(Clock(&steady_clock_seconds)) {}
+  void restart() { start_ = clock_(); }
+  double elapsed_seconds() const { return clock_() - start_; }
+
+ private:
+  Clock clock_;
+  double start_ = 0.0;
+};
+
+}  // namespace apple::obs

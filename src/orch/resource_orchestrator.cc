@@ -1,6 +1,7 @@
 #include "orch/resource_orchestrator.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace apple::orch {
 
@@ -74,14 +75,19 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
       boot = spec.clickos
                  ? openstack_boot_time(timings_, launch_sequence_++)
                  : timings_.normal_vm_boot;
+      APPLE_OBS_COUNT("orch.lifecycle.launches_openstack");
       break;
     case LaunchPath::kBareXen:
       boot = timings_.clickos_boot_bare_xen;
+      APPLE_OBS_COUNT("orch.lifecycle.launches_bare_xen");
       break;
     case LaunchPath::kReconfigure:
       boot = timings_.clickos_reconfigure;
+      APPLE_OBS_COUNT("orch.lifecycle.launches_reconfigure");
       break;
   }
+  // Boot latency is MODELED time (the Table-2 timings), not wall time.
+  APPLE_OBS_OBSERVE("orch.lifecycle.boot_seconds", boot);
   result.instance = inst;
   result.ready_at = now + boot;
   return result;
@@ -114,6 +120,7 @@ LaunchResult ResourceOrchestrator::reconfigure(vnf::InstanceId id,
   APPLE_DCHECK_GE(used_cores_[inst.host_switch], -1e-9);
   inst.type = new_type;
   inst.capacity_mbps = new_spec.capacity_mbps;
+  APPLE_OBS_COUNT("orch.lifecycle.reconfigures");
   result.instance = inst;
   result.ready_at = now + timings_.clickos_reconfigure;
   return result;
@@ -128,6 +135,7 @@ bool ResourceOrchestrator::cancel(vnf::InstanceId id) {
   // corrupted instance bookkeeping.
   APPLE_DCHECK_GE(used_cores_[it->second.host_switch], -1e-9);
   instances_.erase(it);
+  APPLE_OBS_COUNT("orch.lifecycle.cancellations");
   return true;
 }
 

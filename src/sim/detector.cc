@@ -1,5 +1,7 @@
 #include "sim/detector.h"
 
+#include "obs/obs.h"
+
 namespace apple::sim {
 
 double OverloadDetector::delayed_value(const History& h, double now) const {
@@ -30,16 +32,19 @@ std::optional<LoadEvent> OverloadDetector::sample(double now,
     h.samples.pop_front();
   }
 
+  APPLE_OBS_COUNT("sim.detector.samples");
   const double seen = delayed_value(h, now);
   // Relative epsilon: a placement loaded to exactly 100% of capacity must
   // not flap the detector through floating-point noise.
   if (!h.overloaded && capacity_mbps > 0.0 &&
       seen > config_.overload_threshold * capacity_mbps * (1.0 + 1e-9)) {
     h.overloaded = true;
+    APPLE_OBS_COUNT("sim.detector.overload_events");
     return LoadEvent{now, instance, LoadEventKind::kOverloaded, seen};
   }
   if (h.overloaded && seen < config_.clear_threshold * capacity_mbps) {
     h.overloaded = false;
+    APPLE_OBS_COUNT("sim.detector.clear_events");
     return LoadEvent{now, instance, LoadEventKind::kCleared, seen};
   }
   return std::nullopt;

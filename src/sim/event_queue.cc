@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace apple::sim {
 
@@ -15,6 +16,8 @@ void EventQueue::schedule_at(double at, Callback fn) {
   APPLE_CHECK(std::isfinite(at));
   APPLE_CHECK(fn != nullptr);
   queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  APPLE_OBS_COUNT("sim.event_queue.events_scheduled");
+  APPLE_OBS_GAUGE_MAX("sim.event_queue.depth_high_water", queue_.size());
 }
 
 void EventQueue::schedule_in(double delay, Callback fn) {
@@ -41,6 +44,7 @@ bool EventQueue::step() {
   // pending event can never precede the clock.
   APPLE_DCHECK_GE(ev.at, now_);
   now_ = ev.at;
+  APPLE_OBS_COUNT("sim.event_queue.events_processed");
   ev.fn();
   return true;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::sim {
 
 FlowSimulation::FlowSimulation(double tick_seconds)
@@ -108,6 +110,12 @@ TickStats FlowSimulation::step() {
 
   history_.push_back(stats);
   now_ += tick_seconds_;
+  APPLE_OBS_COUNT("sim.flow.ticks");
+  // Rate-weighted loss accounting in whole Mbps; the snapshot divides the
+  // two counters back into a loss rate.
+  APPLE_OBS_COUNT_N("sim.flow.offered_mbps", stats.offered_mbps);
+  APPLE_OBS_COUNT_N("sim.flow.lost_mbps",
+                    stats.offered_mbps - stats.delivered_mbps);
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::sim {
 
 QueueStats simulate_packet_queue(const QueueConfig& config,
@@ -48,6 +50,9 @@ QueueStats simulate_packet_queue(const QueueConfig& config,
     }
     segment_start = segment.until_s;
   }
+  APPLE_OBS_COUNT_N("sim.packet_queue.arrived", stats.arrived);
+  APPLE_OBS_COUNT_N("sim.packet_queue.dropped", stats.dropped);
+  APPLE_OBS_GAUGE_MAX("sim.packet_queue.depth_high_water", stats.max_queue);
   return stats;
 }
 

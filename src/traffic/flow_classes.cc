@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace apple::traffic {
 
 namespace {
@@ -65,6 +67,7 @@ std::vector<TrafficClass> build_classes(const net::Topology& topo,
       }
     }
   }
+  APPLE_OBS_COUNT_N("traffic.classes.built", classes.size());
   return classes;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace apple::vnf {
 
@@ -44,6 +45,7 @@ std::vector<LossCurvePoint> monitor_loss_curve(double capacity_pps,
 double measure_capacity_pps(double true_capacity_pps, double step_pps,
                             double loss_threshold) {
   if (step_pps <= 0.0) throw std::invalid_argument("step must be positive");
+  APPLE_OBS_COUNT("vnf.capacity.measurements");
   double last_good = 0.0;
   for (double rate = step_pps; rate <= true_capacity_pps * 4.0;
        rate += step_pps) {

@@ -1,0 +1,106 @@
+// Writer/parser round-trip for the obs JSON layer: the exporters are only
+// trustworthy if everything the Writer emits parses back unchanged.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace apple::obs::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(escape("lp.simplex.iterations"), "lp.simplex.iterations");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonFormatDouble, FiniteValuesRoundTrip) {
+  for (const double v : {0.0, 1.0, -2.5, 1e-9, 123456789.123456, 4.2e17}) {
+    const auto parsed = parse(format_double(v));
+    ASSERT_TRUE(parsed.has_value()) << format_double(v);
+    ASSERT_TRUE(parsed->is_number());
+    EXPECT_DOUBLE_EQ(parsed->number, v);
+  }
+}
+
+TEST(JsonFormatDouble, NonFiniteClampsToZero) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(format_double(std::nan("")), "0");
+}
+
+TEST(JsonWriter, NestedDocumentParsesBack) {
+  Writer w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  w.key("lp.simplex.iterations");
+  w.value(std::uint64_t{42});
+  w.end_object();
+  w.key("series");
+  w.begin_array();
+  w.value(1.5);
+  w.value("two");
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+
+  const auto doc = parse(w.take());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+
+  const Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Value* iters = counters->find("lp.simplex.iterations");
+  ASSERT_NE(iters, nullptr);
+  EXPECT_DOUBLE_EQ(iters->number, 42.0);
+
+  const Value* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->items.size(), 4u);
+  EXPECT_DOUBLE_EQ(series->items[0].number, 1.5);
+  EXPECT_EQ(series->items[1].string, "two");
+  EXPECT_TRUE(series->items[2].boolean);
+  EXPECT_EQ(series->items[3].kind, Value::Kind::kNull);
+}
+
+TEST(JsonWriter, EscapedKeyRoundTrips) {
+  Writer w;
+  w.begin_object();
+  w.key("we\"ird\nkey");
+  w.value("va\\lue");
+  w.end_object();
+  const auto doc = parse(w.take());
+  ASSERT_TRUE(doc.has_value());
+  const Value* v = doc->find("we\"ird\nkey");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->string, "va\\lue");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1,]").has_value());
+  EXPECT_FALSE(parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse("{'a':1}").has_value());
+  EXPECT_FALSE(parse("{\"a\"}").has_value());
+}
+
+TEST(JsonParse, HandlesUnicodeEscapes) {
+  const auto doc = parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "A\xc3\xa9");  // 'A' + e-acute in UTF-8
+}
+
+}  // namespace
+}  // namespace apple::obs::json

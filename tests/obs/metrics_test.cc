@@ -1,0 +1,263 @@
+// Counter/gauge/histogram semantics plus the registry contract the
+// APPLE_OBS_* macros rely on (stable references, name validation,
+// reset-in-place) and the JSON snapshot round-trip.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace apple::obs {
+namespace {
+
+// Contract violations (bad bounds, NaN observations, invalid names) fire
+// APPLE_CHECK; rethrow them as exceptions so each case is testable without
+// a death-test fork.
+class ScopedThrowingHandler {
+ public:
+  ScopedThrowingHandler()
+      : previous_(common::set_check_failure_handler(
+            [](const std::string& message) {
+              throw std::runtime_error(message);
+            })) {}
+  ~ScopedThrowingHandler() { common::set_check_failure_handler(previous_); }
+
+ private:
+  common::CheckFailureHandler previous_;
+};
+
+TEST(Counter, SaturatesInsteadOfWrapping) {
+  Counter c;
+  c.add(Counter::kMax - 1);
+  EXPECT_FALSE(c.saturated());
+  c.add(10);  // would wrap an unguarded uint64
+  EXPECT_EQ(c.value(), Counter::kMax);
+  EXPECT_TRUE(c.saturated());
+  c.add(1);  // stays pinned
+  EXPECT_EQ(c.value(), Counter::kMax);
+}
+
+TEST(Gauge, SetMaxKeepsHighWater) {
+  Gauge g;
+  g.set_max(3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST(Histogram, EmptyReadsAllZero) {
+  const Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  ScopedThrowingHandler guard;
+  EXPECT_THROW(Histogram({}), std::runtime_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               std::runtime_error);
+}
+
+TEST(Histogram, BucketBoundariesUseLeSemantics) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.0);  // exactly a bound: counts into that bound's bucket
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(100.0);  // overflow bucket
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);  // (<=1]
+  EXPECT_EQ(h.counts()[1], 2u);  // (1,2]
+  EXPECT_EQ(h.counts()[2], 0u);  // (2,4]
+  EXPECT_EQ(h.counts()[3], 1u);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, QuantilesInterpolateAndClampToObservedRange) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) {
+    h.observe(15.0);  // all mass in the (10, 20] bucket
+  }
+  // Every quantile must stay inside [min, max] = [15, 15] despite the
+  // interpolation across the bucket's [10, 20] span.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+}
+
+TEST(Histogram, QuantileEdgesAcrossBuckets) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 25; ++i) {
+      h.observe(static_cast<double>(b) + 0.5);
+    }
+  }
+  // 100 samples evenly over four buckets: p50 falls at the second bucket's
+  // upper edge, p95/p99 in the fourth.
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 0.25);
+  EXPECT_GE(h.quantile(0.95), 3.0);
+  EXPECT_LE(h.quantile(0.99), 4.0);
+  // Monotone in q.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Histogram, OverflowQuantileInterpolatesTowardObservedMax) {
+  Histogram h({1.0});
+  h.observe(50.0);
+  h.observe(90.0);
+  EXPECT_LE(h.quantile(0.99), 90.0);
+  EXPECT_GE(h.quantile(0.99), 50.0);
+}
+
+TEST(Histogram, RejectsNanObservation) {
+  ScopedThrowingHandler guard;
+  Histogram h({1.0});
+  EXPECT_THROW(h.observe(std::nan("")), std::runtime_error);
+  EXPECT_EQ(h.count(), 0u);  // the rejected sample left no trace
+}
+
+TEST(Registry, ValidatesMetricNames) {
+  ScopedThrowingHandler guard;
+  MetricsRegistry reg;
+  EXPECT_NO_THROW(reg.counter("lp.simplex.iterations"));
+  EXPECT_NO_THROW(reg.gauge("a.b_c.d0"));
+  EXPECT_THROW(reg.counter("nodots"), std::runtime_error);
+  EXPECT_THROW(reg.counter(""), std::runtime_error);
+  EXPECT_THROW(reg.counter(".leading"), std::runtime_error);
+  EXPECT_THROW(reg.counter("trailing."), std::runtime_error);
+  EXPECT_THROW(reg.counter("Upper.case"), std::runtime_error);
+  EXPECT_THROW(reg.counter("sp ace.x"), std::runtime_error);
+}
+
+TEST(Registry, ReferencesSurviveInsertsAndResetValues) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("t.a");
+  a.add(5);
+  // Force rebalancing pressure on the underlying map.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("t.filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(&a, &reg.counter("t.a"));
+
+  Histogram& h = reg.histogram("t.h", {1.0, 2.0});
+  h.observe(1.5);
+  reg.reset_values();
+  EXPECT_EQ(a.value(), 0u);  // zeroed in place, reference still valid
+  EXPECT_EQ(h.count(), 0u);
+  a.add(1);
+  EXPECT_EQ(reg.counter("t.a").value(), 1u);
+}
+
+TEST(Registry, HistogramBoundsFixedOnFirstCreation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.h", {1.0, 2.0});
+  Histogram& again = reg.histogram("t.h", {50.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, SnapshotJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("m.c.events").add(3);
+  reg.gauge("m.g.depth").set(2.5);
+  Histogram& h = reg.histogram("m.h.latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const auto doc = json::parse(reg.snapshot_json());
+  ASSERT_TRUE(doc.has_value());
+
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* events = counters->find("m.c.events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(events->number, 3.0);
+
+  const json::Value* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("m.g.depth")->number, 2.5);
+
+  const json::Value* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* lat = hists->find("m.h.latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(lat->find("sum")->number, 11.0);
+  EXPECT_DOUBLE_EQ(lat->find("min")->number, 0.5);
+  EXPECT_DOUBLE_EQ(lat->find("max")->number, 9.0);
+  ASSERT_NE(lat->find("p50"), nullptr);
+  ASSERT_NE(lat->find("p95"), nullptr);
+  ASSERT_NE(lat->find("p99"), nullptr);
+  const json::Value* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  // Empty buckets are skipped; the three populated ones (le=1, le=2, +Inf)
+  // appear in bound order.
+  ASSERT_EQ(buckets->items.size(), 3u);
+  EXPECT_EQ(buckets->items[2].find("le")->string, "+Inf");
+  EXPECT_DOUBLE_EQ(buckets->items[2].find("count")->number, 1.0);
+}
+
+TEST(Registry, InjectedClockDrivesClockNow) {
+  MetricsRegistry reg;
+  double t = 10.0;
+  reg.set_clock([&t] { return t; });
+  EXPECT_DOUBLE_EQ(reg.clock_now(), 10.0);
+  t = 12.5;
+  EXPECT_DOUBLE_EQ(reg.clock_now(), 12.5);
+}
+
+TEST(DefaultBuckets, AreStrictlyIncreasing) {
+  for (const auto& ladder :
+       {default_time_buckets_seconds(), default_size_buckets()}) {
+    ASSERT_FALSE(ladder.empty());
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_LT(ladder[i - 1], ladder[i]);
+    }
+  }
+}
+
+TEST(RunningStat, TracksMinMeanMax) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.observe(2.0);
+  s.observe(4.0);
+  s.observe(12.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 12.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.0);
+}
+
+TEST(Stopwatch, ReadsInjectedClock) {
+  double t = 100.0;
+  Stopwatch sw{Clock([&t] { return t; })};
+  t = 103.5;
+  EXPECT_DOUBLE_EQ(sw.elapsed_seconds(), 3.5);
+  sw.restart();
+  t = 104.0;
+  EXPECT_DOUBLE_EQ(sw.elapsed_seconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace apple::obs

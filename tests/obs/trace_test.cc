@@ -1,0 +1,146 @@
+// TraceSpan/ScopedTimer semantics against an injected clock, Chrome
+// trace-event serialization round-trip, and APPLE_TRACE env parsing.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace apple::obs {
+namespace {
+
+TEST(TraceSpan, RecordsElapsedClockTimeIntoHistogram) {
+  MetricsRegistry reg;
+  double t = 5.0;
+  reg.set_clock([&t] { return t; });
+  {
+    TraceSpan span(reg, "mod.comp.op_seconds");
+    t = 5.75;
+  }
+  Histogram& h = reg.histogram("mod.comp.op_seconds");
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.75);
+}
+
+TEST(TraceSpan, EmitsTraceEventWhenSinkAttached) {
+  MetricsRegistry reg;
+  double t = 2.0;
+  reg.set_clock([&t] { return t; });
+  TraceSink sink;
+  reg.set_trace_sink(&sink);
+  {
+    TraceSpan span(reg, "core.engine.place_seconds");
+    t = 2.5;
+  }
+  reg.set_trace_sink(nullptr);
+  {
+    TraceSpan span(reg, "core.engine.unsinked_seconds");  // no sink: no event
+    t = 3.0;
+  }
+  ASSERT_EQ(sink.events().size(), 1u);
+  const TraceEvent& ev = sink.events()[0];
+  EXPECT_EQ(ev.name, "core.engine.place_seconds");
+  EXPECT_DOUBLE_EQ(ev.start_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(ev.duration_seconds, 0.5);
+  // Both spans still landed in histograms.
+  EXPECT_EQ(reg.histogram("core.engine.unsinked_seconds").count(), 1u);
+}
+
+TEST(TraceSink, ChromeTraceJsonRoundTrips) {
+  TraceSink sink;
+  sink.record({"lp.simplex.solve", "", 1.0, 0.25});
+  sink.record({"custom", "mycat", 2.0, 0.5});
+  sink.record({"nodots", "", 3.0, 0.125});
+
+  const auto doc = json::parse(sink.chrome_trace_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const json::Value* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 3u);
+
+  const json::Value& first = events->items[0];
+  EXPECT_EQ(first.find("name")->string, "lp.simplex.solve");
+  EXPECT_EQ(first.find("cat")->string, "lp");  // default: module prefix
+  EXPECT_EQ(first.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(first.find("ts")->number, 1e6);  // seconds -> us
+  EXPECT_DOUBLE_EQ(first.find("dur")->number, 0.25e6);
+  EXPECT_DOUBLE_EQ(first.find("pid")->number, 1.0);
+  EXPECT_DOUBLE_EQ(first.find("tid")->number, 1.0);
+
+  EXPECT_EQ(events->items[1].find("cat")->string, "mycat");  // explicit wins
+  EXPECT_EQ(events->items[2].find("cat")->string, "app");    // dotless
+}
+
+TEST(TraceSink, ClearDropsEvents) {
+  TraceSink sink;
+  sink.record({"a.b", "", 0.0, 1.0});
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(ScopedTimer, RecordsAgainstExplicitClock) {
+  Histogram h({0.1, 1.0, 10.0});
+  double t = 0.0;
+  {
+    ScopedTimer timer(h, Clock([&t] { return t; }));
+    t = 0.5;
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+  EXPECT_EQ(h.counts()[1], 1u);  // lands in the (0.1, 1] bucket
+}
+
+class ScopedTraceEnv {
+ public:
+  explicit ScopedTraceEnv(const char* value) {
+    if (value == nullptr) {
+      ::unsetenv("APPLE_TRACE");
+    } else {
+      ::setenv("APPLE_TRACE", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedTraceEnv() { ::unsetenv("APPLE_TRACE"); }
+};
+
+TEST(TraceRequestFromEnv, DisabledWhenUnsetEmptyOrZero) {
+  for (const char* value : {static_cast<const char*>(nullptr), "", "0"}) {
+    ScopedTraceEnv env(value);
+    const TraceRequest req = trace_request_from_env("default.json");
+    EXPECT_FALSE(req.enabled);
+  }
+}
+
+TEST(TraceRequestFromEnv, OneEnablesWithDefaultPath) {
+  ScopedTraceEnv env("1");
+  const TraceRequest req = trace_request_from_env("quickstart_trace.json");
+  EXPECT_TRUE(req.enabled);
+  EXPECT_EQ(req.path, "quickstart_trace.json");
+}
+
+TEST(TraceRequestFromEnv, PathLikeValuesBecomeThePath) {
+  {
+    ScopedTraceEnv env("/tmp/out.json");
+    const TraceRequest req = trace_request_from_env("default.json");
+    EXPECT_TRUE(req.enabled);
+    EXPECT_EQ(req.path, "/tmp/out.json");
+  }
+  {
+    ScopedTraceEnv env("mytrace.json");
+    const TraceRequest req = trace_request_from_env("default.json");
+    EXPECT_TRUE(req.enabled);
+    EXPECT_EQ(req.path, "mytrace.json");
+  }
+}
+
+}  // namespace
+}  // namespace apple::obs

@@ -38,20 +38,21 @@ namespace fs = std::filesystem;
 const std::map<std::string, std::set<std::string>>& layering_dag() {
   static const std::map<std::string, std::set<std::string>> dag = {
       {"common", {}},
-      {"net", {"common"}},
-      {"lp", {"common"}},
-      {"traffic", {"common", "net"}},
-      {"vnf", {"common", "net"}},
-      {"hsa", {"common", "net", "traffic"}},
-      {"orch", {"common", "net", "vnf"}},
-      {"dataplane", {"common", "net", "traffic", "vnf", "hsa"}},
-      {"sim", {"common", "net", "vnf", "traffic", "hsa", "dataplane"}},
+      {"obs", {"common"}},
+      {"net", {"common", "obs"}},
+      {"lp", {"common", "obs"}},
+      {"traffic", {"common", "obs", "net"}},
+      {"vnf", {"common", "obs", "net"}},
+      {"hsa", {"common", "obs", "net", "traffic"}},
+      {"orch", {"common", "obs", "net", "vnf"}},
+      {"dataplane", {"common", "obs", "net", "traffic", "vnf", "hsa"}},
+      {"sim", {"common", "obs", "net", "vnf", "traffic", "hsa", "dataplane"}},
       {"core",
-       {"common", "net", "traffic", "hsa", "lp", "vnf", "dataplane", "orch",
-        "sim"}},
+       {"common", "obs", "net", "traffic", "hsa", "lp", "vnf", "dataplane",
+        "orch", "sim"}},
       {"baselines",
-       {"common", "net", "traffic", "hsa", "lp", "vnf", "dataplane", "orch",
-        "sim", "core"}},
+       {"common", "obs", "net", "traffic", "hsa", "lp", "vnf", "dataplane",
+        "orch", "sim", "core"}},
   };
   return dag;
 }
