@@ -14,6 +14,9 @@
 //               networks). Validated against kExact in tests.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/placement.h"
 #include "lp/mip.h"
 
@@ -38,6 +41,15 @@ class OptimizationEngine {
   // not satisfy the constraints (e.g. resources too tight); the plan then
   // carries the reason.
   PlacementPlan place(const PlacementInput& input) const;
+
+  // Places several independent inputs (e.g. the per-epoch ILPs of a
+  // replay series) concurrently on a work-stealing pool. Equivalent to
+  // calling place() on each input in order; results keep input order.
+  // Inner MIP solves run with num_workers = 1 so the epoch fan-out is the
+  // only parallelism (no oversubscription); num_workers <= 1 or a single
+  // input degenerates to the plain serial loop.
+  std::vector<PlacementPlan> place_many(std::span<const PlacementInput> inputs,
+                                        std::size_t num_workers) const;
 
  private:
   PlacementPlan place_exact(const PlacementInput& input) const;

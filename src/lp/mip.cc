@@ -1,12 +1,18 @@
 #include "lp/mip.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "exec/thread_pool.h"
 #include "obs/obs.h"
 
 namespace apple::lp {
@@ -15,48 +21,68 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// A branching decision: floor bound (x <= value) or ceil bound (x >= value).
-struct BoundCut {
+// A branching decision, applied as a variable-bound tightening: either
+// x <= value (upper) or x >= value (lower). Nodes carry the root-to-node
+// chain of these diffs instead of a mutated model copy.
+struct BoundDelta {
   VarId var = -1;
-  bool upper = false;  // true: x <= value; false: x >= value
+  bool upper = false;
   double value = 0.0;
 };
 
 struct Node {
-  double bound = -kInf;  // parent LP objective (lower bound for children)
-  std::vector<BoundCut> cuts;
+  double bound = -kInf;   // parent LP objective (lower bound for children)
+  std::uint64_t seq = 0;  // creation index: deterministic heap tie-break
+  std::vector<BoundDelta> deltas;
+  // Structural basis at the parent's optimum, shared by both children and
+  // crashed into each child's initial basis (warm start).
+  std::shared_ptr<const std::vector<VarId>> warm;
 };
 
 struct NodeOrder {
   bool operator()(const Node& a, const Node& b) const {
-    return a.bound > b.bound;  // min-heap on bound: best-first
+    if (a.bound != b.bound) return a.bound > b.bound;  // best bound first
+    return a.seq > b.seq;  // then oldest node: deterministic total order
   }
 };
 
-// Index of the most fractional integer variable, or -1 if all integral.
-VarId most_fractional(const LpModel& model, const std::vector<double>& x,
-                      double eps) {
+// Per-batch-slot workspace, reused across rounds.
+struct Slot {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  LpSolution rel;
+  bool skipped = false;  // pruned against a mid-round incumbent (non-det)
+};
+
+// True when `bound` cannot improve on incumbent `inc` by more than the
+// relative gap. False while no incumbent exists (inc = +inf).
+bool prunable(double bound, double inc, double gap) {
+  return std::isfinite(inc) && bound >= inc - gap * std::max(1.0, std::abs(inc));
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Index into `int_vars` of the most fractional variable, or -1 if the
+// assignment is integral on all of them.
+VarId most_fractional(const std::vector<VarId>& int_vars,
+                      const std::vector<double>& x, double eps) {
   VarId best = -1;
   double best_frac_dist = eps;
-  for (std::size_t v = 0; v < model.num_vars(); ++v) {
-    if (!model.var(static_cast<VarId>(v)).integer) continue;
-    const double frac = x[v] - std::floor(x[v]);
+  for (const VarId v : int_vars) {
+    const double frac = x[static_cast<std::size_t>(v)] -
+                        std::floor(x[static_cast<std::size_t>(v)]);
     const double dist = std::min(frac, 1.0 - frac);
     if (dist > best_frac_dist) {
       best_frac_dist = dist;
-      best = static_cast<VarId>(v);
+      best = v;
     }
   }
   return best;
-}
-
-LpModel with_cuts(const LpModel& base, const std::vector<BoundCut>& cuts) {
-  LpModel m = base;
-  for (const BoundCut& c : cuts) {
-    m.add_row(c.upper ? Sense::kLessEqual : Sense::kGreaterEqual, c.value,
-              {{c.var, 1.0}});
-  }
-  return m;
 }
 
 }  // namespace
@@ -69,9 +95,16 @@ MipResult MipSolver::solve(const LpModel& model) const {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(options_.time_limit_sec));
-  SimplexSolver lp(options_.simplex);
+
+  // Node LPs must respect the MIP deadline too, not just the node-loop
+  // check: one long relaxation would otherwise overshoot the time limit.
+  SimplexOptions sopt = options_.simplex;
+  sopt.deadline = std::min(sopt.deadline, deadline);
 
   MipResult res;
+  // Pruning bound, readable from worker threads. Coordinator-owned
+  // incumbent_obj/incumbent_x are only touched at round barriers.
+  std::atomic<double> incumbent_bound{kInf};
   double incumbent_obj = kInf;
   std::vector<double> incumbent_x;
   // Flush node counters on every exit path (limit, infeasible, optimal).
@@ -84,10 +117,64 @@ MipResult MipSolver::solve(const LpModel& model) const {
     }
   } node_counter_flush{res, nodes_pruned};
 
+  const std::size_t n_vars = model.num_vars();
+  std::vector<VarId> int_vars;  // computed once; most_fractional scans this
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    if (model.var(static_cast<VarId>(v)).integer) {
+      int_vars.push_back(static_cast<VarId>(v));
+    }
+  }
+
+  const std::size_t num_workers = std::max<std::size_t>(1, options_.num_workers);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (num_workers > 1) {
+    pool = std::make_unique<exec::ThreadPool>(num_workers - 1);
+  }
+  // One solver per slot: workers never share solver state (the solver is
+  // stateless apart from its options, but per-slot instances keep that a
+  // non-assumption).
+  std::vector<SimplexSolver> solvers(num_workers, SimplexSolver(sopt));
+  std::vector<Slot> slots(num_workers);
+  std::vector<Node> batch;
+  batch.reserve(num_workers);
+
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{-kInf, {}});
+  std::uint64_t next_seq = 0;
+  open.push(Node{-kInf, next_seq++, {}, nullptr});
   bool hit_limit = false;
   double best_open_bound = -kInf;
+
+  const auto solve_slot = [&](std::size_t i) {
+    Slot& s = slots[i];
+    const Node& node = batch[i];
+    s.skipped = false;
+    if (!options_.deterministic &&
+        prunable(node.bound, incumbent_bound.load(std::memory_order_relaxed),
+                 options_.relative_gap)) {
+      s.skipped = true;  // another slot already published a better incumbent
+      return;
+    }
+    s.lower.assign(n_vars, 0.0);
+    s.upper.assign(n_vars, kInf);
+    for (const BoundDelta& d : node.deltas) {
+      const auto v = static_cast<std::size_t>(d.var);
+      if (d.upper) {
+        s.upper[v] = std::min(s.upper[v], d.value);
+      } else {
+        s.lower[v] = std::max(s.lower[v], d.value);
+      }
+    }
+    SolveContext ctx;
+    ctx.lower = s.lower;
+    ctx.upper = s.upper;
+    ctx.warm_basis = node.warm.get();
+    ctx.want_basis = true;
+    s.rel = solvers[i].solve(model, ctx);
+    if (!options_.deterministic && s.rel.status == SolveStatus::kOptimal &&
+        most_fractional(int_vars, s.rel.x, options_.integrality_eps) < 0) {
+      atomic_min(incumbent_bound, s.rel.objective);
+    }
+  };
 
   while (!open.empty()) {
     if (res.nodes_explored >= options_.max_nodes ||
@@ -95,60 +182,87 @@ MipResult MipSolver::solve(const LpModel& model) const {
       hit_limit = true;
       break;
     }
-    Node node = open.top();
-    open.pop();
-    best_open_bound = node.bound;
-    // Bound-based prune (bounds can only tighten down the tree).
-    if (node.bound >= incumbent_obj - options_.relative_gap *
-                                          std::max(1.0, std::abs(incumbent_obj))) {
-      ++nodes_pruned;
-      continue;
-    }
-    ++res.nodes_explored;
 
-    const LpModel sub = with_cuts(model, node.cuts);
-    const LpSolution rel = lp.solve(sub);
-    if (rel.status == SolveStatus::kInfeasible) continue;
-    if (rel.status == SolveStatus::kIterationLimit) {
-      hit_limit = true;
-      continue;
-    }
-    if (rel.status == SolveStatus::kUnbounded) {
-      // An unbounded relaxation at the root means an unbounded MIP (for the
-      // models we build, objectives are bounded below by 0).
-      res.status = SolveStatus::kUnbounded;
-      return res;
-    }
-    if (rel.objective >= incumbent_obj - options_.relative_gap *
-                                             std::max(1.0, std::abs(incumbent_obj))) {
-      ++nodes_pruned;
-      continue;
-    }
-
-    const VarId frac_var =
-        most_fractional(model, rel.x, options_.integrality_eps);
-    if (frac_var < 0) {
-      // Integral: new incumbent.
-      if (rel.objective < incumbent_obj) {
-        incumbent_obj = rel.objective;
-        incumbent_x = rel.x;
-        // Snap near-integers exactly.
-        for (std::size_t v = 0; v < model.num_vars(); ++v) {
-          if (model.var(static_cast<VarId>(v)).integer) {
-            incumbent_x[v] = std::round(incumbent_x[v]);
-          }
-        }
+    // Pop this round's batch: the best-bound nodes still worth solving.
+    batch.clear();
+    const std::size_t round_cap = std::min(
+        num_workers, options_.max_nodes - res.nodes_explored);
+    while (batch.size() < round_cap && !open.empty()) {
+      Node node = open.top();
+      open.pop();
+      best_open_bound = node.bound;
+      // Bound-based prune (bounds can only tighten down the tree).
+      if (prunable(node.bound, incumbent_bound.load(std::memory_order_relaxed),
+                   options_.relative_gap)) {
+        ++nodes_pruned;
+        continue;
       }
-      continue;
+      batch.push_back(std::move(node));
+    }
+    if (batch.empty()) break;  // the heap drained into pop-prunes
+
+    if (pool != nullptr && batch.size() > 1) {
+      exec::parallel_for(*pool, 0, batch.size(), solve_slot);
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) solve_slot(i);
     }
 
-    const double val = rel.x[frac_var];
-    Node down{rel.objective, node.cuts};
-    down.cuts.push_back(BoundCut{frac_var, true, std::floor(val)});
-    Node up{rel.objective, node.cuts};
-    up.cuts.push_back(BoundCut{frac_var, false, std::ceil(val)});
-    open.push(std::move(down));
-    open.push(std::move(up));
+    // Fold results back in batch order — this ordering (not thread timing)
+    // decides incumbents and child seq numbers, hence determinism.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Slot& s = slots[i];
+      if (s.skipped) {
+        ++nodes_pruned;
+        continue;
+      }
+      ++res.nodes_explored;
+      const LpSolution& rel = s.rel;
+      if (rel.status == SolveStatus::kInfeasible) continue;
+      if (rel.status == SolveStatus::kIterationLimit) {
+        hit_limit = true;
+        continue;
+      }
+      if (rel.status == SolveStatus::kUnbounded) {
+        // An unbounded relaxation at the root means an unbounded MIP (for
+        // the models we build, objectives are bounded below by 0).
+        res.status = SolveStatus::kUnbounded;
+        return res;
+      }
+      // Prune against the *recorded* incumbent, never the mid-round atomic:
+      // the slot that published a bound this round still has to be folded
+      // in here, or its solution would be lost.
+      if (prunable(rel.objective, incumbent_obj, options_.relative_gap)) {
+        ++nodes_pruned;
+        continue;
+      }
+
+      const VarId frac_var =
+          most_fractional(int_vars, rel.x, options_.integrality_eps);
+      if (frac_var < 0) {
+        // Integral: new incumbent.
+        if (rel.objective < incumbent_obj) {
+          incumbent_obj = rel.objective;
+          incumbent_x = rel.x;
+          // Snap near-integers exactly.
+          for (const VarId v : int_vars) {
+            incumbent_x[static_cast<std::size_t>(v)] =
+                std::round(incumbent_x[static_cast<std::size_t>(v)]);
+          }
+          atomic_min(incumbent_bound, incumbent_obj);
+        }
+        continue;
+      }
+
+      const double val = rel.x[static_cast<std::size_t>(frac_var)];
+      auto warm = std::make_shared<const std::vector<VarId>>(
+          std::move(s.rel.basic_vars));
+      Node down{rel.objective, next_seq++, batch[i].deltas, warm};
+      down.deltas.push_back(BoundDelta{frac_var, true, std::floor(val)});
+      Node up{rel.objective, next_seq++, std::move(batch[i].deltas), warm};
+      up.deltas.push_back(BoundDelta{frac_var, false, std::ceil(val)});
+      open.push(std::move(down));
+      open.push(std::move(up));
+    }
   }
 
   if (incumbent_x.empty()) {

@@ -3,9 +3,23 @@
 // of paper Sec. IV-D (Eq. 1-8).
 //
 // Strategy: best-first search on the LP-relaxation bound, branching on the
-// most fractional integer variable; branches are expressed as extra bound
-// rows. Intended for the exact solution of small/medium placement models
-// and for validating the greedy strategy in tests.
+// most fractional integer variable. A branch is a variable-bound tightening
+// recorded as a compact diff against the root (no constraint rows are ever
+// appended, and the model is never copied per node); each node's LP is
+// solved through SimplexSolver's bound overlay, warm-started from the
+// parent node's optimal basis.
+//
+// Parallelism (MipOptions::num_workers > 1): the search proceeds in epochs.
+// Each round the coordinator pops up to num_workers best-bound nodes, their
+// relaxations are solved concurrently on a work-stealing pool
+// (exec::ThreadPool), and the results are folded back in batch order —
+// incumbent updates, pruning, and child creation are therefore independent
+// of thread timing, which makes the search bitwise deterministic for a
+// fixed worker count (as long as no node/time limit interrupts it).
+// num_workers == 1 runs the identical algorithm with no thread machinery.
+//
+// Intended for the exact solution of small/medium placement models and for
+// validating the greedy strategy in tests.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +35,17 @@ struct MipOptions {
   double relative_gap = 1e-6;
   std::size_t max_nodes = 100000;
   double time_limit_sec = 120.0;
+  // Number of B&B nodes solved concurrently per round. 1 (default) is the
+  // pure serial path; W > 1 spawns a pool of W - 1 threads per solve (the
+  // calling thread is the W-th lane).
+  std::size_t num_workers = 1;
+  // When true, incumbents are only published at round barriers, in batch
+  // order — the search explores the same tree on every run for a fixed
+  // num_workers. When false, a worker that finds an integral solution
+  // publishes its objective immediately and later slots of the same round
+  // may skip their LP solve against it: often faster, but the explored
+  // node count becomes timing-dependent.
+  bool deterministic = true;
   SimplexOptions simplex;
 };
 

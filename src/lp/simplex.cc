@@ -1,6 +1,7 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -16,20 +17,62 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Dense row-major tableau with an explicit basis. Columns are laid out as
 // [structural vars | slacks/surpluses | artificials | rhs].
+//
+// Variable bounds (SolveContext) are folded in at construction:
+// * fixed variables (lower == upper) never get a column written — their
+//   contribution moves into the rhs and they can never enter the basis;
+// * a positive lower bound becomes the substitution x = x' + lower
+//   (rhs adjustment plus a value shift on extraction);
+// * a finite, non-fixing upper bound becomes one extra row x' <= ub - lb
+//   with its own slack in the initial basis.
 class Tableau {
  public:
-  Tableau(const LpModel& model, const SimplexOptions& opt) : opt_(opt) {
-    const std::size_t m = model.num_rows();
+  Tableau(const LpModel& model, const SimplexOptions& opt,
+          std::span<const double> lower, std::span<const double> upper)
+      : opt_(opt) {
     n_struct_ = model.num_vars();
+    shift_.assign(n_struct_, 0.0);
+    fixed_.assign(n_struct_, 0);
+    std::size_t n_ub_rows = 0;
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      const double l = lower.empty() ? 0.0 : lower[v];
+      const double u = upper.empty() ? kInf : upper[v];
+      APPLE_CHECK(std::isfinite(l));
+      APPLE_CHECK_GE(l, 0.0);
+      APPLE_CHECK(!(u < l));  // solve() pre-checks; also rejects NaN
+      shift_[v] = l;
+      if (u <= l) {
+        fixed_[v] = 1;
+      } else if (u < kInf) {
+        ++n_ub_rows;
+      }
+    }
 
-    // Count auxiliary columns.
-    std::size_t n_slack = 0, n_art = 0;
-    for (const Row& r : model.rows()) {
-      const bool flip = r.rhs < 0.0;
-      const Sense sense = flip ? flipped(r.sense) : r.sense;
+    const std::size_t m_model = model.num_rows();
+    const std::size_t m = m_model + n_ub_rows;
+
+    // The effective rhs (after the lower-bound substitution) decides each
+    // row's orientation, so compute it before allocating aux columns.
+    std::vector<double> rhs_eff(m_model, 0.0);
+    std::size_t n_slack = n_ub_rows, n_art = 0;
+    for (std::size_t r = 0; r < m_model; ++r) {
+      const Row& row = model.row(static_cast<RowId>(r));
+      APPLE_CHECK(std::isfinite(row.rhs));
+      double b = row.rhs;
+      for (const auto& [v, coef] : row.terms) {
+        // Model sanity: every term references a declared variable and has a
+        // finite coefficient (NaN here would silently corrupt every pivot).
+        APPLE_CHECK_LT(static_cast<std::size_t>(v), n_struct_);
+        APPLE_CHECK(std::isfinite(coef));
+        b -= coef * shift_[v];
+      }
+      rhs_eff[r] = b;
+      const bool flip = b < 0.0;
+      const Sense sense = flip ? flipped(row.sense) : row.sense;
       if (sense != Sense::kEqual) ++n_slack;
       if (sense != Sense::kLessEqual) ++n_art;
     }
+
     n_total_ = n_struct_ + n_slack + n_art;
     art_begin_ = n_struct_ + n_slack;
     width_ = n_total_ + 1;  // +1 for rhs
@@ -39,21 +82,17 @@ class Tableau {
 
     std::size_t next_slack = n_struct_;
     std::size_t next_art = art_begin_;
-    for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t r = 0; r < m_model; ++r) {
       const Row& row = model.row(static_cast<RowId>(r));
-      const bool flip = row.rhs < 0.0;
+      const bool flip = rhs_eff[r] < 0.0;
       const double sign = flip ? -1.0 : 1.0;
       const Sense sense = flip ? flipped(row.sense) : row.sense;
       double* t = row_ptr(r);
       for (const auto& [v, coef] : row.terms) {
-        // Model sanity: every term references a declared variable and has a
-        // finite coefficient (NaN here would silently corrupt every pivot).
-        APPLE_CHECK_LT(static_cast<std::size_t>(v), n_struct_);
-        APPLE_CHECK(std::isfinite(coef));
+        if (fixed_[v] != 0) continue;  // substituted into the rhs
         t[v] = sign * coef;
       }
-      APPLE_CHECK(std::isfinite(row.rhs));
-      t[n_total_] = sign * row.rhs;
+      t[n_total_] = sign * rhs_eff[r];
       switch (sense) {
         case Sense::kLessEqual:
           t[next_slack] = 1.0;
@@ -70,13 +109,30 @@ class Tableau {
           break;
       }
     }
-    // Note: kLessEqual rows consume the slack slot allocated above; the
-    // two >= branches share next_slack so the layout stays dense.
+    // Bound rows x' <= ub - lb. The rhs is strictly positive (equal bounds
+    // were handled as fixed), so the slack basis is feasible as-is.
+    std::size_t br = m_model;
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      if (fixed_[v] != 0) continue;
+      const double u = upper.empty() ? kInf : upper[v];
+      if (!(u < kInf)) continue;
+      double* t = row_ptr(br);
+      t[v] = 1.0;
+      t[next_slack] = 1.0;
+      t[n_total_] = u - shift_[v];
+      basis_[br] = static_cast<int>(next_slack++);
+      ++br;
+    }
+    APPLE_DCHECK_EQ(br, m);
+    APPLE_DCHECK_EQ(next_slack, art_begin_);
+    APPLE_DCHECK_EQ(next_art, n_total_);
   }
 
   std::size_t num_rows() const { return basis_.size(); }
   std::size_t num_cols() const { return n_total_; }
+  std::size_t num_struct() const { return n_struct_; }
   std::size_t art_begin() const { return art_begin_; }
+  bool is_fixed(std::size_t v) const { return fixed_[v] != 0; }
 
   double* row_ptr(std::size_t r) { return data_.data() + r * width_; }
   const double* row_ptr(std::size_t r) const { return data_.data() + r * width_; }
@@ -125,17 +181,35 @@ class Tableau {
 
   void deactivate_row(std::size_t r) { row_active_[r] = false; }
 
-  // Extracts structural-variable values from the basis.
+  // Extracts structural-variable values from the basis. Nonbasic variables
+  // sit at their (shifted) origin, i.e. the lower bound; fixed variables at
+  // their fixed value.
   std::vector<double> extract_x() const {
-    std::vector<double> x(n_struct_, 0.0);
+    std::vector<double> x(shift_);
     for (std::size_t r = 0; r < num_rows(); ++r) {
       if (!row_active_[r]) continue;
       const int b = basis_[r];
       if (b >= 0 && static_cast<std::size_t>(b) < n_struct_) {
-        x[b] = std::max(0.0, rhs(r));
+        x[static_cast<std::size_t>(b)] =
+            shift_[static_cast<std::size_t>(b)] + std::max(0.0, rhs(r));
       }
     }
     return x;
+  }
+
+  // Structural variables currently basic, ascending (a deterministic order
+  // for warm-start hints).
+  std::vector<VarId> basic_struct_vars() const {
+    std::vector<VarId> out;
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (!row_active_[r]) continue;
+      const int b = basis_[r];
+      if (b >= 0 && static_cast<std::size_t>(b) < n_struct_) {
+        out.push_back(static_cast<VarId>(b));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
  private:
@@ -159,6 +233,8 @@ class Tableau {
   std::vector<double> data_;
   std::vector<int> basis_;
   std::vector<bool> row_active_;
+  std::vector<double> shift_;  // per-struct-var lower bound
+  std::vector<char> fixed_;    // per-struct-var: column substituted away
 };
 
 enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
@@ -170,11 +246,18 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
                       std::vector<double>* other_cost, std::size_t col_limit,
                       const SimplexOptions& opt, std::size_t max_iters,
                       std::size_t& iterations) {
+  const bool has_deadline =
+      opt.deadline != std::chrono::steady_clock::time_point::max();
+  const std::size_t poll = std::max<std::size_t>(1, opt.deadline_poll_pivots);
   std::size_t stall = 0;
   double last_obj = kInf;
   bool bland = false;
   while (true) {
     if (iterations >= max_iters) return PhaseResult::kIterationLimit;
+    if (has_deadline && iterations % poll == 0 &&
+        std::chrono::steady_clock::now() >= opt.deadline) {
+      return PhaseResult::kIterationLimit;
+    }
 
     // Pricing: pick the entering column.
     std::size_t enter = col_limit;
@@ -233,29 +316,100 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
   }
 }
 
+// Pre-phase-1 "crash": pivot the warm-start columns into the basis with
+// ordinary ratio-test pivots, so the rhs stays nonnegative and phase 1
+// remains valid. Rows whose basic variable is artificial are preferred as
+// the leaving row (each such pivot removes phase-1 work outright). Each
+// hint costs at most one pivot; unusable hints (fixed, already basic, or
+// no positive column entry) are skipped.
+void crash_basis(Tableau& tab, const std::vector<VarId>& warm,
+                 std::vector<double>& cost1, std::vector<double>& cost2,
+                 const SimplexOptions& opt, std::size_t& iterations) {
+  std::vector<char> in_basis(tab.num_cols(), 0);
+  for (std::size_t r = 0; r < tab.num_rows(); ++r) {
+    const int b = tab.basis(r);
+    if (b >= 0) in_basis[static_cast<std::size_t>(b)] = 1;
+  }
+  for (const VarId v : warm) {
+    if (v < 0 || static_cast<std::size_t>(v) >= tab.num_struct()) continue;
+    const auto col = static_cast<std::size_t>(v);
+    if (tab.is_fixed(col) || in_basis[col] != 0) continue;
+    std::size_t leave = tab.num_rows();
+    double best_ratio = kInf;
+    bool best_art = false;
+    for (std::size_t r = 0; r < tab.num_rows(); ++r) {
+      if (!tab.row_active(r)) continue;
+      const double a = tab.row_ptr(r)[col];
+      if (a <= opt.feasibility_eps) continue;
+      const double ratio = tab.rhs(r) / a;
+      const bool art = tab.basis(r) >= static_cast<int>(tab.art_begin());
+      const bool better =
+          ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           ((art && !best_art) ||
+            (art == best_art && leave < tab.num_rows() &&
+             tab.basis(r) < tab.basis(leave))));
+      if (better) {
+        best_ratio = ratio;
+        leave = r;
+        best_art = art;
+      }
+    }
+    if (leave == tab.num_rows()) continue;
+    const int old_basic = tab.basis(leave);
+    tab.pivot(leave, col, cost1, &cost2);
+    ++iterations;
+    if (old_basic >= 0) in_basis[static_cast<std::size_t>(old_basic)] = 0;
+    in_basis[col] = 1;
+  }
+}
+
 }  // namespace
 
 LpSolution SimplexSolver::solve(const LpModel& model) const {
+  return solve(model, SolveContext{});
+}
+
+LpSolution SimplexSolver::solve(const LpModel& model,
+                                const SolveContext& ctx) const {
   APPLE_OBS_SPAN("lp.simplex.solve_seconds");
-  LpSolution out = solve_impl(model);
+  LpSolution out = solve_impl(model, ctx);
   APPLE_OBS_COUNT("lp.simplex.solves");
   APPLE_OBS_COUNT_N("lp.simplex.iterations", out.iterations);
   APPLE_OBS_OBSERVE_SIZE("lp.simplex.iterations_per_solve", out.iterations);
   return out;
 }
 
-LpSolution SimplexSolver::solve_impl(const LpModel& model) const {
+LpSolution SimplexSolver::solve_impl(const LpModel& model,
+                                     const SolveContext& ctx) const {
   LpSolution out;
-  Tableau tab(model, options_);
+  const std::size_t n_vars = model.num_vars();
+  APPLE_CHECK(ctx.lower.empty() || ctx.lower.size() == n_vars);
+  APPLE_CHECK(ctx.upper.empty() || ctx.upper.size() == n_vars);
+  if (!ctx.lower.empty() || !ctx.upper.empty()) {
+    for (std::size_t v = 0; v < n_vars; ++v) {
+      const double l = ctx.lower.empty() ? 0.0 : ctx.lower[v];
+      const double u = ctx.upper.empty() ? kInf : ctx.upper[v];
+      if (!(l <= u)) {  // crossed bounds (or NaN): no feasible point
+        out.status = SolveStatus::kInfeasible;
+        return out;
+      }
+    }
+  }
+
+  Tableau tab(model, options_, ctx.lower, ctx.upper);
   const std::size_t n_total = tab.num_cols();
   const std::size_t max_iters =
       options_.max_iterations != 0
           ? options_.max_iterations
           : 200 + 40 * (tab.num_rows() + n_total);
 
-  // Phase-2 cost row (true objective), kept in sync from the start.
+  // Phase-2 cost row (true objective), kept in sync from the start. Fixed
+  // variables have no column, so their cost entry stays 0; their constant
+  // objective contribution is recovered by objective_value() at the end.
   std::vector<double> cost2(n_total + 1, 0.0);
-  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    if (tab.is_fixed(v)) continue;
     cost2[v] = model.var(static_cast<VarId>(v)).objective;
     APPLE_CHECK(std::isfinite(cost2[v]));
   }
@@ -278,6 +432,9 @@ LpSolution SimplexSolver::solve_impl(const LpModel& model) const {
   // objective), and structural vars are nonbasic, so cost2 is consistent.
 
   std::size_t iterations = 0;
+  if (ctx.warm_basis != nullptr && !ctx.warm_basis->empty()) {
+    crash_basis(tab, *ctx.warm_basis, cost1, cost2, options_, iterations);
+  }
   if (need_phase1) {
     const PhaseResult r1 = run_phase(tab, cost1, &cost2, tab.art_begin(),
                                      options_, max_iters, iterations);
@@ -330,6 +487,7 @@ LpSolution SimplexSolver::solve_impl(const LpModel& model) const {
   out.status = SolveStatus::kOptimal;
   out.x = tab.extract_x();
   out.objective = model.objective_value(out.x);
+  if (ctx.want_basis) out.basic_vars = tab.basic_struct_vars();
   return out;
 }
 

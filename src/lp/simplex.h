@@ -5,6 +5,20 @@
 // and medium topologies (a few thousand rows/columns); larger instances use
 // the greedy placement strategy instead (see core/optimization_engine.h).
 //
+// Branch-and-bound support (lp/mip.cc) comes through `SolveContext`:
+// * A per-variable bound overlay [lower, upper] applied on top of the
+//   model's x >= 0. Lower bounds are substituted away (x = x' + l), a
+//   variable fixed by equal bounds drops out of pricing entirely, and only
+//   a finite, non-fixing upper bound costs one extra tableau row — so a
+//   B&B node's tableau no longer grows with tree depth, and branching on
+//   binaries *shrinks* the active column set.
+// * A warm-start hint: the structural variables basic in the parent node's
+//   optimum. They are crashed into the child's initial basis with
+//   feasibility-preserving pivots before phase 1, which typically removes
+//   most phase-1 work (the parent basis is near-feasible for the child).
+// * A hard deadline in SimplexOptions, polled every K pivots inside
+//   run_phase, so one long LP cannot overshoot the MIP time limit.
+//
 // Numerical notes:
 // * Dantzig pricing with a Bland's-rule fallback after a stall, which
 //   guarantees termination despite the heavy degeneracy of the placement
@@ -14,7 +28,10 @@
 //   or their rows marked redundant.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "lp/model.h"
 
@@ -27,6 +44,27 @@ struct SimplexOptions {
   // Iterations without objective improvement before switching to Bland's
   // anti-cycling rule.
   std::size_t stall_limit = 256;
+  // Wall-clock deadline; a solve past it stops with kIterationLimit. The
+  // default never triggers. Polled every `deadline_poll_pivots` pivots.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::size_t deadline_poll_pivots = 64;
+};
+
+// Per-solve overlay for branch-and-bound nodes; see header comment.
+struct SolveContext {
+  // Variable bounds on top of x >= 0. Empty spans mean "no overlay"
+  // (lower all 0, upper all +inf); non-empty spans must have
+  // model.num_vars() entries with lower <= upper (a violated pair makes
+  // the solve infeasible).
+  std::span<const double> lower;
+  std::span<const double> upper;
+  // Structural variables basic in a related solve (e.g. the parent B&B
+  // node), crashed into the initial basis. nullptr = cold start.
+  const std::vector<VarId>* warm_basis = nullptr;
+  // When true, the solution's `basic_vars` is filled on optimal exit so
+  // the caller can warm-start subsequent solves.
+  bool want_basis = false;
 };
 
 class SimplexSolver {
@@ -35,11 +73,12 @@ class SimplexSolver {
 
   // Solves the LP relaxation. The returned x has model.num_vars() entries.
   LpSolution solve(const LpModel& model) const;
+  LpSolution solve(const LpModel& model, const SolveContext& ctx) const;
 
  private:
   // The uninstrumented solve; solve() wraps it in the obs span/counters
   // (lp.simplex.* — see DESIGN.md Sec. 7).
-  LpSolution solve_impl(const LpModel& model) const;
+  LpSolution solve_impl(const LpModel& model, const SolveContext& ctx) const;
 
   SimplexOptions options_;
 };

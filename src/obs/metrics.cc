@@ -62,6 +62,7 @@ void Histogram::observe(double value) {
   // NaN observations are programmer errors (a NaN latency would silently
   // fall into the overflow bucket and poison sum/min/max).
   APPLE_CHECK(!std::isnan(value));
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t idx =
       static_cast<std::size_t>(std::distance(bounds_.begin(), it));
@@ -72,7 +73,37 @@ void Histogram::observe(double value) {
   ++count_;
 }
 
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
 double Histogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
   APPLE_CHECK_GE(q, 0.0);
   APPLE_CHECK_LE(q, 1.0);
   if (count_ == 0) return 0.0;
@@ -99,18 +130,20 @@ double Histogram::quantile(double q) const {
 }
 
 HistogramSnapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   HistogramSnapshot s;
   s.count = count_;
   s.sum = sum_;
-  s.min = min();
-  s.max = max();
-  s.p50 = quantile(0.50);
-  s.p95 = quantile(0.95);
-  s.p99 = quantile(0.99);
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  s.p50 = quantile_locked(0.50);
+  s.p95 = quantile_locked(0.95);
+  s.p99 = quantile_locked(0.99);
   return s;
 }
 
 void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -163,7 +196,9 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   APPLE_CHECK(valid_metric_name(name));
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  // try_emplace default-constructs in place: the atomic payload makes the
+  // instrument neither movable nor copyable.
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
@@ -171,7 +206,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
   APPLE_CHECK(valid_metric_name(name));
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
@@ -184,7 +219,9 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   APPLE_CHECK(valid_metric_name(name));
-  return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+  // try_emplace constructs the Histogram in place: it owns a mutex and is
+  // therefore neither movable nor copyable.
+  return histograms_.try_emplace(std::string(name), std::move(bounds))
       .first->second;
 }
 
@@ -292,8 +329,14 @@ void MetricsRegistry::for_each_histogram(
 }
 
 MetricsRegistry& default_registry() {
-  static MetricsRegistry registry;
-  return registry;
+  // The process-wide registry always carries a real mutex: the APPLE_OBS_*
+  // macros resolve instruments from whatever thread first reaches a call
+  // site, including exec-pool workers.
+  static struct DefaultRegistry {
+    DefaultRegistry() { registry.set_mutex(make_std_registry_mutex()); }
+    MetricsRegistry registry;
+  } holder;
+  return holder.registry;
 }
 
 }  // namespace apple::obs

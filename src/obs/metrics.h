@@ -18,23 +18,28 @@
 // steady wall clock (`steady_clock_seconds`); simulation code passes sim
 // time explicitly when recording latencies.
 //
-// Thread-safety: the registry's name->instrument map is guarded by a
-// pluggable `RegistryMutex` (no-op by default — the codebase is currently
-// single-threaded; install `make_std_registry_mutex()` when sharding
-// lands). Individual instrument updates are intentionally unsynchronized;
-// per-thread registries or external locking own that when threading
-// arrives.
+// Thread-safety: instruments are safe to update from concurrent threads —
+// `Counter` and `Gauge` are lock-free atomics (relaxed ordering: totals are
+// exact, cross-instrument ordering is not promised), `Histogram` serializes
+// observations behind an internal mutex. The registry's name->instrument
+// map is guarded by a pluggable `RegistryMutex`; `default_registry()`
+// installs `make_std_registry_mutex()` so the APPLE_OBS_* macros can
+// resolve instruments from worker threads (the exec pool and the parallel
+// MIP engine do). Bare registries default to no mutex — install one before
+// sharing them across threads.
 //
 // Zero-cost switch: the `APPLE_OBS_*` macros in obs/obs.h compile to
 // nothing (arguments type-checked, never evaluated) when the tree is built
 // with -DAPPLE_ENABLE_METRICS=OFF. Direct registry calls are always live.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,34 +58,48 @@ double steady_clock_seconds();
 class Counter {
  public:
   // Saturating add: the counter pins at max() instead of wrapping, so a
-  // runaway increment can never masquerade as a small value.
+  // runaway increment can never masquerade as a small value. Lock-free and
+  // safe under concurrent adders (relaxed ordering: the total is exact).
   void add(std::uint64_t delta = 1) {
-    value_ = delta > kMax - value_ ? kMax : value_ + delta;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = delta > kMax - cur ? kMax : cur + delta;
+    } while (
+        !value_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
   }
-  std::uint64_t value() const { return value_; }
-  bool saturated() const { return value_ == kMax; }
-  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  bool saturated() const { return value() == kMax; }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
   static constexpr std::uint64_t kMax =
       std::numeric_limits<std::uint64_t>::max();
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double delta) { value_ += delta; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   // High-water update: keeps the maximum of all set_max() calls.
   void set_max(double v) {
-    if (v > value_) value_ = v;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 struct HistogramSnapshot {
@@ -99,15 +118,17 @@ class Histogram {
   // implicit +inf overflow bucket is appended. A value lands in the first
   // bucket whose upper bound is >= value (`le` semantics, as in
   // Prometheus), so observing exactly a bound counts into that bound's
-  // bucket.
+  // bucket. Observations and readouts serialize behind an internal mutex,
+  // so concurrent observers are safe (an observe is multi-field and cannot
+  // be lock-free without tearing count/sum/min/max apart).
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double value);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
 
   // Interpolated quantile readout, q in [0, 1]. Within the hit bucket the
   // value is linearly interpolated between the bucket's bounds (the first
@@ -119,12 +140,16 @@ class Histogram {
 
   const std::vector<double>& upper_bounds() const { return bounds_; }
   // counts() has upper_bounds().size() + 1 entries; the last is the
-  // overflow bucket.
-  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  // overflow bucket. Returns a copy so exporters never read a bucket
+  // vector mid-update.
+  std::vector<std::uint64_t> counts() const;
 
   void reset();
 
  private:
+  double quantile_locked(double q) const;  // mu_ must be held
+
+  mutable std::mutex mu_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
@@ -139,8 +164,10 @@ class Histogram {
 std::vector<double> default_time_buckets_seconds();
 std::vector<double> default_size_buckets();
 
-// Pluggable registry lock. The default registry runs with no mutex (null);
-// install make_std_registry_mutex() once concurrent writers exist.
+// Pluggable registry lock guarding the name->instrument map. Bare
+// registries run with no mutex (null); `default_registry()` installs
+// make_std_registry_mutex() so instrument resolution is safe from worker
+// threads. Install one on any registry shared across threads.
 class RegistryMutex {
  public:
   virtual ~RegistryMutex() = default;

@@ -18,13 +18,14 @@ std::string category_of(const std::string& name) {
 }  // namespace
 
 std::string TraceSink::chrome_trace_json() const {
+  const std::vector<TraceEvent> snapshot = events();
   json::Writer w;
   w.begin_object();
   w.key("displayTimeUnit");
   w.value("ms");
   w.key("traceEvents");
   w.begin_array();
-  for (const TraceEvent& ev : events_) {
+  for (const TraceEvent& ev : snapshot) {
     w.begin_object();
     w.key("name");
     w.value(ev.name);

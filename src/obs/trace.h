@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,18 +33,30 @@ struct TraceEvent {
 };
 
 // Collects spans and serializes them as a Chrome trace-event JSON object
-// ({"traceEvents": [...]}). Not thread-safe (see MetricsRegistry).
+// ({"traceEvents": [...]}). record() serializes behind an internal mutex
+// so spans ending on exec-pool workers are safe; events() returns a copy
+// for the same reason.
 class TraceSink {
  public:
-  void record(TraceEvent event) { events_.push_back(std::move(event)); }
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void record(TraceEvent event) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(event));
+  }
+  std::vector<TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
 
   // Chrome trace-event format: complete events, microsecond timestamps.
   std::string chrome_trace_json() const;
   bool write_chrome_trace_json(const std::string& path) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 

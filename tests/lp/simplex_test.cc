@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <limits>
 #include <random>
 
 namespace apple::lp {
@@ -167,6 +169,127 @@ TEST_P(SimplexRandomSweep, RandomTransportationProblemsAreSolvedFeasibly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomSweep,
                          ::testing::Range(1, 13));
+
+// The textbook LP of TextbookMaximization, reused by the SolveContext
+// tests below: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+LpModel textbook(VarId& x, VarId& y) {
+  LpModel m;
+  x = m.add_var(-3.0);
+  y = m.add_var(-5.0);
+  m.add_row(Sense::kLessEqual, 4.0, {{x, 1.0}});
+  m.add_row(Sense::kLessEqual, 12.0, {{y, 2.0}});
+  m.add_row(Sense::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  return m;
+}
+
+TEST(SimplexBounds, UpperBoundOverlayChangesOptimum) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  SolveContext ctx;
+  const std::vector<double> lower{0.0, 0.0};
+  const std::vector<double> upper{kInf, 3.0};  // y <= 3
+  ctx.lower = lower;
+  ctx.upper = upper;
+  const LpSolution sol = SimplexSolver().solve(m, ctx);
+  ASSERT_TRUE(sol.optimal());
+  // With y capped at 3: x = 4, y = 3, objective -(12 + 15) = -27.
+  EXPECT_NEAR(sol.x[x], 4.0, 1e-6);
+  EXPECT_NEAR(sol.x[y], 3.0, 1e-6);
+  EXPECT_NEAR(sol.objective, -27.0, 1e-6);
+}
+
+TEST(SimplexBounds, FixedVariableIsSubstitutedAway) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  SolveContext ctx;
+  const std::vector<double> lower{2.0, 0.0};
+  const std::vector<double> upper{2.0, 6.0};  // x fixed at 2
+  ctx.lower = lower;
+  ctx.upper = upper;
+  const LpSolution sol = SimplexSolver().solve(m, ctx);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-6);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-6);
+}
+
+TEST(SimplexBounds, LowerBoundShiftKeepsConstraintsConsistent) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  SolveContext ctx;
+  const std::vector<double> lower{3.0, 0.0};  // x >= 3
+  const std::vector<double> upper{kInf, kInf};
+  ctx.lower = lower;
+  ctx.upper = upper;
+  const LpSolution sol = SimplexSolver().solve(m, ctx);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_GE(sol.x[x], 3.0 - 1e-9);
+  EXPECT_LE(m.max_violation(sol.x), 1e-7);
+  // x = 3 leaves 2y <= 9: y = 4.5, objective -(9 + 22.5) = -31.5.
+  EXPECT_NEAR(sol.objective, -31.5, 1e-6);
+}
+
+TEST(SimplexBounds, CrossedBoundsAreInfeasible) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  SolveContext ctx;
+  const std::vector<double> lower{3.0, 0.0};
+  const std::vector<double> upper{2.0, 6.0};  // 3 > 2: empty box
+  ctx.lower = lower;
+  ctx.upper = upper;
+  const LpSolution sol = SimplexSolver().solve(m, ctx);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexBounds, WarmBasisReproducesColdOptimum) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  SolveContext first;
+  first.want_basis = true;
+  const LpSolution cold = SimplexSolver().solve(m, first);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_FALSE(cold.basic_vars.empty());
+  SolveContext warm;
+  warm.warm_basis = &cold.basic_vars;
+  const LpSolution hot = SimplexSolver().solve(m, warm);
+  ASSERT_TRUE(hot.optimal());
+  EXPECT_NEAR(hot.objective, cold.objective, 1e-9);
+}
+
+TEST(SimplexBounds, BasisOnlyReportedWhenRequested) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  const LpSolution plain = SimplexSolver().solve(m);
+  EXPECT_TRUE(plain.basic_vars.empty());
+  SolveContext ctx;
+  ctx.want_basis = true;
+  const LpSolution with = SimplexSolver().solve(m, ctx);
+  ASSERT_TRUE(with.optimal());
+  EXPECT_FALSE(with.basic_vars.empty());
+}
+
+TEST(SimplexDeadline, ExpiredDeadlineStopsTheSolve) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  SimplexOptions opt;
+  opt.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  opt.deadline_poll_pivots = 1;
+  const LpSolution sol = SimplexSolver(opt).solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kIterationLimit);
+  EXPECT_EQ(sol.iterations, 0u);
+}
+
+TEST(SimplexDeadline, FutureDeadlineDoesNotInterfere) {
+  VarId x, y;
+  const LpModel m = textbook(x, y);
+  SimplexOptions opt;
+  opt.deadline = std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  const LpSolution sol = SimplexSolver(opt).solve(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -36.0, 1e-6);
+}
 
 }  // namespace
 }  // namespace apple::lp

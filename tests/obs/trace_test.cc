@@ -41,8 +41,9 @@ TEST(TraceSpan, EmitsTraceEventWhenSinkAttached) {
     TraceSpan span(reg, "core.engine.unsinked_seconds");  // no sink: no event
     t = 3.0;
   }
-  ASSERT_EQ(sink.events().size(), 1u);
-  const TraceEvent& ev = sink.events()[0];
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& ev = events[0];
   EXPECT_EQ(ev.name, "core.engine.place_seconds");
   EXPECT_DOUBLE_EQ(ev.start_seconds, 2.0);
   EXPECT_DOUBLE_EQ(ev.duration_seconds, 0.5);

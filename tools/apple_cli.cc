@@ -35,6 +35,7 @@ struct Options {
   double total_mbps = 6000.0;
   std::size_t snapshots = 32;
   std::string strategy = "greedy";
+  std::size_t workers = 1;
   bool failover = true;
   double policied = 0.5;
   std::size_t reoptimize = 0;
@@ -50,6 +51,7 @@ void usage() {
       "  --total-mbps <x>                          synthetic load (default 6000)\n"
       "  --snapshots <n>                           synthetic snapshots (default 32; 0 = no replay)\n"
       "  --strategy greedy|lp-round|exact          placement strategy\n"
+      "  --workers <n>                             parallel B&B workers for exact (default 1)\n"
       "  --no-failover                             disable the Dynamic Handler\n"
       "  --policied <f>                            policied OD fraction (default 0.5)\n"
       "  --reoptimize <n>                          re-run the engine every n snapshots\n"
@@ -95,6 +97,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.strategy = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.workers = std::stoul(v);
     } else if (arg == "--no-failover") {
       opt.failover = false;
     } else if (arg == "--policied") {
@@ -155,6 +161,7 @@ int main(int argc, char** argv) {
 
     core::ControllerConfig cfg;
     cfg.engine.strategy = strategy_of(opt->strategy);
+    cfg.engine.mip.num_workers = opt->workers;
     cfg.policied_fraction = opt->policied;
     cfg.reoptimize_every = opt->reoptimize;
     cfg.snapshot_duration = 0.5;

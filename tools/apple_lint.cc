@@ -39,8 +39,9 @@ const std::map<std::string, std::set<std::string>>& layering_dag() {
   static const std::map<std::string, std::set<std::string>> dag = {
       {"common", {}},
       {"obs", {"common"}},
+      {"exec", {"common", "obs"}},
       {"net", {"common", "obs"}},
-      {"lp", {"common", "obs"}},
+      {"lp", {"common", "obs", "exec"}},
       {"traffic", {"common", "obs", "net"}},
       {"vnf", {"common", "obs", "net"}},
       {"hsa", {"common", "obs", "net", "traffic"}},
@@ -48,11 +49,11 @@ const std::map<std::string, std::set<std::string>>& layering_dag() {
       {"dataplane", {"common", "obs", "net", "traffic", "vnf", "hsa"}},
       {"sim", {"common", "obs", "net", "vnf", "traffic", "hsa", "dataplane"}},
       {"core",
-       {"common", "obs", "net", "traffic", "hsa", "lp", "vnf", "dataplane",
-        "orch", "sim"}},
+       {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
+        "dataplane", "orch", "sim"}},
       {"baselines",
-       {"common", "obs", "net", "traffic", "hsa", "lp", "vnf", "dataplane",
-        "orch", "sim", "core"}},
+       {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
+        "dataplane", "orch", "sim", "core"}},
   };
   return dag;
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate benchmark metrics snapshots against checked-in baselines.
+
+Usage:
+    bench_baseline_check.py SNAPSHOT BASELINE [--tolerance FRACTION]
+
+SNAPSHOT is a BENCH_*.json file written by a bench binary (see
+bench_common.h export_metrics_json); BASELINE is the matching file under
+bench/baselines/. Every counter listed in the baseline's "counters" section
+must be present in the snapshot and must not exceed the baseline value by
+more than the tolerance (default 20%). Counters the baseline does not list
+are ignored, so timing-dependent metrics never flake the gate.
+
+The gated counters (e.g. lp.mip.nodes_explored) come from the deterministic
+branch-and-bound engine and are machine-independent. If a solver change
+intentionally alters the search tree, refresh the baseline by running the
+bench locally and copying the new counter values into the baseline file —
+in the same commit as the change, with the reason in the commit message.
+
+Exits 0 on pass, 1 on regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", help="BENCH_*.json produced by the bench")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional increase over baseline (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.snapshot) as f:
+            snapshot = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    current = snapshot.get("counters", {})
+    gated = baseline.get("counters", {})
+    if not gated:
+        print(f"error: {args.baseline} lists no gated counters", file=sys.stderr)
+        return 1
+
+    failed = False
+    for name, base_value in sorted(gated.items()):
+        if name not in current:
+            print(f"FAIL {name}: missing from snapshot (baseline {base_value})")
+            failed = True
+            continue
+        value = current[name]
+        limit = base_value * (1.0 + args.tolerance)
+        delta = (value - base_value) / base_value if base_value else float("inf")
+        verdict = "FAIL" if value > limit else "ok"
+        print(
+            f"{verdict:4} {name}: {value} vs baseline {base_value} "
+            f"({delta:+.1%}, limit +{args.tolerance:.0%})"
+        )
+        if value > limit:
+            failed = True
+        elif value < base_value * (1.0 - args.tolerance):
+            print(f"     note: {name} improved well past baseline — "
+                  f"consider refreshing {args.baseline}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
