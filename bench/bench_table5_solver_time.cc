@@ -11,8 +11,11 @@
 // Also prints Table IV (the VNF data sheets), since it is the input that
 // parameterizes every run, and a serial-vs-parallel section for the exact
 // branch-and-bound engine: the same ILP solved with num_workers = 1 and 4,
-// reporting wall-clock speedup and node-count/objective parity (the
-// epoch-ordered search is deterministic, so the node counts must match).
+// reporting wall-clock speedup and status/objective parity. Node counts
+// are printed for context only: the engine is deterministic for a FIXED
+// worker count (mip.h), but a W-worker round solves up to W best-bound
+// nodes before folding incumbents, so the trees — and node counts — can
+// legitimately differ across worker counts.
 #include <chrono>
 #include <cstdio>
 
@@ -103,8 +106,9 @@ lp::MipResult solve_exact(const lp::LpModel& model, std::size_t workers,
 // the full Table V instances are out of reach for a dense-tableau B&B, so
 // we keep the first `num_classes` traffic classes — still the real ILP
 // (Eq. 1-8), just fewer commodities — and solve the identical model with 1
-// worker and with kParallelWorkers. Deterministic mode means the two runs
-// must explore the same tree: identical node counts and objectives.
+// worker and with kParallelWorkers. Both runs must agree on status and
+// objective (global pruning correctness); node counts may differ across
+// worker counts and are reported, not gated.
 ExactRow run_exact_case(const std::string& label, const net::Topology& topo,
                         double total_mbps, std::size_t num_classes) {
   const net::AllPairsPaths routing(topo);
@@ -134,7 +138,6 @@ ExactRow run_exact_case(const std::string& label, const net::Topology& topo,
   row.serial_obj = serial.objective;
   row.parallel_obj = parallel.objective;
   row.parity = serial.status == parallel.status &&
-               serial.nodes_explored == parallel.nodes_explored &&
                serial.objective == parallel.objective;
   return row;
 }
@@ -211,9 +214,10 @@ int main() {
     all_parity = all_parity && row.parity;
   }
   std::printf(
-      "\nDeterministic engine: x1 and x%zu must explore the same tree (equal\n"
-      "node counts, bitwise-equal objectives). Speedup needs >= %zu cores;\n"
-      "on fewer cores the parallel column only shows overhead, not a bug.\n",
+      "\nParity gates on status + objective only: determinism is per fixed\n"
+      "worker count, so x1 and x%zu may explore different trees (node counts\n"
+      "are informational). Speedup needs >= %zu cores; on fewer cores the\n"
+      "parallel column only shows overhead, not a bug.\n",
       kParallelWorkers, kParallelWorkers);
 
   bench::export_metrics_json("table5_solver_time");

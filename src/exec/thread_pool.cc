@@ -188,6 +188,10 @@ void TaskGroup::wait() {
       return pending_.load(std::memory_order_acquire) == 0;
     });
   }
+  // Load-bearing even when no error was recorded: pending_ only reaches
+  // zero inside task_finished() while it holds mu_, so acquiring mu_ here
+  // guarantees the last finisher has released the lock before we return
+  // and the group may be destroyed.
   const std::lock_guard<std::mutex> lock(mu_);
   if (first_error_ != nullptr) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
@@ -196,12 +200,15 @@ void TaskGroup::wait() {
 }
 
 void TaskGroup::task_finished(std::exception_ptr error) {
-  if (error != nullptr) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (first_error_ == nullptr) first_error_ = std::move(error);
+  // The decrement must only reach zero while mu_ is held: wait() takes mu_
+  // before returning, so its lock acquisition serializes after this
+  // unlock and the group cannot be destroyed while a finisher is still
+  // between the decrement and the notify (use-after-free otherwise).
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (error != nullptr && first_error_ == nullptr) {
+    first_error_ = std::move(error);
   }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    const std::lock_guard<std::mutex> lock(mu_);
     done_cv_.notify_all();
   }
 }

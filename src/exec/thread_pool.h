@@ -96,7 +96,11 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   // workers_ holds num_threads() + 1 slots: one per worker thread plus a
-  // trailing injection slot that external threads submit to and run from.
+  // trailing slot owned by external threads. External submissions are
+  // distributed round-robin across the worker deques (the trailing slot
+  // only receives them when num_threads() == 0); the slot exists so
+  // external threads have a deque to run/help from (TaskGroup::wait and
+  // the destructor drain).
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> pending_{0};
