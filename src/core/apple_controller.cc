@@ -3,10 +3,63 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "obs/obs.h"
+#include "orch/resource_orchestrator.h"
 
 namespace apple::core {
+
+namespace {
+
+// Registers an epoch's full inventory with an orchestrator under the
+// pipeline's pre-assigned ids (instances are already running — no boot is
+// charged). A rejection means the pipeline's inventory and the
+// orchestrator's bookkeeping disagree, which is a programming error.
+void adopt_inventory(orch::ResourceOrchestrator& control, const Epoch& epoch) {
+  for (net::NodeId v = 0; v < epoch.inventory.by_node_type.size(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      for (const vnf::InstanceId id : epoch.inventory.by_node_type[v][n]) {
+        vnf::VnfInstance inst;
+        inst.id = id;
+        inst.type = static_cast<vnf::NfType>(n);
+        inst.host_switch = v;
+        inst.capacity_mbps = vnf::spec_of(inst.type).capacity_mbps;
+        if (!control.adopt(inst).ok()) {
+          throw std::logic_error(
+              "orchestrator inventory diverged from placement");
+        }
+      }
+    }
+  }
+}
+
+// Full-reinstall boot makespan: every next-epoch instance boots through the
+// OpenStack pipeline in parallel (mean Fig. 7 latency for ClickOS images,
+// full VM boot otherwise).
+double full_reinstall_makespan(const Epoch& epoch,
+                               const orch::OrchestrationTimings& timings) {
+  double makespan = 0.0;
+  for (const auto& per_type : epoch.inventory.by_node_type) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      if (per_type[n].empty()) continue;
+      const bool clickos = vnf::spec_of(static_cast<vnf::NfType>(n)).clickos;
+      makespan = std::max(makespan, clickos
+                                        ? timings.clickos_boot_openstack_mean()
+                                        : timings.normal_vm_boot);
+    }
+  }
+  return makespan;
+}
+
+std::uint64_t total_rule_entries(const Epoch& epoch) {
+  std::uint64_t total = 0;
+  for (const auto& plans : epoch.subclasses) total += rule_entries_for(plans);
+  return total;
+}
+
+}  // namespace
 
 AppleController::AppleController(const net::Topology& topo,
                                  std::span<const vnf::PolicyChain> chains,
@@ -14,6 +67,8 @@ AppleController::AppleController(const net::Topology& topo,
     : topo_(&topo),
       chains_(chains.begin(), chains.end()),
       config_(config),
+      pipeline_(PipelineOptions{config_.engine, config_.assigner,
+                                config_.delta, orch::OrchestrationTimings{}}),
       routing_(topo) {
   if (chains_.empty()) {
     throw std::invalid_argument("controller needs at least one policy chain");
@@ -35,23 +90,7 @@ std::vector<traffic::TrafficClass> AppleController::build_classes(
 Epoch AppleController::optimize(const traffic::TrafficMatrix& tm) const {
   APPLE_OBS_SPAN("core.controller.optimize_seconds");
   APPLE_OBS_COUNT("core.controller.epochs_optimized");
-  Epoch epoch;
-  epoch.classes = build_classes(tm);
-  PlacementInput input;
-  input.topology = topo_;
-  input.classes = epoch.classes;
-  input.chains = chains_;
-
-  epoch.plan = OptimizationEngine(config_.engine).place(input);
-  if (!epoch.plan.feasible) {
-    throw std::runtime_error("placement infeasible: " +
-                             epoch.plan.infeasibility_reason);
-  }
-  epoch.inventory = materialize_inventory(input, epoch.plan);
-  epoch.subclasses =
-      assign_subclasses(input, epoch.plan, epoch.inventory, config_.assigner);
-  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
-  return epoch;
+  return pipeline_.run(*topo_, chains_, build_classes(tm));
 }
 
 Epoch AppleController::optimize_excluding_host(
@@ -63,25 +102,51 @@ Epoch AppleController::optimize_excluding_host(
   // capacity is unaffected, so the classes keep their original paths.
   net::Topology degraded = *topo_;
   degraded.node(failed_host).host_cores = 0.0;
-
-  Epoch epoch;
-  epoch.classes = build_classes(tm);
-  PlacementInput input;
-  input.topology = &degraded;
-  input.classes = epoch.classes;
-  input.chains = chains_;
-
-  epoch.plan = OptimizationEngine(config_.engine).place(input);
-  if (!epoch.plan.feasible) {
+  try {
+    return pipeline_.run(degraded, chains_, build_classes(tm));
+  } catch (const std::runtime_error& e) {
+    std::string reason = e.what();
+    static constexpr char kPrefix[] = "placement infeasible: ";
+    if (reason.rfind(kPrefix, 0) == 0) reason.erase(0, sizeof(kPrefix) - 1);
     throw std::runtime_error("no feasible placement without host " +
-                             std::to_string(failed_host) + ": " +
-                             epoch.plan.infeasibility_reason);
+                             std::to_string(failed_host) + ": " + reason);
   }
-  epoch.inventory = materialize_inventory(input, epoch.plan);
-  epoch.subclasses =
-      assign_subclasses(input, epoch.plan, epoch.inventory, config_.assigner);
-  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
-  return epoch;
+}
+
+double AppleController::apply_plan_delta(orch::ResourceOrchestrator& control,
+                                         const PlanDelta& delta,
+                                         double now) const {
+  double makespan = 0.0;
+  for (const InstanceOp& op : delta.ops) {
+    switch (op.kind) {
+      case InstanceOp::Kind::kRetire:
+        if (!control.cancel(op.id)) {
+          throw std::logic_error(
+              "orchestrator inventory diverged from placement");
+        }
+        break;
+      case InstanceOp::Kind::kReconfigure: {
+        const auto r = control.reconfigure(op.id, op.type, now);
+        if (!r.ok()) {
+          throw std::logic_error(
+              "orchestrator inventory diverged from placement");
+        }
+        makespan = std::max(makespan, r.ready_at - now);
+        break;
+      }
+      case InstanceOp::Kind::kLaunch: {
+        const auto r = control.launch(op.type, op.node, now,
+                                      orch::LaunchPath::kOpenStack);
+        if (!r.ok() || r.instance.id != op.id) {
+          throw std::logic_error(
+              "orchestrator inventory diverged from placement");
+        }
+        makespan = std::max(makespan, r.ready_at - now);
+        break;
+      }
+    }
+  }
+  return makespan;
 }
 
 ReplayReport AppleController::replay(
@@ -93,8 +158,14 @@ ReplayReport AppleController::replay(
   const std::size_t segment_len =
       config_.reoptimize_every == 0 ? series.size() : config_.reoptimize_every;
 
+  // Persistent control-plane orchestrator: carries the live fleet across
+  // re-optimizations so each segment's churn ops replay against the real
+  // inventory and only churned instances pay boot latency (Sec. VI).
+  orch::ResourceOrchestrator control(*topo_);
+  adopt_inventory(control, epoch);
+
   const Epoch* current = &epoch;
-  Epoch reoptimized;  // storage for re-optimized epochs
+  Epoch owned;  // storage for re-optimized epochs
   report.epochs = 0;
   for (std::size_t begin = 0; begin < series.size(); begin += segment_len) {
     const std::size_t count = std::min(segment_len, series.size() - begin);
@@ -105,12 +176,72 @@ ReplayReport AppleController::replay(
       // forecast is available when the segment starts; fast failover
       // absorbs the unpredicted remainder. An infeasible re-optimization
       // keeps the previous placement.
-      try {
-        reoptimized =
-            optimize(traffic::mean_matrix(series.subspan(begin, count)));
-        current = &reoptimized;
-      } catch (const std::runtime_error&) {
-        // keep the previous epoch
+      const traffic::TrafficMatrix mean =
+          traffic::mean_matrix(series.subspan(begin, count));
+      const double now =
+          static_cast<double>(begin) * config_.snapshot_duration;
+      const auto& timings = control.timings();
+      if (config_.incremental_reoptimize) {
+        try {
+          IncrementalEpoch inc =
+              pipeline_.advance(*current, *topo_, chains_, build_classes(mean));
+          const double makespan =
+              apply_plan_delta(control, inc.plan_delta, now);
+          const double latency =
+              makespan + timings.rule_install *
+                             static_cast<double>(inc.rule_delta.reinstall.size() +
+                                                 inc.rule_delta.remove.size());
+          report.churn.instances_launched += inc.plan_delta.instances_launched;
+          report.churn.instances_retired += inc.plan_delta.instances_retired;
+          report.churn.instances_reconfigured +=
+              inc.plan_delta.instances_reconfigured;
+          report.churn.rules_installed += inc.rule_delta.rules_installed;
+          report.churn.rules_removed += inc.rule_delta.rules_removed;
+          ++report.churn.reoptimizations;
+          if (inc.full_recompute) ++report.churn.full_recomputes;
+          report.churn.control_latency_sum_s += latency;
+          report.churn.control_latency_max_s =
+              std::max(report.churn.control_latency_max_s, latency);
+          APPLE_OBS_OBSERVE("core.controller.reoptimize_latency_seconds",
+                            latency);
+          owned = std::move(inc.epoch);
+          current = &owned;
+        } catch (const std::runtime_error&) {
+          // keep the previous epoch
+        }
+      } else {
+        try {
+          Epoch next = optimize(mean);
+          // Full reinstall: tear down the whole fleet and every rule, then
+          // bring up the next epoch from scratch (the cost the incremental
+          // pipeline exists to avoid).
+          report.churn.instances_retired += current->plan.total_instances();
+          report.churn.instances_launched += next.plan.total_instances();
+          report.churn.rules_removed += total_rule_entries(*current);
+          report.churn.rules_installed += total_rule_entries(next);
+          ++report.churn.reoptimizations;
+          ++report.churn.full_recomputes;
+          const double latency =
+              full_reinstall_makespan(next, timings) +
+              timings.rule_install * static_cast<double>(next.classes.size());
+          report.churn.control_latency_sum_s += latency;
+          report.churn.control_latency_max_s =
+              std::max(report.churn.control_latency_max_s, latency);
+          APPLE_OBS_OBSERVE("core.controller.reoptimize_latency_seconds",
+                            latency);
+          // Re-seed the control orchestrator with the fresh fleet (ids
+          // restart from the new epoch's dense numbering).
+          for (const auto& per_type : current->inventory.by_node_type) {
+            for (const auto& bucket : per_type) {
+              for (const vnf::InstanceId id : bucket) control.cancel(id);
+            }
+          }
+          owned = std::move(next);
+          current = &owned;
+          adopt_inventory(control, *current);
+        } catch (const std::runtime_error&) {
+          // keep the previous epoch
+        }
       }
     }
     ++report.epochs;
@@ -132,26 +263,27 @@ void AppleController::replay_segment(
     bool fast_failover, ReplayReport& report) const {
   APPLE_OBS_SPAN("core.controller.replay_segment_seconds");
   APPLE_OBS_COUNT_N("core.controller.snapshots_replayed", series.size());
-  // Bring up the epoch's instances through the Resource Orchestrator (the
-  // proactive provisioning of Sec. III; everything is ready before replay
-  // starts). Launch order matches materialize_inventory's id numbering.
+  // Mirror the epoch's (already provisioned) instances into the segment's
+  // data-plane simulation under the pipeline's ids; the Dynamic Handler's
+  // own launches then continue from non-colliding ids.
   orch::ResourceOrchestrator orchestrator(*topo_);
   sim::FlowSimulation flow(config_.tick);
   for (net::NodeId v = 0; v < topo_->num_nodes(); ++v) {
     for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
       for (const vnf::InstanceId expected : epoch.inventory.by_node_type[v][n]) {
-        const auto launch = orchestrator.launch(
-            static_cast<vnf::NfType>(n), v, /*now=*/-1e6);
-        if (!launch.ok() || launch.instance.id != expected) {
+        vnf::VnfInstance inst;
+        inst.id = expected;
+        inst.type = static_cast<vnf::NfType>(n);
+        inst.host_switch = v;
+        inst.capacity_mbps = vnf::spec_of(inst.type).capacity_mbps;
+        if (!orchestrator.adopt(inst).ok()) {
           throw std::logic_error(
               "orchestrator inventory diverged from placement");
         }
         // The fluid simulator drops at the true loss knee; the measured
         // Cap_n the plan packed against sits kMeasuredCapacityMargin below
         // it (Sec. IV-C), which is the detector's head start.
-        vnf::VnfInstance inst = launch.instance;
-        inst.capacity_mbps =
-            vnf::spec_of(inst.type).loss_knee_mbps();
+        inst.capacity_mbps = vnf::spec_of(inst.type).loss_knee_mbps();
         flow.add_instance(inst, /*ready_at=*/0.0);
       }
     }

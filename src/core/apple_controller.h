@@ -4,15 +4,20 @@
 //   optimize on the mean traffic matrix  ->  place VNF instances  ->
 //   install rules  ->  replay the time-varying snapshots, with fast
 //   failover absorbing small-time-scale dynamics (Sec. IX-A methodology).
+//
+// Epoch assembly and re-optimization are delegated to the staged
+// EpochPipeline (core/epoch_pipeline.h): `optimize*` are thin wrappers over
+// EpochPipeline::run, and `replay` drives EpochPipeline::advance so each
+// periodic re-optimization only churns the instances and rules that
+// actually changed.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/dynamic_handler.h"
-#include "core/optimization_engine.h"
-#include "core/rule_generator.h"
-#include "core/subclass_assigner.h"
+#include "core/epoch_pipeline.h"
 #include "net/routing.h"
 #include "traffic/synthesis.h"
 
@@ -22,6 +27,7 @@ struct ControllerConfig {
   EngineOptions engine;
   AssignerOptions assigner;
   DynamicHandlerConfig handler;
+  ClassDeltaOptions delta;  // pinning threshold for incremental epochs
   double snapshot_duration = 1.0;  // sim seconds per TM snapshot
   double tick = 0.05;              // fluid simulation tick
   double poll_interval = 0.1;      // dynamic-handler counter poll
@@ -34,15 +40,26 @@ struct ControllerConfig {
   // slow daily/weekly patterns tolerate full VNF installation, so the
   // placement tracks them while fast failover absorbs the fast dynamics.
   std::size_t reoptimize_every = 0;
+  // Use the delta-driven incremental pipeline for those re-optimizations
+  // (pin unchanged classes, churn only what moved). When false every
+  // re-optimization recomputes and reinstalls the epoch from scratch.
+  bool incremental_reoptimize = true;
 };
 
-// One optimization epoch: everything derived from a single traffic matrix.
-struct Epoch {
-  std::vector<traffic::TrafficClass> classes;
-  PlacementPlan plan;
-  InstanceInventory inventory;
-  std::vector<std::vector<dataplane::SubclassPlan>> subclasses;
-  RuleGenerationReport rules;
+// Control-plane churn across a replay's re-optimizations: the instance and
+// rule operations applied to track the drifting traffic, and the modeled
+// control-plane latency of applying them (Figs. 5/7 boot latencies charged
+// only to churned instances).
+struct ChurnMetrics {
+  std::uint64_t instances_launched = 0;
+  std::uint64_t instances_retired = 0;
+  std::uint64_t instances_reconfigured = 0;
+  std::uint64_t rules_installed = 0;
+  std::uint64_t rules_removed = 0;
+  std::size_t reoptimizations = 0;  // re-optimizations applied
+  std::size_t full_recomputes = 0;  // of which recomputed from scratch
+  double control_latency_sum_s = 0.0;  // summed per-reoptimization makespan
+  double control_latency_max_s = 0.0;
 };
 
 // Replay of a snapshot series over an epoch placement (re-optimized every
@@ -52,6 +69,7 @@ struct ReplayReport {
   double mean_loss = 0.0;
   double max_loss = 0.0;
   std::size_t epochs = 1;  // optimization epochs used across the replay
+  ChurnMetrics churn;
   FailoverMetrics failover;
 };
 
@@ -64,6 +82,7 @@ class AppleController {
   const net::Topology& topology() const { return *topo_; }
   std::span<const vnf::PolicyChain> chains() const { return chains_; }
   const traffic::ChainAssignment& chain_assignment() const { return assign_; }
+  const EpochPipeline& pipeline() const { return pipeline_; }
 
   // Builds equivalence classes for a traffic matrix (Sec. IV-A granularity).
   std::vector<traffic::TrafficClass> build_classes(
@@ -94,9 +113,15 @@ class AppleController {
                       std::span<const traffic::TrafficMatrix> series,
                       bool fast_failover, ReplayReport& report) const;
 
+  // Applies one re-optimization's instance churn to the persistent
+  // control-plane orchestrator and returns the boot makespan (seconds).
+  double apply_plan_delta(orch::ResourceOrchestrator& control,
+                          const PlanDelta& delta, double now) const;
+
   const net::Topology* topo_;
   std::vector<vnf::PolicyChain> chains_;
   ControllerConfig config_;
+  EpochPipeline pipeline_;
   net::AllPairsPaths routing_;
   traffic::ChainAssignment assign_;
 };

@@ -1,0 +1,477 @@
+#include "core/epoch_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace apple::core {
+
+namespace {
+
+// Sub-class plans compare equal when they would install the same rules:
+// identical sub-class ids, classifier footprints and instance itineraries,
+// with weights equal up to float noise (the assigner's water-filling is
+// deterministic, but pinned classes sit downstream of re-solved ones in its
+// global capacity ledger, so bit-identical weights cannot be assumed).
+bool same_subclass_plans(const std::vector<dataplane::SubclassPlan>& a,
+                         const std::vector<dataplane::SubclassPlan>& b) {
+  constexpr double kWeightTol = 1e-9;
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    const dataplane::SubclassPlan& pa = a[s];
+    const dataplane::SubclassPlan& pb = b[s];
+    if (pa.subclass_id != pb.subclass_id ||
+        pa.classifier_prefix_rules != pb.classifier_prefix_rules ||
+        std::abs(pa.weight - pb.weight) > kWeightTol ||
+        pa.itinerary.size() != pb.itinerary.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < pa.itinerary.size(); ++i) {
+      if (pa.itinerary[i].at_switch != pb.itinerary[i].at_switch ||
+          pa.itinerary[i].instances != pb.itinerary[i].instances) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double boot_latency_of(const InstanceOp& op,
+                       const orch::OrchestrationTimings& timings) {
+  switch (op.kind) {
+    case InstanceOp::Kind::kLaunch:
+      return vnf::spec_of(op.type).clickos
+                 ? timings.clickos_boot_openstack_mean()
+                 : timings.normal_vm_boot;
+    case InstanceOp::Kind::kReconfigure:
+      return timings.clickos_reconfigure;
+    case InstanceOp::Kind::kRetire:
+      return 0.0;  // teardown is off the critical path
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ClassDelta diff_classes(std::span<const traffic::TrafficClass> prev,
+                        std::span<const traffic::TrafficClass> next,
+                        const ClassDeltaOptions& options) {
+  APPLE_OBS_SPAN("core.pipeline.diff_classes_seconds");
+  // Identity of a class across snapshots: the (src, dst, chain) triple.
+  // std::map keeps the scan deterministic regardless of hashing.
+  std::map<std::array<std::uint64_t, 3>, std::size_t> index;
+  for (std::size_t p = 0; p < prev.size(); ++p) {
+    index.emplace(std::array<std::uint64_t, 3>{prev[p].src, prev[p].dst,
+                                               prev[p].chain_id},
+                  p);
+  }
+
+  ClassDelta delta;
+  delta.prev_of.assign(next.size(), kNoClass);
+  std::vector<bool> matched(prev.size(), false);
+  for (std::size_t h = 0; h < next.size(); ++h) {
+    const traffic::TrafficClass& cls = next[h];
+    const auto it = index.find({cls.src, cls.dst, cls.chain_id});
+    // A rerouted class (different path) is remove + add: the pinned
+    // assignment would reference positions that no longer exist.
+    if (it == index.end() || prev[it->second].path != cls.path) {
+      delta.added.push_back(h);
+      continue;
+    }
+    const std::size_t p = it->second;
+    matched[p] = true;
+    delta.prev_of[h] = p;
+    const double prev_rate = prev[p].rate_mbps;
+    const double next_rate = cls.rate_mbps;
+    const double base = std::max(std::abs(prev_rate), options.zero_rate_mbps);
+    if (std::abs(next_rate - prev_rate) / base > options.rate_change_threshold) {
+      delta.rate_changed.push_back(h);
+    } else {
+      delta.unchanged.push_back(h);
+    }
+  }
+  for (std::size_t p = 0; p < prev.size(); ++p) {
+    if (!matched[p]) delta.removed.push_back(p);
+  }
+
+  APPLE_OBS_COUNT_N("core.pipeline.classes_added", delta.added.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_removed", delta.removed.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_rate_changed",
+                    delta.rate_changed.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_pinned", delta.unchanged.size());
+  return delta;
+}
+
+PlanDelta diff_plans(const PlacementPlan& prev,
+                     const InstanceInventory& prev_inventory,
+                     const PlacementPlan& next, const ClassDelta& delta,
+                     vnf::InstanceId next_free_id) {
+  APPLE_OBS_SPAN("core.pipeline.diff_plans_seconds");
+  APPLE_CHECK_EQ(prev.instance_count.size(), next.instance_count.size());
+  APPLE_CHECK_EQ(prev_inventory.by_node_type.size(),
+                 prev.instance_count.size());
+
+  PlanDelta out;
+  out.pinned_classes = delta.unchanged;
+  out.resolved_classes = delta.added;
+  out.resolved_classes.insert(out.resolved_classes.end(),
+                              delta.rate_changed.begin(),
+                              delta.rate_changed.end());
+  std::sort(out.resolved_classes.begin(), out.resolved_classes.end());
+
+  const std::size_t num_nodes = prev.instance_count.size();
+  for (net::NodeId v = 0; v < num_nodes; ++v) {
+    // Surplus ids per type: the back segment of the previous bucket (the
+    // first next-count ids survive untouched, so sub-class plans that only
+    // use the front of the bucket stay valid).
+    std::array<std::vector<vnf::InstanceId>, vnf::kNumNfTypes> surplus;
+    std::array<std::int64_t, vnf::kNumNfTypes> deficit{};
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const std::int64_t p =
+          static_cast<std::int64_t>(prev.instance_count[v][n]);
+      const std::int64_t q =
+          static_cast<std::int64_t>(next.instance_count[v][n]);
+      APPLE_CHECK_EQ(prev_inventory.by_node_type[v][n].size(),
+                     static_cast<std::size_t>(p));
+      if (p > q) {
+        const auto& bucket = prev_inventory.by_node_type[v][n];
+        surplus[n].assign(bucket.begin() + q, bucket.end());
+      } else if (q > p) {
+        deficit[n] = q - p;
+      }
+    }
+
+    // Pair ClickOS deficits with ClickOS surpluses into reconfigures
+    // (~30 ms, Sec. VIII-D) instead of an OpenStack boot plus a teardown.
+    // Reconfigures consume surplus ids from the back; what is left of each
+    // segment retires.
+    std::vector<InstanceOp> reconfigures;
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const vnf::NfType to = static_cast<vnf::NfType>(n);
+      if (!vnf::spec_of(to).clickos) continue;
+      for (std::size_t m = 0; m < vnf::kNumNfTypes && deficit[n] > 0; ++m) {
+        const vnf::NfType from = static_cast<vnf::NfType>(m);
+        if (m == n || !vnf::spec_of(from).clickos) continue;
+        while (deficit[n] > 0 && !surplus[m].empty()) {
+          InstanceOp op;
+          op.kind = InstanceOp::Kind::kReconfigure;
+          op.id = surplus[m].back();
+          surplus[m].pop_back();
+          op.node = v;
+          op.type = to;
+          op.old_type = from;
+          reconfigures.push_back(op);
+          --deficit[n];
+        }
+      }
+    }
+    // Core-safe ordering within the node: retires free cores first, then
+    // reconfigures that shrink or keep their core footprint, then growing
+    // ones, then launches — the usage trajectory first only falls, then
+    // rises monotonically to the (feasible) next plan's usage, so no prefix
+    // of the sequence can overshoot the host budget.
+    std::stable_sort(reconfigures.begin(), reconfigures.end(),
+                     [](const InstanceOp& a, const InstanceOp& b) {
+                       const auto grows = [](const InstanceOp& op) {
+                         return vnf::spec_of(op.type).cores_required >
+                                vnf::spec_of(op.old_type).cores_required;
+                       };
+                       return grows(a) < grows(b);
+                     });
+
+    for (std::size_t m = 0; m < vnf::kNumNfTypes; ++m) {
+      for (const vnf::InstanceId id : surplus[m]) {
+        InstanceOp op;
+        op.kind = InstanceOp::Kind::kRetire;
+        op.id = id;
+        op.node = v;
+        op.type = static_cast<vnf::NfType>(m);
+        op.old_type = op.type;
+        out.ops.push_back(op);
+        ++out.instances_retired;
+      }
+    }
+    for (InstanceOp& op : reconfigures) {
+      out.ops.push_back(op);
+      ++out.instances_reconfigured;
+    }
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      for (std::int64_t k = 0; k < deficit[n]; ++k) {
+        InstanceOp op;
+        op.kind = InstanceOp::Kind::kLaunch;
+        op.id = next_free_id++;
+        op.node = v;
+        op.type = static_cast<vnf::NfType>(n);
+        op.old_type = op.type;
+        out.ops.push_back(op);
+        ++out.instances_launched;
+      }
+    }
+  }
+
+  APPLE_OBS_COUNT_N("core.pipeline.instances_launched", out.instances_launched);
+  APPLE_OBS_COUNT_N("core.pipeline.instances_retired", out.instances_retired);
+  APPLE_OBS_COUNT_N("core.pipeline.instances_reconfigured",
+                    out.instances_reconfigured);
+  return out;
+}
+
+InstanceInventory advance_inventory(const InstanceInventory& prev,
+                                    const PlanDelta& delta) {
+  InstanceInventory inv = prev;
+  const auto erase_id = [](std::vector<vnf::InstanceId>& bucket,
+                           vnf::InstanceId id) {
+    const auto it = std::find(bucket.begin(), bucket.end(), id);
+    APPLE_CHECK(it != bucket.end());
+    bucket.erase(it);
+  };
+  for (const InstanceOp& op : delta.ops) {
+    auto& per_type = inv.by_node_type.at(op.node);
+    switch (op.kind) {
+      case InstanceOp::Kind::kRetire:
+        erase_id(per_type[static_cast<std::size_t>(op.old_type)], op.id);
+        break;
+      case InstanceOp::Kind::kReconfigure:
+        erase_id(per_type[static_cast<std::size_t>(op.old_type)], op.id);
+        per_type[static_cast<std::size_t>(op.type)].push_back(op.id);
+        break;
+      case InstanceOp::Kind::kLaunch:
+        per_type[static_cast<std::size_t>(op.type)].push_back(op.id);
+        break;
+    }
+  }
+  return inv;
+}
+
+double modeled_control_latency(const PlanDelta& plan_delta,
+                               std::size_t classes_reinstalled,
+                               const orch::OrchestrationTimings& timings) {
+  // Churned instances boot concurrently (the orchestrator drives OpenStack
+  // asynchronously, Fig. 5), so the placement converges at the slowest
+  // boot; rule updates follow serially from the controller.
+  double makespan = 0.0;
+  for (const InstanceOp& op : plan_delta.ops) {
+    makespan = std::max(makespan, boot_latency_of(op, timings));
+  }
+  return makespan +
+         timings.rule_install * static_cast<double>(classes_reinstalled);
+}
+
+std::uint64_t rule_entries_for(std::span<const dataplane::SubclassPlan> plans) {
+  std::uint64_t entries = 0;
+  for (const dataplane::SubclassPlan& plan : plans) {
+    // Ingress classifier prefixes + one host-match entry per visit (Table
+    // III), plus the vSwitch pipeline inside each visited host.
+    entries += plan.classifier_prefix_rules + plan.itinerary.size();
+    entries += dataplane::vswitch_rules_for(plan);
+  }
+  return entries;
+}
+
+RuleDelta diff_rules(
+    std::span<const traffic::TrafficClass> prev_classes,
+    const std::vector<std::vector<dataplane::SubclassPlan>>& prev_subclasses,
+    std::span<const traffic::TrafficClass> next_classes,
+    const std::vector<std::vector<dataplane::SubclassPlan>>& next_subclasses,
+    const ClassDelta& delta) {
+  APPLE_OBS_SPAN("core.pipeline.diff_rules_seconds");
+  APPLE_CHECK_EQ(prev_subclasses.size(), prev_classes.size());
+  APPLE_CHECK_EQ(next_subclasses.size(), next_classes.size());
+  APPLE_CHECK_EQ(delta.prev_of.size(), next_classes.size());
+
+  RuleDelta out;
+  for (const std::size_t p : delta.removed) {
+    out.remove.push_back(prev_classes[p].id);
+    out.rules_removed += rule_entries_for(prev_subclasses[p]);
+  }
+  for (std::size_t h = 0; h < next_classes.size(); ++h) {
+    const std::size_t p = delta.prev_of[h];
+    if (p != kNoClass && same_subclass_plans(prev_subclasses[p],
+                                             next_subclasses[h])) {
+      continue;  // rules identical: leave them installed
+    }
+    out.reinstall.push_back(h);
+    out.rules_installed += rule_entries_for(next_subclasses[h]);
+    if (p != kNoClass) {
+      out.rules_removed += rule_entries_for(prev_subclasses[p]);
+    }
+  }
+
+  APPLE_OBS_COUNT_N("core.pipeline.rules_installed", out.rules_installed);
+  APPLE_OBS_COUNT_N("core.pipeline.rules_removed", out.rules_removed);
+  return out;
+}
+
+void apply_rule_delta(
+    const PlacementInput& next_input,
+    const std::vector<std::vector<dataplane::SubclassPlan>>& next_subclasses,
+    const PlanDelta& plan_delta, const RuleDelta& rule_delta,
+    dataplane::DataPlane& dp) {
+  APPLE_OBS_SPAN("core.pipeline.apply_rules_seconds");
+  for (const InstanceOp& op : plan_delta.ops) {
+    switch (op.kind) {
+      case InstanceOp::Kind::kRetire:
+        dp.unregister_instance(op.id);
+        break;
+      case InstanceOp::Kind::kReconfigure:
+      case InstanceOp::Kind::kLaunch:
+        dp.register_instance(vnf::VnfInstance{
+            op.id, op.type, op.node, vnf::spec_of(op.type).capacity_mbps});
+        break;
+    }
+  }
+  for (const traffic::ClassId id : rule_delta.remove) {
+    dp.remove_class(id);
+  }
+  for (const std::size_t h : rule_delta.reinstall) {
+    dp.install_class(next_input.classes[h], next_subclasses[h]);
+  }
+}
+
+EpochPipeline::EpochPipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+Epoch EpochPipeline::assemble(const net::Topology& topo,
+                              std::span<const vnf::PolicyChain> chains,
+                              std::vector<traffic::TrafficClass> classes,
+                              PlacementPlan plan) const {
+  APPLE_OBS_SPAN("core.pipeline.assemble_seconds");
+  if (!plan.feasible) {
+    throw std::runtime_error("placement infeasible: " +
+                             plan.infeasibility_reason);
+  }
+  Epoch epoch;
+  epoch.classes = std::move(classes);
+  epoch.plan = std::move(plan);
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = epoch.classes;
+  input.chains = chains;
+  epoch.inventory = materialize_inventory(input, epoch.plan);
+  epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
+                                       options_.assigner);
+  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  epoch.next_instance_id =
+      static_cast<vnf::InstanceId>(epoch.plan.total_instances()) + 1;
+  for (const traffic::TrafficClass& cls : epoch.classes) {
+    epoch.next_class_id = std::max(epoch.next_class_id, cls.id + 1);
+  }
+  return epoch;
+}
+
+Epoch EpochPipeline::run(const net::Topology& topo,
+                         std::span<const vnf::PolicyChain> chains,
+                         std::vector<traffic::TrafficClass> classes) const {
+  APPLE_OBS_SPAN("core.pipeline.epoch_seconds");
+  APPLE_OBS_COUNT("core.pipeline.epochs_full");
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+  PlacementPlan plan = OptimizationEngine(options_.engine).place(input);
+  return assemble(topo, chains, std::move(classes), std::move(plan));
+}
+
+std::vector<Epoch> EpochPipeline::run_many(
+    const net::Topology& topo, std::span<const vnf::PolicyChain> chains,
+    std::vector<std::vector<traffic::TrafficClass>> class_sets,
+    std::size_t num_workers) const {
+  APPLE_OBS_SPAN("core.pipeline.epoch_many_seconds");
+  std::vector<PlacementInput> inputs(class_sets.size());
+  for (std::size_t i = 0; i < class_sets.size(); ++i) {
+    inputs[i].topology = &topo;
+    inputs[i].classes = class_sets[i];
+    inputs[i].chains = chains;
+  }
+  std::vector<PlacementPlan> plans =
+      OptimizationEngine(options_.engine).place_many(inputs, num_workers);
+  std::vector<Epoch> epochs;
+  epochs.reserve(class_sets.size());
+  for (std::size_t i = 0; i < class_sets.size(); ++i) {
+    APPLE_OBS_COUNT("core.pipeline.epochs_full");
+    epochs.push_back(assemble(topo, chains, std::move(class_sets[i]),
+                              std::move(plans[i])));
+  }
+  return epochs;
+}
+
+IncrementalEpoch EpochPipeline::advance(
+    const Epoch& prev, const net::Topology& topo,
+    std::span<const vnf::PolicyChain> chains,
+    std::vector<traffic::TrafficClass> next_classes) const {
+  APPLE_OBS_SPAN("core.pipeline.advance_seconds");
+  APPLE_OBS_COUNT("core.pipeline.epochs_incremental");
+
+  IncrementalEpoch out;
+  // Stage 1: class delta. Surviving classes keep their previous ids (the
+  // installed TCAM tags stay valid); added classes take fresh ids so a
+  // retired id is never reused while its rules may still be draining.
+  out.class_delta = diff_classes(prev.classes, next_classes, options_.delta);
+  traffic::ClassId next_class_id = prev.next_class_id;
+  for (std::size_t h = 0; h < next_classes.size(); ++h) {
+    const std::size_t p = out.class_delta.prev_of[h];
+    next_classes[h].id =
+        p != kNoClass ? prev.classes[p].id : next_class_id++;
+  }
+
+  // Stage 2: incremental placement — pin unchanged classes, water-fill the
+  // dirty ones over residual capacity (kExact re-proves optimality with the
+  // incremental plan seeding the branch-and-bound incumbent).
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = next_classes;
+  input.chains = chains;
+  const OptimizationEngine engine(options_.engine);
+  PlacementPlan plan = engine.replace(input, prev.plan, out.class_delta);
+  if (!plan.feasible) {
+    APPLE_OBS_COUNT("core.pipeline.fallback_full");
+    out.full_recompute = true;
+    plan = engine.place(input);
+    if (!plan.feasible) {
+      throw std::runtime_error("placement infeasible: " +
+                               plan.infeasibility_reason);
+    }
+  }
+
+  // Stage 3: instance churn with concrete ids, then the patched inventory.
+  out.plan_delta =
+      diff_plans(prev.plan, prev.inventory, plan, out.class_delta,
+                 prev.next_instance_id);
+
+  Epoch& epoch = out.epoch;
+  epoch.classes = std::move(next_classes);
+  epoch.plan = std::move(plan);
+  epoch.inventory = advance_inventory(prev.inventory, out.plan_delta);
+  epoch.next_instance_id = static_cast<vnf::InstanceId>(
+      prev.next_instance_id + out.plan_delta.instances_launched);
+  epoch.next_class_id = next_class_id;
+  input.classes = epoch.classes;
+
+  // Stage 4: sub-class decomposition over the patched inventory.
+  epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
+                                       options_.assigner);
+  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+
+  // Stage 5: rule churn.
+  out.rule_delta = diff_rules(prev.classes, prev.subclasses, epoch.classes,
+                              epoch.subclasses, out.class_delta);
+
+  out.control_latency_s = modeled_control_latency(
+      out.plan_delta,
+      out.rule_delta.reinstall.size() + out.rule_delta.remove.size(),
+      options_.timings);
+  APPLE_OBS_OBSERVE("core.pipeline.reoptimize_latency_seconds",
+                    out.control_latency_s);
+  APPLE_OBS_COUNT_N("core.pipeline.classes_resolved",
+                    out.plan_delta.resolved_classes.size());
+  return out;
+}
+
+}  // namespace apple::core

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
+#include <string>
 
+#include "common/check.h"
+#include "core/epoch_pipeline.h"
 #include "core/ilp_builder.h"
 #include "exec/thread_pool.h"
 #include "lp/simplex.h"
@@ -15,6 +18,8 @@ namespace apple::core {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr double kEps = 1e-9;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -40,178 +45,22 @@ struct NodeTypeState {
   double used_mbps = 0.0;
 };
 
-}  // namespace
+// The water-filling fill's working state. A from-scratch fill starts empty;
+// the incremental path seeds it with the previous plan's instances and the
+// pinned classes' load before filling only the dirty classes.
+struct FillState {
+  std::vector<std::array<NodeTypeState, vnf::kNumNfTypes>> state;
+  std::vector<double> cores_used;
 
-const char* to_string(PlacementStrategy s) {
-  switch (s) {
-    case PlacementStrategy::kExact:
-      return "exact";
-    case PlacementStrategy::kLpRound:
-      return "lp-round";
-    case PlacementStrategy::kGreedy:
-      return "greedy";
-  }
-  return "unknown";
-}
+  explicit FillState(std::size_t num_nodes)
+      : state(num_nodes), cores_used(num_nodes, 0.0) {}
+};
 
-PlacementPlan OptimizationEngine::place(const PlacementInput& input) const {
-  APPLE_OBS_SPAN("core.engine.place_seconds");
-  input.validate();
-  PlacementPlan plan;
-  switch (options_.strategy) {
-    case PlacementStrategy::kExact:
-      plan = place_exact(input);
-      break;
-    case PlacementStrategy::kLpRound:
-      plan = place_lp_round(input);
-      break;
-    case PlacementStrategy::kGreedy:
-      plan = place_greedy(input);
-      break;
-  }
-  APPLE_OBS_COUNT("core.engine.placements");
-  if (plan.feasible) {
-    APPLE_OBS_COUNT_N("core.engine.instances_placed", plan.total_instances());
-  } else {
-    APPLE_OBS_COUNT("core.engine.infeasible_placements");
-  }
-  return plan;
-}
-
-std::vector<PlacementPlan> OptimizationEngine::place_many(
-    std::span<const PlacementInput> inputs, std::size_t num_workers) const {
-  std::vector<PlacementPlan> plans(inputs.size());
-  const std::size_t workers = std::max<std::size_t>(1, num_workers);
-  if (workers == 1 || inputs.size() <= 1) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      plans[i] = place(inputs[i]);
-    }
-    return plans;
-  }
-  EngineOptions inner = options_;
-  inner.mip.num_workers = 1;  // the epoch fan-out is the only parallelism
-  const OptimizationEngine engine(inner);
-  exec::ThreadPool pool(std::min(workers, inputs.size()) - 1);
-  exec::parallel_for(pool, 0, inputs.size(), [&](std::size_t i) {
-    plans[i] = engine.place(inputs[i]);
-  });
-  return plans;
-}
-
-PlacementPlan OptimizationEngine::place_exact(
-    const PlacementInput& input) const {
-  const auto start = Clock::now();
-  const IlpBuilder builder(input, /*integral_q=*/true);
-  const lp::MipResult result = lp::MipSolver(options_.mip).solve(builder.model());
-  PlacementPlan plan;
-  if (result.has_solution()) {
-    plan = builder.extract_plan(input, result.x);
-    plan.feasible = true;
-    plan.lower_bound = result.proven_optimal
-                           ? static_cast<double>(plan.total_instances())
-                           : result.best_bound;
-  } else {
-    plan = empty_plan(input);
-    plan.infeasibility_reason =
-        std::string("MIP solver: ") + lp::to_string(result.status);
-  }
-  plan.strategy = "exact";
-  plan.solve_seconds = seconds_since(start);
-  return plan;
-}
-
-PlacementPlan OptimizationEngine::place_lp_round(
-    const PlacementInput& input) const {
-  const auto start = Clock::now();
-  const IlpBuilder builder(input, /*integral_q=*/false);
-  const lp::LpSolution relax =
-      lp::SimplexSolver(options_.simplex).solve(builder.model());
-  if (!relax.optimal()) {
-    PlacementPlan plan = empty_plan(input);
-    plan.strategy = "lp-round";
-    plan.solve_seconds = seconds_since(start);
-    plan.infeasibility_reason =
-        std::string("LP relaxation: ") + lp::to_string(relax.status);
-    return plan;
-  }
-  // LP-guided rounding: the fractional q values tell the water-filling
-  // where the relaxation wants instances pooled; the fill itself restores
-  // integrality while respecting capacity and resources by construction.
-  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
-      input.topology->num_nodes(), std::array<double, vnf::kNumNfTypes>{});
-  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
-    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
-      const lp::VarId var = builder.q_var(v, static_cast<vnf::NfType>(n));
-      if (var != IlpBuilder::kInvalidVar) {
-        popularity[v][n] = std::max(0.0, relax.x[var]);
-      }
-    }
-  }
-  PlacementPlan plan = fill_plan(input, popularity);
-  plan.strategy = "lp-round";
-  plan.lower_bound = relax.objective;
-  plan.solve_seconds = seconds_since(start);
-  return plan;
-}
-
-PlacementPlan OptimizationEngine::place_greedy(
-    const PlacementInput& input) const {
-  const auto start = Clock::now();
-  const net::Topology& topo = *input.topology;
-
-  // Popularity of (switch, NF type): total rate of classes whose path
-  // crosses the switch and whose chain needs the type. Opening instances at
-  // popular switches maximizes multiplexing across classes — the resource
-  // advantage Fig. 11 attributes to APPLE.
-  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
-      topo.num_nodes(), std::array<double, vnf::kNumNfTypes>{});
-  for (const traffic::TrafficClass& cls : input.classes) {
-    const vnf::PolicyChain& chain = input.chain_of(cls);
-    for (const net::NodeId v : cls.path) {
-      if (!topo.node(v).has_host()) continue;
-      for (const vnf::NfType type : chain) {
-        popularity[v][static_cast<std::size_t>(type)] += cls.rate_mbps;
-      }
-    }
-  }
-
-  PlacementPlan plan = fill_plan(input, popularity);
-  // Self-guided refinement: refill with popularity = the previous plan's
-  // instance counts, so every class gravitates to the same pool nodes.
-  // Keep the best plan seen.
-  for (int round = 0; round < 3 && plan.feasible; ++round) {
-    for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
-      for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
-        popularity[v][n] = static_cast<double>(plan.instance_count[v][n]);
-      }
-    }
-    PlacementPlan refined = fill_plan(input, popularity);
-    if (!refined.feasible ||
-        refined.total_instances() >= plan.total_instances()) {
-      break;
-    }
-    plan = std::move(refined);
-  }
-  plan.strategy = "greedy";
-  plan.solve_seconds = seconds_since(start);
-  return plan;
-}
-
-PlacementPlan OptimizationEngine::fill_plan(
-    const PlacementInput& input,
-    const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity) {
-  const net::Topology& topo = *input.topology;
-  PlacementPlan plan = empty_plan(input);
-
-  std::vector<std::array<NodeTypeState, vnf::kNumNfTypes>> state(
-      topo.num_nodes());
-  std::vector<double> cores_used(topo.num_nodes(), 0.0);
-
-  // Most-constrained-first: classes with short paths have the fewest host
-  // choices and must reserve resources before hub switches fill up; among
-  // equals, big classes first so their chains pack tightly.
-  std::vector<std::size_t> order(input.classes.size());
-  std::iota(order.begin(), order.end(), 0);
+// Most-constrained-first: classes with short paths have the fewest host
+// choices and must reserve resources before hub switches fill up; among
+// equals, big classes first so their chains pack tightly.
+std::vector<std::size_t> constrained_order(const PlacementInput& input,
+                                           std::vector<std::size_t> order) {
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const auto& ca = input.classes[a];
     const auto& cb = input.classes[b];
@@ -220,8 +69,21 @@ PlacementPlan OptimizationEngine::fill_plan(
     }
     return ca.rate_mbps > cb.rate_mbps;
   });
+  return order;
+}
 
-  constexpr double kEps = 1e-9;
+// Water-fills the classes in `order` into `fs` (on top of whatever load it
+// already carries), preferring positions with residual capacity, then the
+// highest `popularity[v][n]`. Returns false (with the reason recorded on
+// the plan) when a class cannot be fully placed.
+bool fill_classes(
+    const PlacementInput& input,
+    const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity,
+    const std::vector<std::size_t>& order, PlacementPlan& plan,
+    FillState& fs) {
+  const net::Topology& topo = *input.topology;
+  auto& state = fs.state;
+  auto& cores_used = fs.cores_used;
 
   for (const std::size_t h : order) {
     const traffic::TrafficClass& cls = input.classes[h];
@@ -240,7 +102,7 @@ PlacementPlan OptimizationEngine::fill_plan(
       if (host_index == cls.path.size()) {
         plan.infeasibility_reason =
             "class " + std::to_string(h) + ": no APPLE host on path";
-        return plan;
+        return false;
       }
       for (std::size_t j = 0; j < chain.size(); ++j) {
         fraction[host_index][j] = 1.0;
@@ -400,7 +262,7 @@ PlacementPlan OptimizationEngine::fill_plan(
             "class " + std::to_string(h) + ": stage " + std::to_string(j) +
             " (" + std::string(vnf::to_string(type)) +
             ") cannot be fully placed on the path (resources exhausted)";
-        return plan;
+        return false;
       }
       // Settle floating-point drift so Eq. 4 holds exactly: the deficit is
       // dumped at the last host index, where the previous stage is always
@@ -423,28 +285,31 @@ PlacementPlan OptimizationEngine::fill_plan(
       prev_prefix = std::move(cur_prefix);
     }
   }
+  return true;
+}
 
-  // Trim: drop instances the fill never needed (ceil of actual usage).
-  for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+// Trim: drop instances the fill never needed (ceil of actual usage).
+void trim_instances(const PlacementInput& input, const FillState& fs,
+                    PlacementPlan& plan) {
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
     for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
       const double cap =
           vnf::spec_of(static_cast<vnf::NfType>(n)).capacity_mbps;
       const std::uint32_t needed = static_cast<std::uint32_t>(
-          std::ceil(state[v][n].used_mbps / cap - 1e-9));
+          std::ceil(fs.state[v][n].used_mbps / cap - 1e-9));
       plan.instance_count[v][n] = std::min(plan.instance_count[v][n], needed);
     }
   }
-
-  consolidate_instances(input, plan);
-
-  plan.feasible = true;
-  return plan;
 }
 
-void OptimizationEngine::consolidate_instances(const PlacementInput& input,
-                                               PlacementPlan& plan) {
+// Local search run after the from-scratch fill: evacuates lightly-utilized
+// (switch, type) instance groups onto spare capacity elsewhere on each
+// class's path (respecting the Eq. 3 prefixes) and drops the freed
+// instances. Closes most of the integrality gap the water-filling leaves
+// against the LP bound. The incremental path skips it: it moves any class's
+// fractions, which would churn pinned classes' rules for marginal gain.
+void consolidate_instances(const PlacementInput& input, PlacementPlan& plan) {
   const net::Topology& topo = *input.topology;
-  constexpr double kEps = 1e-9;
 
   // Offered load per (switch, type), derived from the current distribution.
   std::vector<std::array<double, vnf::kNumNfTypes>> used(
@@ -587,6 +452,355 @@ void OptimizationEngine::consolidate_instances(const PlacementInput& input,
     }
     if (!any_removed) break;
   }
+}
+
+// Water-filling fill shared by kGreedy and kLpRound: places every class
+// front-to-back, preferring positions with residual capacity, then the
+// highest `popularity[v][n]` (rate-weighted for kGreedy, the fractional
+// LP q for kLpRound — i.e. LP-guided rounding).
+PlacementPlan fill_plan(
+    const PlacementInput& input,
+    const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity) {
+  PlacementPlan plan = empty_plan(input);
+  FillState fs(input.topology->num_nodes());
+  std::vector<std::size_t> order(input.classes.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!fill_classes(input, popularity, constrained_order(input, std::move(order)),
+                    plan, fs)) {
+    return plan;
+  }
+  trim_instances(input, fs, plan);
+  consolidate_instances(input, plan);
+  plan.feasible = true;
+  return plan;
+}
+
+// Seeds the fill state with the previous plan's instances and the pinned
+// classes' load (at their *next* rates, which drifted at most the pin
+// threshold). Sub-threshold drift can still push a pinned (switch, type)
+// bucket past its carried capacity; the repair step opens extra instances
+// where the host's cores allow, and fails otherwise (the caller then falls
+// back to a full recompute).
+bool seed_from_previous(const PlacementInput& input, const PlacementPlan& prev,
+                        const ClassDelta& delta, PlacementPlan& plan,
+                        FillState& fs) {
+  const net::Topology& topo = *input.topology;
+  for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const std::uint32_t count = prev.instance_count[v][n];
+      plan.instance_count[v][n] = count;
+      fs.state[v][n].instances = count;
+      fs.cores_used[v] +=
+          count * vnf::spec_of(static_cast<vnf::NfType>(n)).cores_required;
+    }
+  }
+  for (const std::size_t h : delta.unchanged) {
+    const std::size_t p = delta.prev_of[h];
+    const traffic::TrafficClass& cls = input.classes[h];
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    APPLE_CHECK_EQ(prev.distribution[p].fraction.size(), cls.path.size());
+    plan.distribution[h] = prev.distribution[p];
+    const auto& fraction = plan.distribution[h].fraction;
+    for (std::size_t i = 0; i < cls.path.size(); ++i) {
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        fs.state[cls.path[i]][static_cast<std::size_t>(chain[j])].used_mbps +=
+            fraction[i][j] * cls.rate_mbps;
+      }
+    }
+  }
+  for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const vnf::NfSpec& spec = vnf::spec_of(static_cast<vnf::NfType>(n));
+      const std::uint32_t needed = static_cast<std::uint32_t>(std::max(
+          0.0, std::ceil(fs.state[v][n].used_mbps / spec.capacity_mbps -
+                         kEps)));
+      if (needed <= plan.instance_count[v][n]) continue;
+      const double extra_cores =
+          (needed - plan.instance_count[v][n]) * spec.cores_required;
+      if (fs.cores_used[v] + extra_cores > topo.node(v).host_cores + kEps) {
+        plan.infeasibility_reason =
+            "pinned load overflows host " + std::to_string(v) +
+            " (type " + std::string(vnf::to_string(static_cast<vnf::NfType>(n))) +
+            "): repair needs more cores than available";
+        return false;
+      }
+      fs.cores_used[v] += extra_cores;
+      fs.state[v][n].instances = needed;
+      plan.instance_count[v][n] = needed;
+    }
+  }
+  return true;
+}
+
+// Packs a feasible plan into a dense solver assignment for warm-starting
+// the branch-and-bound. Empty when the plan occupies a (v, n) slot or a
+// (class, position) the model has no variable for (cannot happen for plans
+// built against `input`; kept as a guard).
+std::vector<double> pack_warm_solution(const IlpBuilder& builder,
+                                       const PlacementInput& input,
+                                       const PlacementPlan& plan) {
+  std::vector<double> x(builder.model().num_vars(), 0.0);
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const std::uint32_t count = plan.instance_count[v][n];
+      if (count == 0) continue;
+      const lp::VarId var = builder.q_var(v, static_cast<vnf::NfType>(n));
+      if (var == IlpBuilder::kInvalidVar) return {};
+      x[static_cast<std::size_t>(var)] = count;
+    }
+  }
+  for (std::size_t h = 0; h < input.classes.size(); ++h) {
+    const traffic::TrafficClass& cls = input.classes[h];
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    for (std::size_t i = 0; i < cls.path.size(); ++i) {
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        const double frac = plan.distribution[h].fraction[i][j];
+        if (frac == 0.0) continue;
+        const lp::VarId var = builder.d_var(h, i, j);
+        if (var == IlpBuilder::kInvalidVar) return {};
+        x[static_cast<std::size_t>(var)] = frac;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kExact:
+      return "exact";
+    case PlacementStrategy::kLpRound:
+      return "lp-round";
+    case PlacementStrategy::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+PlacementPlan OptimizationEngine::place(const PlacementInput& input) const {
+  APPLE_OBS_SPAN("core.engine.place_seconds");
+  input.validate();
+  PlacementPlan plan;
+  switch (options_.strategy) {
+    case PlacementStrategy::kExact:
+      plan = place_exact(input);
+      break;
+    case PlacementStrategy::kLpRound:
+      plan = place_lp_round(input);
+      break;
+    case PlacementStrategy::kGreedy:
+      plan = place_greedy(input);
+      break;
+  }
+  APPLE_OBS_COUNT("core.engine.placements");
+  if (plan.feasible) {
+    APPLE_OBS_COUNT_N("core.engine.instances_placed", plan.total_instances());
+  } else {
+    APPLE_OBS_COUNT("core.engine.infeasible_placements");
+  }
+  return plan;
+}
+
+std::vector<PlacementPlan> OptimizationEngine::place_many(
+    std::span<const PlacementInput> inputs, std::size_t num_workers) const {
+  std::vector<PlacementPlan> plans(inputs.size());
+  const std::size_t workers = std::max<std::size_t>(1, num_workers);
+  if (workers == 1 || inputs.size() <= 1) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      plans[i] = place(inputs[i]);
+    }
+    return plans;
+  }
+  EngineOptions inner = options_;
+  inner.mip.num_workers = 1;  // the epoch fan-out is the only parallelism
+  const OptimizationEngine engine(inner);
+  exec::ThreadPool pool(std::min(workers, inputs.size()) - 1);
+  exec::parallel_for(pool, 0, inputs.size(), [&](std::size_t i) {
+    plans[i] = engine.place(inputs[i]);
+  });
+  return plans;
+}
+
+PlacementPlan OptimizationEngine::replace(const PlacementInput& input,
+                                          const PlacementPlan& prev,
+                                          const ClassDelta& delta) const {
+  APPLE_OBS_SPAN("core.engine.replace_seconds");
+  input.validate();
+  APPLE_CHECK(prev.feasible);
+  APPLE_CHECK_EQ(prev.instance_count.size(), input.topology->num_nodes());
+  APPLE_CHECK_EQ(delta.prev_of.size(), input.classes.size());
+  const auto start = Clock::now();
+  APPLE_OBS_COUNT("core.engine.replacements");
+
+  PlacementPlan plan = empty_plan(input);
+  FillState fs(input.topology->num_nodes());
+  bool ok = seed_from_previous(input, prev, delta, plan, fs);
+
+  if (ok && delta.empty()) {
+    // Nothing changed: the previous plan carries over verbatim (its
+    // optimality status is unchanged for the identical input), so every
+    // downstream delta is empty — zero churn by construction.
+    plan.feasible = true;
+    plan.strategy = std::string(to_string(options_.strategy)) + "-delta";
+    plan.solve_seconds = seconds_since(start);
+    return plan;
+  }
+
+  if (ok) {
+    // Residual water-filling over the dirty classes only, steered toward
+    // the previous plan's pools so re-solved classes reuse open instances.
+    std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
+        input.topology->num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+    for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+      for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+        popularity[v][n] = static_cast<double>(prev.instance_count[v][n]);
+      }
+    }
+    std::vector<std::size_t> dirty = delta.added;
+    dirty.insert(dirty.end(), delta.rate_changed.begin(),
+                 delta.rate_changed.end());
+    ok = fill_classes(input, popularity,
+                      constrained_order(input, std::move(dirty)), plan, fs);
+  }
+  if (ok) {
+    trim_instances(input, fs, plan);
+    plan.feasible = true;
+  }
+
+  if (options_.strategy == PlacementStrategy::kExact) {
+    // The exact path never settles for the heuristic fill: it re-solves the
+    // full ILP with the fill seeding the incumbent, so pruning starts from
+    // a near-optimal upper bound while the answer stays provably optimal.
+    const IlpBuilder builder(input, /*integral_q=*/true);
+    lp::MipOptions mip = options_.mip;
+    if (plan.feasible) {
+      mip.warm_solution = pack_warm_solution(builder, input, plan);
+    }
+    const lp::MipResult result = lp::MipSolver(mip).solve(builder.model());
+    PlacementPlan exact;
+    if (result.has_solution()) {
+      exact = builder.extract_plan(input, result.x);
+      exact.feasible = true;
+      exact.lower_bound = result.proven_optimal
+                              ? static_cast<double>(exact.total_instances())
+                              : result.best_bound;
+    } else {
+      exact = empty_plan(input);
+      exact.infeasibility_reason =
+          std::string("MIP solver: ") + lp::to_string(result.status);
+    }
+    exact.strategy = "exact-delta";
+    exact.solve_seconds = seconds_since(start);
+    return exact;
+  }
+
+  plan.strategy = std::string(to_string(options_.strategy)) + "-delta";
+  plan.solve_seconds = seconds_since(start);
+  if (!plan.feasible) {
+    APPLE_OBS_COUNT("core.engine.replace_infeasible");
+  }
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::place_exact(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const IlpBuilder builder(input, /*integral_q=*/true);
+  const lp::MipResult result = lp::MipSolver(options_.mip).solve(builder.model());
+  PlacementPlan plan;
+  if (result.has_solution()) {
+    plan = builder.extract_plan(input, result.x);
+    plan.feasible = true;
+    plan.lower_bound = result.proven_optimal
+                           ? static_cast<double>(plan.total_instances())
+                           : result.best_bound;
+  } else {
+    plan = empty_plan(input);
+    plan.infeasibility_reason =
+        std::string("MIP solver: ") + lp::to_string(result.status);
+  }
+  plan.strategy = "exact";
+  plan.solve_seconds = seconds_since(start);
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::place_lp_round(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const IlpBuilder builder(input, /*integral_q=*/false);
+  const lp::LpSolution relax =
+      lp::SimplexSolver(options_.simplex).solve(builder.model());
+  if (!relax.optimal()) {
+    PlacementPlan plan = empty_plan(input);
+    plan.strategy = "lp-round";
+    plan.solve_seconds = seconds_since(start);
+    plan.infeasibility_reason =
+        std::string("LP relaxation: ") + lp::to_string(relax.status);
+    return plan;
+  }
+  // LP-guided rounding: the fractional q values tell the water-filling
+  // where the relaxation wants instances pooled; the fill itself restores
+  // integrality while respecting capacity and resources by construction.
+  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
+      input.topology->num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+  for (net::NodeId v = 0; v < input.topology->num_nodes(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      const lp::VarId var = builder.q_var(v, static_cast<vnf::NfType>(n));
+      if (var != IlpBuilder::kInvalidVar) {
+        popularity[v][n] = std::max(0.0, relax.x[var]);
+      }
+    }
+  }
+  PlacementPlan plan = fill_plan(input, popularity);
+  plan.strategy = "lp-round";
+  plan.lower_bound = relax.objective;
+  plan.solve_seconds = seconds_since(start);
+  return plan;
+}
+
+PlacementPlan OptimizationEngine::place_greedy(
+    const PlacementInput& input) const {
+  const auto start = Clock::now();
+  const net::Topology& topo = *input.topology;
+
+  // Popularity of (switch, NF type): total rate of classes whose path
+  // crosses the switch and whose chain needs the type. Opening instances at
+  // popular switches maximizes multiplexing across classes — the resource
+  // advantage Fig. 11 attributes to APPLE.
+  std::vector<std::array<double, vnf::kNumNfTypes>> popularity(
+      topo.num_nodes(), std::array<double, vnf::kNumNfTypes>{});
+  for (const traffic::TrafficClass& cls : input.classes) {
+    const vnf::PolicyChain& chain = input.chain_of(cls);
+    for (const net::NodeId v : cls.path) {
+      if (!topo.node(v).has_host()) continue;
+      for (const vnf::NfType type : chain) {
+        popularity[v][static_cast<std::size_t>(type)] += cls.rate_mbps;
+      }
+    }
+  }
+
+  PlacementPlan plan = fill_plan(input, popularity);
+  // Self-guided refinement: refill with popularity = the previous plan's
+  // instance counts, so every class gravitates to the same pool nodes.
+  // Keep the best plan seen.
+  for (int round = 0; round < 3 && plan.feasible; ++round) {
+    for (net::NodeId v = 0; v < topo.num_nodes(); ++v) {
+      for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+        popularity[v][n] = static_cast<double>(plan.instance_count[v][n]);
+      }
+    }
+    PlacementPlan refined = fill_plan(input, popularity);
+    if (!refined.feasible ||
+        refined.total_instances() >= plan.total_instances()) {
+      break;
+    }
+    plan = std::move(refined);
+  }
+  plan.strategy = "greedy";
+  plan.solve_seconds = seconds_since(start);
+  return plan;
 }
 
 }  // namespace apple::core

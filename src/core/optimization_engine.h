@@ -22,6 +22,8 @@
 
 namespace apple::core {
 
+struct ClassDelta;  // epoch_pipeline.h
+
 enum class PlacementStrategy { kExact, kLpRound, kGreedy };
 
 const char* to_string(PlacementStrategy s);
@@ -51,26 +53,23 @@ class OptimizationEngine {
   std::vector<PlacementPlan> place_many(std::span<const PlacementInput> inputs,
                                         std::size_t num_workers) const;
 
+  // Incremental re-placement (epoch pipeline stage 2, paper Sec. VI):
+  // carries the pinned classes' assignments over from `prev` verbatim and
+  // re-solves only the dirty ones. kGreedy/kLpRound water-fill the dirty
+  // classes over the residual capacity left by the pinned load (no
+  // consolidation pass — it would move pinned classes and churn instances
+  // for no objective gain); kExact re-solves the full ILP with the
+  // incremental fill seeding the branch-and-bound incumbent, so the result
+  // stays provably optimal. Returns an infeasible plan (with the reason)
+  // when the residual fill cannot host the dirty classes — callers fall
+  // back to place().
+  PlacementPlan replace(const PlacementInput& input, const PlacementPlan& prev,
+                        const ClassDelta& delta) const;
+
  private:
   PlacementPlan place_exact(const PlacementInput& input) const;
   PlacementPlan place_lp_round(const PlacementInput& input) const;
   PlacementPlan place_greedy(const PlacementInput& input) const;
-
-  // Water-filling fill shared by kGreedy and kLpRound: places every class
-  // front-to-back, preferring positions with residual capacity, then the
-  // highest `popularity[v][n]` (rate-weighted for kGreedy, the fractional
-  // LP q for kLpRound — i.e. LP-guided rounding).
-  static PlacementPlan fill_plan(
-      const PlacementInput& input,
-      const std::vector<std::array<double, vnf::kNumNfTypes>>& popularity);
-
-  // Local search run after the fill: evacuates lightly-utilized
-  // (switch, type) instance groups onto spare capacity elsewhere on each
-  // class's path (respecting the Eq. 3 prefixes) and drops the freed
-  // instances. Closes most of the integrality gap the water-filling leaves
-  // against the LP bound.
-  static void consolidate_instances(const PlacementInput& input,
-                                    PlacementPlan& plan);
 
   EngineOptions options_;
 };

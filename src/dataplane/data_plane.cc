@@ -12,6 +12,16 @@ void DataPlane::register_instance(const vnf::VnfInstance& instance) {
   instances_[instance.id] = instance;
 }
 
+void DataPlane::unregister_instance(vnf::InstanceId id) {
+  if (instances_.erase(id) > 0) {
+    APPLE_OBS_COUNT("dataplane.pipeline.instances_unregistered");
+  }
+}
+
+bool DataPlane::has_instance(vnf::InstanceId id) const {
+  return instances_.contains(id);
+}
+
 void DataPlane::validate_plans(const net::Path& path,
                                const std::vector<SubclassPlan>& plans) const {
   if (plans.empty()) {
@@ -63,8 +73,22 @@ void DataPlane::update_class(traffic::ClassId class_id,
   it->second.plans = std::move(plans);
 }
 
+bool DataPlane::remove_class(traffic::ClassId class_id) {
+  if (classes_.erase(class_id) == 0) return false;
+  APPLE_OBS_COUNT("dataplane.pipeline.classes_removed");
+  return true;
+}
+
 bool DataPlane::has_class(traffic::ClassId class_id) const {
   return classes_.contains(class_id);
+}
+
+std::vector<traffic::ClassId> DataPlane::class_ids() const {
+  std::vector<traffic::ClassId> ids;
+  ids.reserve(classes_.size());
+  for (const auto& [id, installed] : classes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 const std::vector<SubclassPlan>& DataPlane::plans_of(

@@ -27,7 +27,16 @@ class DataPlane {
   explicit DataPlane(const net::Topology& topo) : topo_(&topo) {}
 
   // Registers a placed VNF instance so walks can resolve ids to NF types.
+  // Re-registering an existing id overwrites it (a ClickOS reconfigure
+  // keeps the id but changes the type).
   void register_instance(const vnf::VnfInstance& instance);
+
+  // Drops a retired instance (epoch pipeline, paper Sec. VI). The caller
+  // must have removed or re-installed every class whose plans referenced
+  // it first; walks through a dangling id fail with a diagnostic.
+  void unregister_instance(vnf::InstanceId id);
+
+  bool has_instance(vnf::InstanceId id) const;
 
   // Installs a class's forwarding path and its sub-class plans. Weights of
   // the plans must sum to ~1; itinerary switches must appear on `path` in
@@ -39,9 +48,20 @@ class DataPlane {
   // re-balancing installs new TCAM matching rules, Sec. VI).
   void update_class(traffic::ClassId class_id, std::vector<SubclassPlan> plans);
 
+  // Deletes an installed class's rules (incremental re-optimization removes
+  // classes that vanished from the traffic matrix). Returns false when the
+  // class was not installed.
+  bool remove_class(traffic::ClassId class_id);
+
   bool has_class(traffic::ClassId class_id) const;
   const std::vector<SubclassPlan>& plans_of(traffic::ClassId class_id) const;
   const net::Path& path_of(traffic::ClassId class_id) const;
+
+  // Installed class ids in ascending order (deterministic iteration for
+  // state comparisons).
+  std::vector<traffic::ClassId> class_ids() const;
+  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_instances() const { return instances_.size(); }
 
   // Sub-class selection at the ingress switch: consistent hash of the flow
   // onto the cumulative weight ranges (Sec. V-A).

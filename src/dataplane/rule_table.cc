@@ -27,7 +27,6 @@ void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
   // Ingress classifies once: wildcard prefix rules that tag sub-class id
   // and first host id (rows 2-3 of Table III).
   switches_[ingress].classification += plan.classifier_prefix_rules;
-  switches_[ingress].any_rule = true;
   // Every visited host switch recognizes its own host tag (row 1).
   for (const HostVisit& visit : plan.itinerary) {
     check_switch(switches_.size(), visit.at_switch);
@@ -35,9 +34,22 @@ void TcamAccountant::add_tagged_subclass(const SubclassPlan& plan,
     // mismatch here would steer packets into the wrong APPLE host.
     APPLE_DCHECK_EQ(switch_of_host_tag(host_tag_for(visit.at_switch)),
                     visit.at_switch);
-    switches_[visit.at_switch].host_tags.insert(
-        host_tag_for(visit.at_switch));
-    switches_[visit.at_switch].any_rule = true;
+    ++switches_[visit.at_switch].host_tags[host_tag_for(visit.at_switch)];
+  }
+}
+
+void TcamAccountant::remove_tagged_subclass(const SubclassPlan& plan,
+                                            net::NodeId ingress) {
+  check_switch(switches_.size(), ingress);
+  APPLE_CHECK_GE(switches_[ingress].classification,
+                 plan.classifier_prefix_rules);
+  switches_[ingress].classification -= plan.classifier_prefix_rules;
+  for (const HostVisit& visit : plan.itinerary) {
+    check_switch(switches_.size(), visit.at_switch);
+    auto& tags = switches_[visit.at_switch].host_tags;
+    const auto it = tags.find(host_tag_for(visit.at_switch));
+    APPLE_CHECK(it != tags.end());
+    if (--it->second == 0) tags.erase(it);
   }
 }
 
@@ -50,7 +62,16 @@ void TcamAccountant::add_untagged_subclass(
   for (const net::NodeId v : classify_at) {
     check_switch(switches_.size(), v);
     switches_[v].classification += plan.classifier_prefix_rules;
-    switches_[v].any_rule = true;
+  }
+}
+
+void TcamAccountant::remove_untagged_subclass(
+    const SubclassPlan& plan, std::span<const net::NodeId> classify_at) {
+  APPLE_CHECK_GE(plan.classifier_prefix_rules, 1u);
+  for (const net::NodeId v : classify_at) {
+    check_switch(switches_.size(), v);
+    APPLE_CHECK_GE(switches_[v].classification, plan.classifier_prefix_rules);
+    switches_[v].classification -= plan.classifier_prefix_rules;
   }
 }
 
@@ -66,7 +87,7 @@ std::vector<TcamUsage> TcamAccountant::usage() const {
       // non-pipelined hardware (Sec. V-B).
       u.classification = u.classification * (u.host_match + 1);
     }
-    u.pass_by = s.any_rule ? 1 : 0;
+    u.pass_by = s.any_rule() ? 1 : 0;
   }
   return out;
 }

@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "dataplane/types.h"
@@ -54,6 +54,16 @@ class TcamAccountant {
   void add_untagged_subclass(const SubclassPlan& plan,
                              std::span<const net::NodeId> classify_at);
 
+  // Incremental rule removal (epoch pipeline, paper Sec. VI): retracts
+  // exactly what the matching add_* charged. Host-match entries are
+  // refcounted across sub-classes sharing a host tag, so the entry only
+  // disappears when its last user is removed; the pass-by entry follows the
+  // presence of any remaining rule. Removing a sub-class that was never
+  // added trips a contract check.
+  void remove_tagged_subclass(const SubclassPlan& plan, net::NodeId ingress);
+  void remove_untagged_subclass(const SubclassPlan& plan,
+                                std::span<const net::NodeId> classify_at);
+
   // Per-switch usage including one pass-by entry per switch that carries
   // any APPLE rule, with the cross-product penalty when not pipelined.
   std::vector<TcamUsage> usage() const;
@@ -64,8 +74,11 @@ class TcamAccountant {
  private:
   struct SwitchState {
     std::size_t classification = 0;
-    std::unordered_set<HostTag> host_tags;
-    bool any_rule = false;
+    // host tag -> number of sub-class itineraries using it. The TCAM holds
+    // one entry per live tag; the refcount makes removal exact.
+    std::unordered_map<HostTag, std::size_t> host_tags;
+
+    bool any_rule() const { return classification > 0 || !host_tags.empty(); }
   };
   std::vector<SwitchState> switches_;
   bool pipelined_ = true;

@@ -125,6 +125,36 @@ MipResult MipSolver::solve(const LpModel& model) const {
     }
   }
 
+  // Seed the incumbent from a caller-supplied warm solution (incremental
+  // re-optimization hands in the previous epoch's plan). Snap the integer
+  // variables and verify feasibility — a stale or mismatched warm solution
+  // must degrade to a cold start, never to wrong pruning.
+  if (!options_.warm_solution.empty()) {
+    bool warm_ok = options_.warm_solution.size() == n_vars;
+    std::vector<double> warm;
+    if (warm_ok) {
+      warm = options_.warm_solution;
+      for (const VarId v : int_vars) {
+        double& val = warm[static_cast<std::size_t>(v)];
+        const double rounded = std::round(val);
+        if (std::abs(val - rounded) > options_.integrality_eps) {
+          warm_ok = false;
+          break;
+        }
+        val = rounded;
+      }
+      warm_ok = warm_ok && model.max_violation(warm) <= options_.warm_tolerance;
+    }
+    if (warm_ok) {
+      incumbent_obj = model.objective_value(warm);
+      incumbent_x = std::move(warm);
+      atomic_min(incumbent_bound, incumbent_obj);
+      APPLE_OBS_COUNT("lp.mip.warm_incumbents");
+    } else {
+      APPLE_OBS_COUNT("lp.mip.warm_rejected");
+    }
+  }
+
   const std::size_t num_workers = std::max<std::size_t>(1, options_.num_workers);
   std::unique_ptr<exec::ThreadPool> pool;
   if (num_workers > 1) {

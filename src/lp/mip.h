@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "lp/model.h"
 #include "lp/simplex.h"
@@ -46,6 +47,16 @@ struct MipOptions {
   // may skip their LP solve against it: often faster, but the explored
   // node count becomes timing-dependent.
   bool deterministic = true;
+  // Optional warm incumbent (one value per model variable): a known
+  // feasible integral solution, e.g. the previous epoch's placement when
+  // re-optimizing incrementally. It is validated against the model (row
+  // violation <= warm_tolerance after snapping integer variables) and, if
+  // valid, seeds the incumbent so pruning starts from its objective. An
+  // invalid warm solution is ignored — never trusted. Determinism is
+  // unaffected: the seed participates in the search exactly like an
+  // incumbent found at a round barrier.
+  std::vector<double> warm_solution;
+  double warm_tolerance = 1e-6;
   SimplexOptions simplex;
 };
 

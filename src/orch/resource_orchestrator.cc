@@ -19,6 +19,8 @@ const char* to_string(LaunchStatus s) {
       return "unknown-instance";
     case LaunchStatus::kNotReconfigurable:
       return "not-reconfigurable";
+    case LaunchStatus::kDuplicateInstance:
+      return "duplicate-instance";
   }
   return "unknown";
 }
@@ -90,6 +92,38 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
   APPLE_OBS_OBSERVE("orch.lifecycle.boot_seconds", boot);
   result.instance = inst;
   result.ready_at = now + boot;
+  return result;
+}
+
+LaunchResult ResourceOrchestrator::adopt(const vnf::VnfInstance& instance,
+                                         double now) {
+  LaunchResult result;
+  const net::NodeId v = instance.host_switch;
+  if (v >= topo_->num_nodes()) {
+    result.status = LaunchStatus::kUnknownHost;
+    return result;
+  }
+  if (!topo_->node(v).has_host()) {
+    result.status = LaunchStatus::kNoAppleHost;
+    return result;
+  }
+  if (instances_.contains(instance.id)) {
+    result.status = LaunchStatus::kDuplicateInstance;
+    return result;
+  }
+  const vnf::NfSpec& spec = vnf::spec_of(instance.type);
+  if (available_cores(v) < spec.cores_required) {
+    result.status = LaunchStatus::kInsufficientResources;
+    return result;
+  }
+  used_cores_[v] += spec.cores_required;
+  APPLE_DCHECK_LE(used_cores_[v], topo_->node(v).host_cores + 1e-9);
+  instances_.emplace(instance.id, instance);
+  // Later launches must not collide with adopted ids.
+  next_id_ = std::max(next_id_, instance.id + 1);
+  APPLE_OBS_COUNT("orch.lifecycle.adoptions");
+  result.instance = instance;
+  result.ready_at = now;  // already running: no boot to pay
   return result;
 }
 

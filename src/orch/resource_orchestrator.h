@@ -27,6 +27,7 @@ enum class LaunchStatus {
   kInsufficientResources,
   kUnknownInstance,
   kNotReconfigurable,
+  kDuplicateInstance,
 };
 
 const char* to_string(LaunchStatus s);
@@ -60,6 +61,13 @@ class ResourceOrchestrator {
   // kOpenStack path models the full Fig. 5 pipeline.
   LaunchResult launch(vnf::NfType type, net::NodeId v, double now,
                       LaunchPath path = LaunchPath::kOpenStack);
+
+  // Registers an instance that is ALREADY running — an epoch carried
+  // forward by the incremental pipeline — under its existing id. Consumes
+  // its cores and advances the id counter past it, but charges no boot
+  // latency (ready_at = now). Fails with kDuplicateInstance when the id is
+  // already tracked.
+  LaunchResult adopt(const vnf::VnfInstance& instance, double now = 0.0);
 
   // Repurposes an idle ClickOS instance into `new_type` (both must be
   // ClickOS-capable). Core delta is settled against the host budget.

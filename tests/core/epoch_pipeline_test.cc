@@ -1,0 +1,472 @@
+#include "core/epoch_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dataplane/data_plane.h"
+#include "net/routing.h"
+#include "net/topologies.h"
+
+namespace apple::core {
+namespace {
+
+using vnf::NfType;
+
+PipelineOptions options_for(PlacementStrategy strategy,
+                            double threshold = 0.05) {
+  PipelineOptions options;
+  options.engine.strategy = strategy;
+  options.delta.rate_change_threshold = threshold;
+  return options;
+}
+
+PlacementInput make_input(const net::Topology& topo,
+                          const std::vector<traffic::TrafficClass>& classes,
+                          const std::vector<vnf::PolicyChain>& chains) {
+  PlacementInput input;
+  input.topology = &topo;
+  input.classes = classes;
+  input.chains = chains;
+  return input;
+}
+
+// Line 0-1-2 with the APPLE host only at the middle switch, so instance
+// locations (and hence churn counts) are fully determined.
+net::Topology middle_host_line() {
+  net::Topology topo = net::make_line(3, 64.0);
+  topo.node(0).host_cores = 0.0;
+  topo.node(2).host_cores = 0.0;
+  return topo;
+}
+
+// Structural equality of two data planes: same classes with the same
+// sub-class plans, same registered instances.
+void expect_same_dataplane(const dataplane::DataPlane& a,
+                           const dataplane::DataPlane& b,
+                           const InstanceInventory& inventory) {
+  ASSERT_EQ(a.class_ids(), b.class_ids());
+  for (const traffic::ClassId id : a.class_ids()) {
+    const auto& pa = a.plans_of(id);
+    const auto& pb = b.plans_of(id);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pa[s].subclass_id, pb[s].subclass_id);
+      EXPECT_NEAR(pa[s].weight, pb[s].weight, 1e-9);
+      ASSERT_EQ(pa[s].itinerary.size(), pb[s].itinerary.size());
+      for (std::size_t i = 0; i < pa[s].itinerary.size(); ++i) {
+        EXPECT_EQ(pa[s].itinerary[i].at_switch, pb[s].itinerary[i].at_switch);
+        EXPECT_EQ(pa[s].itinerary[i].instances, pb[s].itinerary[i].instances);
+      }
+    }
+    EXPECT_EQ(a.path_of(id), b.path_of(id));
+  }
+  EXPECT_EQ(a.num_instances(), b.num_instances());
+  for (const auto& per_type : inventory.by_node_type) {
+    for (const auto& bucket : per_type) {
+      for (const vnf::InstanceId id : bucket) {
+        EXPECT_TRUE(a.has_instance(id));
+        EXPECT_TRUE(b.has_instance(id));
+      }
+    }
+  }
+}
+
+// Installs an epoch into a data plane from scratch (the non-incremental
+// reference the delta-patched state must match).
+void install_epoch(const Epoch& epoch, dataplane::DataPlane& dp) {
+  for (net::NodeId v = 0; v < epoch.inventory.by_node_type.size(); ++v) {
+    for (std::size_t n = 0; n < vnf::kNumNfTypes; ++n) {
+      for (const vnf::InstanceId id : epoch.inventory.by_node_type[v][n]) {
+        dp.register_instance(vnf::VnfInstance{
+            id, static_cast<NfType>(n), v,
+            vnf::spec_of(static_cast<NfType>(n)).capacity_mbps});
+      }
+    }
+  }
+  for (std::size_t h = 0; h < epoch.classes.size(); ++h) {
+    dp.install_class(epoch.classes[h], epoch.subclasses[h]);
+  }
+}
+
+TEST(DiffClasses, ClassifiesAddedRemovedChangedPinned) {
+  std::vector<traffic::TrafficClass> prev(3);
+  prev[0] = {0, 0, 2, {0, 1, 2}, 0, 100.0};   // survives, small drift
+  prev[1] = {1, 1, 2, {1, 2}, 0, 200.0};      // survives, large drift
+  prev[2] = {2, 0, 1, {0, 1}, 1, 50.0};       // removed
+  std::vector<traffic::TrafficClass> next(3);
+  next[0] = {0, 0, 2, {0, 1, 2}, 0, 102.0};   // 2% drift -> pinned
+  next[1] = {1, 1, 2, {1, 2}, 0, 300.0};      // 50% drift -> dirty
+  next[2] = {9, 2, 0, {2, 1, 0}, 1, 75.0};    // new identity -> added
+
+  const ClassDelta delta = diff_classes(prev, next, {.rate_change_threshold = 0.05});
+  EXPECT_EQ(delta.unchanged, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(delta.rate_changed, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(delta.added, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(delta.removed, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(delta.prev_of,
+            (std::vector<std::size_t>{0, 1, kNoClass}));
+  EXPECT_EQ(delta.dirty_count(), 2u);
+  EXPECT_FALSE(delta.empty());
+}
+
+TEST(DiffClasses, ReroutedClassIsRemovePlusAdd) {
+  std::vector<traffic::TrafficClass> prev(1);
+  prev[0] = {0, 0, 2, {0, 1, 2}, 0, 100.0};
+  std::vector<traffic::TrafficClass> next(1);
+  next[0] = {0, 0, 2, {0, 2}, 0, 100.0};  // same identity, new path
+
+  const ClassDelta delta = diff_classes(prev, next);
+  EXPECT_EQ(delta.added, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(delta.removed, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(delta.unchanged.empty());
+}
+
+TEST(DiffClasses, ThresholdZeroMarksAnyDriftDirty) {
+  std::vector<traffic::TrafficClass> prev(1);
+  prev[0] = {0, 0, 2, {0, 1, 2}, 0, 100.0};
+  std::vector<traffic::TrafficClass> next(1);
+  next[0] = {0, 0, 2, {0, 1, 2}, 0, 100.0001};
+
+  EXPECT_EQ(diff_classes(prev, next, {.rate_change_threshold = 0.0})
+                .rate_changed.size(),
+            1u);
+  EXPECT_EQ(diff_classes(prev, next).unchanged.size(), 1u);
+}
+
+class PipelineStrategies
+    : public ::testing::TestWithParam<PlacementStrategy> {};
+
+TEST_P(PipelineStrategies, AdvanceOnIdenticalTrafficHasZeroChurn) {
+  const net::Topology topo = middle_host_line();
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> classes(2);
+  classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};
+  classes[1] = {1, 0, 2, {0, 1, 2}, 1, 300.0};
+
+  const EpochPipeline pipeline(options_for(GetParam()));
+  const Epoch prev = pipeline.run(topo, chains, classes);
+  const IncrementalEpoch inc = pipeline.advance(prev, topo, chains, classes);
+
+  EXPECT_TRUE(inc.class_delta.empty());
+  EXPECT_TRUE(inc.plan_delta.empty());
+  EXPECT_TRUE(inc.rule_delta.empty());
+  EXPECT_FALSE(inc.full_recompute);
+  EXPECT_DOUBLE_EQ(inc.control_latency_s, 0.0);
+  EXPECT_EQ(inc.epoch.plan.instance_count, prev.plan.instance_count);
+  EXPECT_EQ(inc.epoch.inventory.by_node_type, prev.inventory.by_node_type);
+  EXPECT_EQ(inc.epoch.next_instance_id, prev.next_instance_id);
+  EXPECT_EQ(inc.epoch.next_class_id, prev.next_class_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PipelineStrategies,
+                         ::testing::Values(PlacementStrategy::kExact,
+                                           PlacementStrategy::kLpRound,
+                                           PlacementStrategy::kGreedy),
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+// The churn-accounting scenario: one class triples its rate (one extra FW
+// must launch), one class is removed and another added with the same NF
+// demand (rules churn, instances do not).
+TEST(EpochPipeline, ChurnAccountingIsExact) {
+  const net::Topology topo = middle_host_line();
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};  // 1 FW @ node 1
+  prev_classes[1] = {1, 0, 2, {0, 1, 2}, 1, 300.0};  // 1 NAT @ node 1
+  std::vector<traffic::TrafficClass> next_classes(2);
+  next_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 1500.0};  // now needs 2 FW
+  next_classes[1] = {7, 2, 0, {2, 1, 0}, 1, 400.0};   // new NAT user
+
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch prev = pipeline.run(topo, chains, prev_classes);
+  ASSERT_EQ(prev.plan.total_instances(), 2u);
+  ASSERT_EQ(prev.next_instance_id, 3u);
+
+  const IncrementalEpoch inc =
+      pipeline.advance(prev, topo, chains, next_classes);
+  EXPECT_EQ(inc.class_delta.rate_changed, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(inc.class_delta.added, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(inc.class_delta.removed, (std::vector<std::size_t>{1}));
+
+  // Exactly one launch (the second firewall), nothing retired: the NAT
+  // slot freed by the removed class is reused by the added one.
+  EXPECT_EQ(inc.plan_delta.instances_launched, 1u);
+  EXPECT_EQ(inc.plan_delta.instances_retired, 0u);
+  EXPECT_EQ(inc.plan_delta.instances_reconfigured, 0u);
+  ASSERT_EQ(inc.plan_delta.ops.size(), 1u);
+  EXPECT_EQ(inc.plan_delta.ops[0].kind, InstanceOp::Kind::kLaunch);
+  EXPECT_EQ(inc.plan_delta.ops[0].id, prev.next_instance_id);
+  EXPECT_EQ(inc.plan_delta.ops[0].node, 1u);
+  EXPECT_EQ(inc.plan_delta.ops[0].type, NfType::kFirewall);
+
+  // Rule churn: the grown class reinstalls, the new class installs, the
+  // removed class's rules go away.
+  EXPECT_EQ(inc.rule_delta.reinstall.size(), 2u);
+  EXPECT_EQ(inc.rule_delta.remove.size(), 1u);
+  EXPECT_EQ(inc.rule_delta.remove[0], prev.classes[1].id);
+  EXPECT_GT(inc.rule_delta.rules_installed, 0u);
+  EXPECT_GT(inc.rule_delta.rules_removed, 0u);
+
+  // Surviving classes keep their ids; the added class gets a fresh one.
+  EXPECT_EQ(inc.epoch.classes[0].id, prev.classes[0].id);
+  EXPECT_EQ(inc.epoch.classes[1].id, prev.next_class_id);
+  EXPECT_EQ(inc.epoch.next_instance_id, prev.next_instance_id + 1);
+
+  // ClickOS launch makespan plus three per-class rule updates.
+  const orch::OrchestrationTimings timings;
+  EXPECT_NEAR(inc.control_latency_s,
+              timings.clickos_boot_openstack_mean() + 3 * timings.rule_install,
+              1e-9);
+}
+
+// A freed ClickOS instance is repurposed (~30 ms) instead of a retire plus
+// a multi-second OpenStack launch.
+TEST(EpochPipeline, PrefersReconfigureOverLaunch) {
+  const net::Topology topo = middle_host_line();
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};  // 1 FW
+  prev_classes[1] = {1, 0, 2, {0, 1, 2}, 1, 300.0};  // 1 NAT
+  std::vector<traffic::TrafficClass> next_classes(1);
+  next_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 1300.0};  // 2 FW, NAT gone
+
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch prev = pipeline.run(topo, chains, prev_classes);
+  const IncrementalEpoch inc =
+      pipeline.advance(prev, topo, chains, next_classes);
+
+  EXPECT_EQ(inc.plan_delta.instances_reconfigured, 1u);
+  EXPECT_EQ(inc.plan_delta.instances_launched, 0u);
+  EXPECT_EQ(inc.plan_delta.instances_retired, 0u);
+  ASSERT_EQ(inc.plan_delta.ops.size(), 1u);
+  const InstanceOp& op = inc.plan_delta.ops[0];
+  EXPECT_EQ(op.kind, InstanceOp::Kind::kReconfigure);
+  EXPECT_EQ(op.old_type, NfType::kNat);
+  EXPECT_EQ(op.type, NfType::kFirewall);
+  // Reconfigure keeps the NAT's id inside the FW bucket.
+  const auto& fw_bucket = inc.epoch.inventory.at(1, NfType::kFirewall);
+  EXPECT_NE(std::find(fw_bucket.begin(), fw_bucket.end(), op.id),
+            fw_bucket.end());
+  EXPECT_TRUE(inc.epoch.inventory.at(1, NfType::kNat).empty());
+  // ~30 ms reconfigure + one rule reinstall + one rule removal.
+  const orch::OrchestrationTimings timings;
+  EXPECT_NEAR(inc.control_latency_s,
+              timings.clickos_reconfigure + 2 * timings.rule_install, 1e-9);
+}
+
+TEST(EpochPipeline, ExactIncrementalMatchesFullObjective) {
+  const net::Topology topo = net::make_star(4, 64.0);
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 1, 2, {1, 0, 2}, 0, 450.0};
+  prev_classes[1] = {1, 3, 4, {3, 0, 4}, 0, 450.0};
+  std::vector<traffic::TrafficClass> next_classes = prev_classes;
+  next_classes[0].rate_mbps = 500.0;
+  next_classes[1].rate_mbps = 550.0;
+
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kExact));
+  const Epoch prev = pipeline.run(topo, chains, prev_classes);
+  ASSERT_EQ(prev.plan.total_instances(), 1u);  // pooled hub firewall
+
+  const IncrementalEpoch inc =
+      pipeline.advance(prev, topo, chains, next_classes);
+  const Epoch full = pipeline.run(topo, chains, next_classes);
+
+  // kExact re-proves optimality on the incremental path: same objective
+  // and a valid plan, with the incumbent seeded from the previous epoch.
+  EXPECT_EQ(inc.epoch.plan.total_instances(), full.plan.total_instances());
+  EXPECT_EQ(inc.epoch.plan.total_instances(), 2u);
+  const PlacementInput input =
+      make_input(topo, inc.epoch.classes, chains);
+  EXPECT_EQ(check_plan(input, inc.epoch.plan), "");
+  EXPECT_FALSE(inc.full_recompute);
+}
+
+TEST(EpochPipeline, GreedyAndLpRoundIncrementalStayFeasible) {
+  for (const PlacementStrategy strategy :
+       {PlacementStrategy::kGreedy, PlacementStrategy::kLpRound}) {
+    const net::Topology topo = net::make_grid(2, 3, 64.0);
+    const net::AllPairsPaths routing(topo);
+    const std::vector<vnf::PolicyChain> chains{
+        {NfType::kFirewall}, {NfType::kFirewall, NfType::kNat}};
+    std::vector<traffic::TrafficClass> prev_classes;
+    const std::array<std::pair<net::NodeId, net::NodeId>, 4> pairs{
+        {{0, 5}, {1, 4}, {2, 3}, {5, 0}}};
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      traffic::TrafficClass cls;
+      cls.id = static_cast<traffic::ClassId>(k);
+      cls.src = pairs[k].first;
+      cls.dst = pairs[k].second;
+      cls.path = *routing.path(cls.src, cls.dst);
+      cls.chain_id = static_cast<traffic::ChainId>(k % chains.size());
+      cls.rate_mbps = 300.0 + 100.0 * static_cast<double>(k);
+      prev_classes.push_back(cls);
+    }
+    std::vector<traffic::TrafficClass> next_classes = prev_classes;
+    next_classes[0].rate_mbps *= 1.8;   // dirty
+    next_classes[1].rate_mbps *= 1.02;  // pinned
+    next_classes.pop_back();            // removed
+
+    const EpochPipeline pipeline(options_for(strategy));
+    const Epoch prev = pipeline.run(topo, chains, prev_classes);
+    const IncrementalEpoch inc =
+        pipeline.advance(prev, topo, chains, next_classes);
+    const Epoch full = pipeline.run(topo, chains, next_classes);
+
+    const PlacementInput input =
+        make_input(topo, inc.epoch.classes, chains);
+    EXPECT_EQ(check_plan(input, inc.epoch.plan), "")
+        << to_string(strategy);
+    // No consolidation on the incremental path, so it may keep a little
+    // more capacity around — but never pathologically more than a full
+    // re-solve of the same snapshot.
+    EXPECT_LE(inc.epoch.plan.total_instances(),
+              2 * full.plan.total_instances() + 2)
+        << to_string(strategy);
+    // Pinned classes keep their distributions verbatim.
+    EXPECT_EQ(inc.class_delta.rate_changed, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(inc.class_delta.unchanged, (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(inc.class_delta.removed, (std::vector<std::size_t>{3}));
+    for (const std::size_t h : inc.class_delta.unchanged) {
+      const std::size_t p = inc.class_delta.prev_of[h];
+      EXPECT_EQ(inc.epoch.plan.distribution[h].fraction,
+                prev.plan.distribution[p].fraction)
+          << to_string(strategy);
+    }
+  }
+}
+
+TEST(EpochPipeline, AppliedRuleDeltaMatchesFreshInstall) {
+  const net::Topology topo = middle_host_line();
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};
+  prev_classes[1] = {1, 0, 2, {0, 1, 2}, 1, 300.0};
+  std::vector<traffic::TrafficClass> next_classes(2);
+  next_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 1500.0};
+  next_classes[1] = {7, 2, 0, {2, 1, 0}, 1, 400.0};
+
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch prev = pipeline.run(topo, chains, prev_classes);
+  const IncrementalEpoch inc =
+      pipeline.advance(prev, topo, chains, next_classes);
+
+  dataplane::DataPlane fresh(topo);
+  install_epoch(inc.epoch, fresh);
+
+  dataplane::DataPlane patched(topo);
+  install_epoch(prev, patched);
+  const PlacementInput next_input =
+      make_input(topo, inc.epoch.classes, chains);
+  apply_rule_delta(next_input, inc.epoch.subclasses, inc.plan_delta,
+                   inc.rule_delta, patched);
+
+  expect_same_dataplane(fresh, patched, inc.epoch.inventory);
+}
+
+TEST(EpochPipeline, FallsBackToFullRecomputeWhenResidualFillFails) {
+  // Host cores sized so the previous placement fits but the grown demand
+  // cannot be packed incrementally around the pinned NAT (FW needs 4
+  // cores; 2 FW + 1 NAT = 10 > 8): the full recompute must take over, and
+  // here even it is infeasible, so advance throws.
+  net::Topology topo = net::make_line(3, 8.0);
+  topo.node(0).host_cores = 0.0;
+  topo.node(2).host_cores = 0.0;
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};
+  prev_classes[1] = {1, 0, 2, {0, 1, 2}, 1, 300.0};
+  std::vector<traffic::TrafficClass> next_classes = prev_classes;
+  next_classes[0].rate_mbps = 1500.0;  // needs a second FW: no cores left
+
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch prev = pipeline.run(topo, chains, prev_classes);
+  EXPECT_THROW(pipeline.advance(prev, topo, chains, next_classes),
+               std::runtime_error);
+}
+
+TEST(DiffPlans, RetireAndLaunchForNonClickosTypes) {
+  // Proxy -> IDS shift: neither is ClickOS, so no reconfigure pairing.
+  PlacementPlan prev;
+  prev.feasible = true;
+  prev.instance_count.assign(1, {});
+  prev.instance_count[0][static_cast<std::size_t>(NfType::kProxy)] = 1;
+  PlacementPlan next = prev;
+  next.instance_count[0][static_cast<std::size_t>(NfType::kProxy)] = 0;
+  next.instance_count[0][static_cast<std::size_t>(NfType::kIds)] = 1;
+  InstanceInventory inventory;
+  inventory.by_node_type.assign(1, {});
+  inventory.by_node_type[0][static_cast<std::size_t>(NfType::kProxy)] = {4};
+
+  const PlanDelta delta = diff_plans(prev, inventory, next, {}, 9);
+  ASSERT_EQ(delta.ops.size(), 2u);
+  EXPECT_EQ(delta.ops[0].kind, InstanceOp::Kind::kRetire);
+  EXPECT_EQ(delta.ops[0].id, 4u);
+  EXPECT_EQ(delta.ops[1].kind, InstanceOp::Kind::kLaunch);
+  EXPECT_EQ(delta.ops[1].id, 9u);
+  EXPECT_EQ(delta.ops[1].type, NfType::kIds);
+
+  const InstanceInventory advanced = advance_inventory(inventory, delta);
+  EXPECT_TRUE(
+      advanced.by_node_type[0][static_cast<std::size_t>(NfType::kProxy)]
+          .empty());
+  EXPECT_EQ(
+      advanced.by_node_type[0][static_cast<std::size_t>(NfType::kIds)],
+      (std::vector<vnf::InstanceId>{9}));
+}
+
+TEST(DiffPlans, SurvivorsKeepFrontOfBucket) {
+  // Shrinking from 3 FW to 1 retires the back two ids; the front id (the
+  // one surviving sub-class plans point at) stays.
+  PlacementPlan prev;
+  prev.feasible = true;
+  prev.instance_count.assign(1, {});
+  prev.instance_count[0][0] = 3;
+  PlacementPlan next = prev;
+  next.instance_count[0][0] = 1;
+  InstanceInventory inventory;
+  inventory.by_node_type.assign(1, {});
+  inventory.by_node_type[0][0] = {1, 2, 3};
+
+  const PlanDelta delta = diff_plans(prev, inventory, next, {}, 4);
+  EXPECT_EQ(delta.instances_retired, 2u);
+  ASSERT_EQ(delta.ops.size(), 2u);
+  EXPECT_EQ(delta.ops[0].id, 2u);
+  EXPECT_EQ(delta.ops[1].id, 3u);
+  const InstanceInventory advanced = advance_inventory(inventory, delta);
+  EXPECT_EQ(advanced.by_node_type[0][0],
+            (std::vector<vnf::InstanceId>{1}));
+}
+
+TEST(ModeledControlLatency, ParallelBootsPlusSerialRuleInstalls) {
+  const orch::OrchestrationTimings timings;
+  PlanDelta delta;
+  InstanceOp launch;
+  launch.kind = InstanceOp::Kind::kLaunch;
+  launch.type = NfType::kProxy;  // full VM: 30 s boot dominates
+  delta.ops.push_back(launch);
+  InstanceOp reconf;
+  reconf.kind = InstanceOp::Kind::kReconfigure;
+  reconf.type = NfType::kFirewall;
+  delta.ops.push_back(reconf);
+  EXPECT_NEAR(modeled_control_latency(delta, 2, timings),
+              timings.normal_vm_boot + 2 * timings.rule_install, 1e-12);
+  EXPECT_NEAR(modeled_control_latency({}, 0, timings), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace apple::core

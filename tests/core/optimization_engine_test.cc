@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "core/epoch_pipeline.h"
 #include "net/routing.h"
 #include "net/topologies.h"
 #include "traffic/synthesis.h"
@@ -203,6 +204,56 @@ TEST_P(EngineRandomSweep, StrategiesAgreeWithinFactor) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomSweep, ::testing::Range(1, 9));
+
+TEST(OptimizationEngine, ReplacePinsUnchangedDistributions) {
+  const net::Topology topo = net::make_line(4, 64.0);
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat}};
+  std::vector<traffic::TrafficClass> prev_classes(2);
+  prev_classes[0] = {0, 0, 3, {0, 1, 2, 3}, 0, 400.0};
+  prev_classes[1] = {1, 1, 3, {1, 2, 3}, 1, 300.0};
+  const PlacementInput prev_input = make_input(topo, prev_classes, chains);
+  const OptimizationEngine engine = engine_for(PlacementStrategy::kGreedy);
+  const PlacementPlan prev = engine.place(prev_input);
+  ASSERT_TRUE(prev.feasible);
+
+  std::vector<traffic::TrafficClass> next_classes = prev_classes;
+  next_classes[1].rate_mbps = 2000.0;  // dirty; class 0 stays pinned
+  const PlacementInput next_input = make_input(topo, next_classes, chains);
+  const ClassDelta delta = diff_classes(prev_classes, next_classes);
+  ASSERT_EQ(delta.unchanged, (std::vector<std::size_t>{0}));
+  ASSERT_EQ(delta.rate_changed, (std::vector<std::size_t>{1}));
+
+  const PlacementPlan next = engine.replace(next_input, prev, delta);
+  ASSERT_TRUE(next.feasible) << next.infeasibility_reason;
+  EXPECT_EQ(check_plan(next_input, next), "");
+  EXPECT_EQ(next.strategy, "greedy-delta");
+  // The pinned class's spatial distribution is carried over verbatim.
+  EXPECT_EQ(next.distribution[0].fraction, prev.distribution[0].fraction);
+  // The grown class got the extra capacity it needs.
+  EXPECT_GE(next.total_instances(), prev.total_instances());
+}
+
+TEST(OptimizationEngine, ReplaceReportsResidualInfeasibility) {
+  // One host, exactly one FW's worth of cores: the grown demand cannot be
+  // packed incrementally, and the caller must fall back to place().
+  net::Topology topo = net::make_line(3, 4.0);
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall}};
+  std::vector<traffic::TrafficClass> prev_classes(1);
+  prev_classes[0] = {0, 0, 2, {0, 1, 2}, 0, 500.0};
+  const PlacementInput prev_input = make_input(topo, prev_classes, chains);
+  const OptimizationEngine engine = engine_for(PlacementStrategy::kGreedy);
+  const PlacementPlan prev = engine.place(prev_input);
+  ASSERT_TRUE(prev.feasible);
+
+  std::vector<traffic::TrafficClass> next_classes = prev_classes;
+  next_classes[0].rate_mbps = 5000.0;
+  const PlacementInput next_input = make_input(topo, next_classes, chains);
+  const ClassDelta delta = diff_classes(prev_classes, next_classes);
+  const PlacementPlan next = engine.replace(next_input, prev, delta);
+  EXPECT_FALSE(next.feasible);
+  EXPECT_FALSE(next.infeasibility_reason.empty());
+}
 
 TEST(OptimizationEngine, StrategyNames) {
   EXPECT_STREQ(to_string(PlacementStrategy::kExact), "exact");

@@ -192,6 +192,56 @@ TEST_F(DataPlaneTest, WalkOnUnknownClassFails) {
   EXPECT_FALSE(result.error.empty());
 }
 
+TEST_F(DataPlaneTest, RemoveClassDeletesRules) {
+  SubclassPlan plan;
+  plan.class_id = 0;
+  plan.subclass_id = 0;
+  plan.weight = 1.0;
+  plan.itinerary = {{1, {1}}};
+  dp_.install_class(make_class(0, {0, 1, 2, 3}), {plan});
+  ASSERT_TRUE(dp_.has_class(0));
+  EXPECT_EQ(dp_.num_classes(), 1u);
+
+  EXPECT_TRUE(dp_.remove_class(0));
+  EXPECT_FALSE(dp_.has_class(0));
+  EXPECT_EQ(dp_.num_classes(), 0u);
+  EXPECT_FALSE(dp_.remove_class(0));  // second removal is a no-op
+  EXPECT_FALSE(dp_.walk(0, header()).delivered);
+}
+
+TEST_F(DataPlaneTest, UnregisterInstanceFailsWalksThroughIt) {
+  SubclassPlan plan;
+  plan.class_id = 0;
+  plan.subclass_id = 0;
+  plan.weight = 1.0;
+  plan.itinerary = {{1, {1}}};
+  dp_.install_class(make_class(0, {0, 1, 2, 3}), {plan});
+  ASSERT_TRUE(dp_.has_instance(1));
+
+  dp_.unregister_instance(1);
+  EXPECT_FALSE(dp_.has_instance(1));
+  EXPECT_EQ(dp_.num_instances(), 2u);
+  // The class's rules now dangle: the walk reports the inconsistency
+  // instead of silently skipping the retired instance.
+  const auto result = dp_.walk(0, header());
+  EXPECT_FALSE(result.delivered);
+  EXPECT_FALSE(result.error.empty());
+  dp_.unregister_instance(1);  // unknown id: no-op
+  EXPECT_EQ(dp_.num_instances(), 2u);
+}
+
+TEST_F(DataPlaneTest, ClassIdsAreSorted) {
+  SubclassPlan plan;
+  plan.class_id = 7;
+  plan.subclass_id = 0;
+  plan.weight = 1.0;
+  plan.itinerary = {{1, {1}}};
+  dp_.install_class(make_class(7, {0, 1, 2, 3}), {plan});
+  plan.class_id = 3;
+  dp_.install_class(make_class(3, {0, 1, 2, 3}), {plan});
+  EXPECT_EQ(dp_.class_ids(), (std::vector<traffic::ClassId>{3, 7}));
+}
+
 TEST_F(DataPlaneTest, RevisitingSameHostTwiceIsRejected) {
   // A second visit to switch 1 after switch 2 cannot appear on a simple
   // path; validation must reject it (packets never traverse an instance

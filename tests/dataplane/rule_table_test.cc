@@ -90,6 +90,33 @@ TEST(TcamAccountant, RejectsOutOfRangeSwitch) {
       std::out_of_range);
 }
 
+TEST(TcamAccountant, RemoveTaggedSubclassRestoresState) {
+  TcamAccountant acct(4);
+  const SubclassPlan a =
+      make_plan(0, 0, 0.5, {{1, {10}}, {3, {11}}}, /*prefix_rules=*/2);
+  const SubclassPlan b = make_plan(1, 0, 1.0, {{1, {12}}});
+  acct.add_tagged_subclass(a, 0);
+  acct.add_tagged_subclass(b, 2);
+  acct.remove_tagged_subclass(a, 0);
+  // Switch 1's host-match survives: sub-class b still diverts there.
+  const auto usage = acct.usage();
+  EXPECT_EQ(usage[0].total(), 0u);
+  EXPECT_EQ(usage[1].host_match, 1u);
+  EXPECT_EQ(usage[3].total(), 0u);
+  acct.remove_tagged_subclass(b, 2);
+  EXPECT_EQ(acct.total(), 0u);
+}
+
+TEST(TcamAccountant, RemoveUntaggedSubclassRestoresState) {
+  TcamAccountant acct(4);
+  const SubclassPlan plan =
+      make_plan(0, 0, 1.0, {{1, {10}}}, /*prefix_rules=*/3);
+  const std::vector<net::NodeId> path{0, 1, 2};
+  acct.add_untagged_subclass(plan, path);
+  acct.remove_untagged_subclass(plan, path);
+  EXPECT_EQ(acct.total(), 0u);
+}
+
 TEST(VswitchRules, OneEntryPerStep) {
   // Two host visits with 2 and 1 instances: (2+1) + (1+1) = 5 entries.
   const SubclassPlan plan =

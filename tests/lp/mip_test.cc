@@ -162,5 +162,68 @@ TEST_P(MipRandomSweep, OptimumDominatesLpBoundAndIsIntegral) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MipRandomSweep, ::testing::Range(1, 11));
 
+// Knapsack model shared by the warm-start tests (optimum -16 at items 0+1).
+LpModel warm_knapsack(std::vector<VarId>& pick) {
+  LpModel m;
+  const double values[] = {10, 6, 4, 8};
+  const double weights[] = {5, 4, 3, 6};
+  std::vector<std::pair<VarId, double>> wrow;
+  for (int i = 0; i < 4; ++i) {
+    const VarId v = m.add_var(-values[i], true);
+    pick.push_back(v);
+    wrow.emplace_back(v, weights[i]);
+    m.add_row(Sense::kLessEqual, 1.0, {{v, 1.0}});
+  }
+  m.add_row(Sense::kLessEqual, 10.0, wrow);
+  return m;
+}
+
+TEST(Mip, WarmIncumbentSeedsSearchWithoutChangingResult) {
+  std::vector<VarId> pick;
+  const LpModel m = warm_knapsack(pick);
+  // A valid (sub-optimal) solution: items 2+3, value 12, weight 9.
+  MipOptions options;
+  options.warm_solution = {0.0, 0.0, 1.0, 1.0};
+  const MipResult warm = MipSolver(options).solve(m);
+  const MipResult cold = MipSolver().solve(m);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.proven_optimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_NEAR(warm.objective, -16.0, 1e-6);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i) {
+    EXPECT_NEAR(warm.x[i], cold.x[i], 1e-6);  // unique optimum either way
+  }
+}
+
+TEST(Mip, OptimalWarmIncumbentIsReturnedVerbatim) {
+  std::vector<VarId> pick;
+  const LpModel m = warm_knapsack(pick);
+  MipOptions options;
+  options.warm_solution = {1.0, 1.0, 0.0, 0.0};  // the optimum itself
+  const MipResult r = MipSolver(options).solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -16.0, 1e-6);
+  EXPECT_NEAR(r.x[pick[0]], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[pick[1]], 1.0, 1e-6);
+}
+
+TEST(Mip, InvalidWarmIncumbentsAreIgnored) {
+  std::vector<VarId> pick;
+  const LpModel m = warm_knapsack(pick);
+  // Wrong size, infeasible (weight 18 > 10), and fractional warm starts
+  // must all degrade to a cold start, never poison the search.
+  for (const std::vector<double>& bad :
+       {std::vector<double>{1.0},
+        std::vector<double>{1.0, 1.0, 1.0, 1.0},
+        std::vector<double>{0.5, 0.5, 0.0, 0.0}}) {
+    MipOptions options;
+    options.warm_solution = bad;
+    const MipResult r = MipSolver(options).solve(m);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(r.objective, -16.0, 1e-6) << bad.size();
+  }
+}
+
 }  // namespace
 }  // namespace apple::lp
