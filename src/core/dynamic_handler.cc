@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "obs/obs.h"
 
 namespace apple::core {
@@ -23,7 +24,12 @@ bool plan_uses(const dataplane::SubclassPlan& plan, vnf::InstanceId id) {
 DynamicHandler::DynamicHandler(sim::FlowSimulation& sim,
                                orch::ResourceOrchestrator& orch,
                                DynamicHandlerConfig config)
-    : sim_(&sim), orch_(&orch), config_(config), detector_(config.detector) {}
+    : sim_(&sim), orch_(&orch), config_(config), detector_(config.detector) {
+  // A non-positive or non-finite headroom target would make the spreading
+  // bisection meaningless (every sub-class rejects all load, or accepts
+  // unbounded load); the detector config is validated by OverloadDetector.
+  APPLE_CHECK(std::isfinite(config_.headroom) && config_.headroom > 0.0);
+}
 
 void DynamicHandler::register_class(traffic::ClassId id,
                                     const vnf::PolicyChain& chain,

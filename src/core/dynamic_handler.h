@@ -52,6 +52,8 @@ struct FailoverMetrics {
 
 class DynamicHandler {
  public:
+  // Contract (APPLE_CHECK): config.headroom finite and > 0; the embedded
+  // detector config is validated by OverloadDetector's own contract.
   DynamicHandler(sim::FlowSimulation& sim, orch::ResourceOrchestrator& orch,
                  DynamicHandlerConfig config = {});
 

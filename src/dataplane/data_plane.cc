@@ -22,6 +22,12 @@ bool DataPlane::has_instance(vnf::InstanceId id) const {
   return instances_.contains(id);
 }
 
+std::optional<vnf::VnfInstance> DataPlane::instance(vnf::InstanceId id) const {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return std::nullopt;
+  return it->second;
+}
+
 void DataPlane::validate_plans(const net::Path& path,
                                const std::vector<SubclassPlan>& plans) const {
   if (plans.empty()) {
@@ -59,6 +65,11 @@ void DataPlane::install_class(const traffic::TrafficClass& cls,
                               std::vector<SubclassPlan> plans) {
   if (cls.path.empty()) throw std::invalid_argument("class has empty path");
   validate_plans(cls.path, plans);
+  if (rule_fault_hook_ && rule_fault_hook_(cls.id)) {
+    APPLE_OBS_COUNT("dataplane.pipeline.rule_install_failures");
+    throw RuleInstallError("injected rule-install failure for class " +
+                           std::to_string(cls.id));
+  }
   APPLE_OBS_COUNT("dataplane.pipeline.classes_installed");
   classes_[cls.id] = InstalledClass{cls, std::move(plans)};
 }
@@ -70,6 +81,11 @@ void DataPlane::update_class(traffic::ClassId class_id,
     throw std::invalid_argument("class not installed");
   }
   validate_plans(it->second.cls.path, plans);
+  if (rule_fault_hook_ && rule_fault_hook_(class_id)) {
+    APPLE_OBS_COUNT("dataplane.pipeline.rule_install_failures");
+    throw RuleInstallError("injected rule-install failure for class " +
+                           std::to_string(class_id));
+  }
   it->second.plans = std::move(plans);
 }
 

@@ -9,6 +9,9 @@
 // freedom.
 #pragma once
 
+#include <functional>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +24,19 @@
 #include "vnf/nf_types.h"
 
 namespace apple::dataplane {
+
+// Thrown when a fault-injected TCAM/vSwitch rule installation fails
+// (src/fault). Only raised while a rule-fault hook is installed; callers
+// that never inject faults never see it.
+class RuleInstallError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Consulted before install_class/update_class mutate state; returning true
+// fails that installation with RuleInstallError (state is untouched, the
+// caller retries like a controller re-pushing a rejected flow-mod).
+using RuleFaultHook = std::function<bool(traffic::ClassId)>;
 
 class DataPlane {
  public:
@@ -37,10 +53,18 @@ class DataPlane {
   void unregister_instance(vnf::InstanceId id);
 
   bool has_instance(vnf::InstanceId id) const;
+  std::optional<vnf::VnfInstance> instance(vnf::InstanceId id) const;
+
+  // Installs (or clears, with nullptr) the fault hook over rule
+  // installations.
+  void set_rule_fault_hook(RuleFaultHook hook) {
+    rule_fault_hook_ = std::move(hook);
+  }
 
   // Installs a class's forwarding path and its sub-class plans. Weights of
   // the plans must sum to ~1; itinerary switches must appear on `path` in
-  // order (throws std::invalid_argument otherwise).
+  // order (throws std::invalid_argument otherwise). Throws RuleInstallError
+  // when an installed rule-fault hook fails the installation.
   void install_class(const traffic::TrafficClass& cls,
                      std::vector<SubclassPlan> plans);
 
@@ -95,6 +119,7 @@ class DataPlane {
   const net::Topology* topo_;
   std::unordered_map<traffic::ClassId, InstalledClass> classes_;
   std::unordered_map<vnf::InstanceId, vnf::VnfInstance> instances_;
+  RuleFaultHook rule_fault_hook_;
 };
 
 }  // namespace apple::dataplane

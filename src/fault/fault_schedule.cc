@@ -1,0 +1,239 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace apple::fault {
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kNodeDown:
+      return "node-down";
+    case FaultKind::kInstanceCrash:
+      return "instance-crash";
+    case FaultKind::kBootFailure:
+      return "boot-failure";
+    case FaultKind::kSlowBoot:
+      return "slow-boot";
+    case FaultKind::kRuleInstallFailure:
+      return "rule-install-failure";
+  }
+  return "unknown";
+}
+
+bool is_ordinal(FaultKind k) {
+  return k == FaultKind::kBootFailure || k == FaultKind::kSlowBoot ||
+         k == FaultKind::kRuleInstallFailure;
+}
+
+void ScheduleConfig::validate() const {
+  if (!std::isfinite(start) || !std::isfinite(horizon) || start < 0.0 ||
+      horizon <= start) {
+    throw std::invalid_argument("fault window must satisfy 0 <= start < horizon");
+  }
+  if (!std::isfinite(link_downtime_min) || !std::isfinite(link_downtime_max) ||
+      link_downtime_min <= 0.0 || link_downtime_max < link_downtime_min) {
+    throw std::invalid_argument("link downtime range must be positive and ordered");
+  }
+  if (!std::isfinite(slow_boot_multiplier) || slow_boot_multiplier < 1.0) {
+    throw std::invalid_argument("slow-boot multiplier must be >= 1");
+  }
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.fault_id != b.fault_id) return a.fault_id < b.fault_id;
+              // A flap pair shares time only pathologically; keep down
+              // before up for a zero-length outage.
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+std::size_t FaultSchedule::num_faults() const {
+  std::vector<FaultId> ids;
+  ids.reserve(events_.size());
+  for (const FaultEvent& e : events_) ids.push_back(e.fault_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+double FaultSchedule::horizon() const {
+  double h = 0.0;
+  for (const FaultEvent& e : events_) h = std::max(h, e.at);
+  return h;
+}
+
+FaultSchedule make_schedule(const net::Topology& topo,
+                            const ScheduleConfig& config) {
+  config.validate();
+  if (config.link_flaps > 0 && topo.num_links() == 0) {
+    throw std::invalid_argument("link faults need a topology with links");
+  }
+  const std::vector<net::NodeId> hosts = topo.host_nodes();
+  if (config.node_failures > 0 && hosts.empty()) {
+    throw std::invalid_argument("node faults need a topology with APPLE hosts");
+  }
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> when(config.start, config.horizon);
+  std::uniform_real_distribution<double> downtime(config.link_downtime_min,
+                                                  config.link_downtime_max);
+  std::uniform_int_distribution<std::uint32_t> any_ordinal(0, 1u << 20);
+
+  std::vector<FaultEvent> events;
+  events.reserve(config.total_faults() + config.link_flaps);
+  FaultId next_id = 0;
+
+  // Category order is fixed so the rng consumption sequence — and thus the
+  // schedule — depends only on the config, never on call patterns.
+  for (std::size_t i = 0; i < config.instance_crashes; ++i) {
+    FaultEvent e;
+    e.fault_id = next_id++;
+    e.at = when(rng);
+    e.kind = FaultKind::kInstanceCrash;
+    e.ordinal = any_ordinal(rng);
+    events.push_back(e);
+  }
+  for (std::size_t i = 0; i < config.correlated_bursts; ++i) {
+    const double at = when(rng);
+    for (int j = 0; j < 2; ++j) {
+      FaultEvent e;
+      e.fault_id = next_id++;
+      e.at = at;  // simultaneous: the correlated part
+      e.kind = FaultKind::kInstanceCrash;
+      e.ordinal = any_ordinal(rng);
+      events.push_back(e);
+    }
+  }
+  for (std::size_t i = 0; i < config.node_failures; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, hosts.size() - 1);
+    FaultEvent e;
+    e.fault_id = next_id++;
+    e.at = when(rng);
+    e.kind = FaultKind::kNodeDown;
+    e.node = hosts[pick(rng)];
+    events.push_back(e);
+  }
+  for (std::size_t i = 0; i < config.link_flaps; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, topo.num_links() - 1);
+    FaultEvent down;
+    down.fault_id = next_id++;
+    down.at = when(rng);
+    down.kind = FaultKind::kLinkDown;
+    down.link = static_cast<net::LinkId>(pick(rng));
+    FaultEvent up = down;
+    up.kind = FaultKind::kLinkUp;
+    up.at = down.at + downtime(rng);
+    events.push_back(down);
+    events.push_back(up);
+  }
+  for (std::size_t i = 0; i < config.boot_failures; ++i) {
+    FaultEvent e;
+    e.fault_id = next_id++;
+    e.at = when(rng);
+    e.kind = FaultKind::kBootFailure;
+    events.push_back(e);
+  }
+  for (std::size_t i = 0; i < config.slow_boots; ++i) {
+    FaultEvent e;
+    e.fault_id = next_id++;
+    e.at = when(rng);
+    e.kind = FaultKind::kSlowBoot;
+    e.multiplier = config.slow_boot_multiplier;
+    events.push_back(e);
+  }
+  for (std::size_t i = 0; i < config.rule_install_failures; ++i) {
+    FaultEvent e;
+    e.fault_id = next_id++;
+    e.at = when(rng);
+    e.kind = FaultKind::kRuleInstallFailure;
+    events.push_back(e);
+  }
+
+  APPLE_OBS_COUNT_N("fault.schedule.events_compiled", events.size());
+  return FaultSchedule(std::move(events));
+}
+
+namespace {
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(value), &used);
+    if (used != value.size() || !std::isfinite(v)) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault spec: bad value for '" +
+                                std::string(key) + "'");
+  }
+}
+
+std::size_t parse_count(std::string_view key, std::string_view value) {
+  const double v = parse_double(key, value);
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::invalid_argument("fault spec: '" + std::string(key) +
+                                "' needs a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ScheduleConfig parse_schedule_spec(std::string_view spec, ScheduleConfig base) {
+  ScheduleConfig config = base;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "crashes") {
+      config.instance_crashes = parse_count(key, value);
+    } else if (key == "node-failures") {
+      config.node_failures = parse_count(key, value);
+    } else if (key == "link-flaps") {
+      config.link_flaps = parse_count(key, value);
+    } else if (key == "boot-failures") {
+      config.boot_failures = parse_count(key, value);
+    } else if (key == "slow-boots") {
+      config.slow_boots = parse_count(key, value);
+    } else if (key == "rule-failures") {
+      config.rule_install_failures = parse_count(key, value);
+    } else if (key == "bursts") {
+      config.correlated_bursts = parse_count(key, value);
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_count(key, value));
+    } else if (key == "start") {
+      config.start = parse_double(key, value);
+    } else if (key == "horizon") {
+      config.horizon = parse_double(key, value);
+    } else {
+      throw std::invalid_argument("fault spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  config.validate();
+  return config;
+}
+
+}  // namespace apple::fault

@@ -1,0 +1,120 @@
+// Deterministic fault schedules (DESIGN.md §10).
+//
+// A FaultSchedule is the compiled form of a failure scenario: timestamped
+// events (link down/up, node down, VNF-instance crash) plus "ordinal"
+// faults that fire on the next matching control-plane operation after
+// their arm time (VM boot failure, slow boot, TCAM rule-install failure).
+// Schedules are pure functions of (topology, ScheduleConfig) — every draw
+// comes from one seeded mt19937_64, no ambient randomness — so two runs
+// with the same seed inject bit-identical failure sequences. That is what
+// makes recovery SLOs and policy-violation counts reproducible, and what
+// bench_fault_recovery's determinism gate checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace apple::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,            // physical link fails; paired with a later kLinkUp
+  kLinkUp,              // the same link recovers (shares the fault id)
+  kNodeDown,            // APPLE host dies (switch keeps forwarding)
+  kInstanceCrash,       // one running VNF VM crashes
+  kBootFailure,         // next VM boot after the arm time fails outright
+  kSlowBoot,            // next VM boot is stretched by `multiplier`
+  kRuleInstallFailure,  // next rule installation is rejected once
+};
+
+std::string_view to_string(FaultKind k);
+
+// True for the kinds that arm on the timeline but fire only when a
+// matching control-plane operation happens (boot / rule install).
+bool is_ordinal(FaultKind k);
+
+using FaultId = std::uint32_t;
+
+inline constexpr FaultId kNoFault = static_cast<FaultId>(-1);
+
+struct FaultEvent {
+  FaultId fault_id = 0;  // stable; a link's down and up events share it
+  double at = 0.0;       // injection (or arm) time, simulation seconds
+  FaultKind kind = FaultKind::kInstanceCrash;
+  net::LinkId link = net::kInvalidLink;  // kLinkDown / kLinkUp
+  net::NodeId node = net::kInvalidNode;  // kNodeDown
+  // Victim selector for kInstanceCrash: the (ordinal mod live-fleet-size)-th
+  // live instance in ascending id order at injection time.
+  std::uint32_t ordinal = 0;
+  double multiplier = 1.0;  // kSlowBoot boot-time stretch
+};
+
+// Scenario parameters; `make_schedule` compiles them into events.
+struct ScheduleConfig {
+  std::uint64_t seed = 1;
+  double start = 1.0;    // earliest injection time
+  double horizon = 8.0;  // latest injection time (exclusive)
+
+  std::size_t instance_crashes = 0;
+  std::size_t node_failures = 0;  // permanent until the controller re-places
+  std::size_t link_flaps = 0;     // down + up pairs
+  double link_downtime_min = 0.5;
+  double link_downtime_max = 2.0;
+  std::size_t boot_failures = 0;
+  std::size_t slow_boots = 0;
+  double slow_boot_multiplier = 4.0;
+  std::size_t rule_install_failures = 0;
+  // Correlated bursts: two instance crashes at the same instant (the
+  // co-located-VM failure mode a per-fault model misses).
+  std::size_t correlated_bursts = 0;
+
+  std::size_t total_faults() const {
+    return instance_crashes + node_failures + link_flaps + boot_failures +
+           slow_boots + rule_install_failures + 2 * correlated_bursts;
+  }
+
+  // Throws std::invalid_argument on non-finite/inverted time windows or a
+  // slow-boot multiplier below 1.
+  void validate() const;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  // Takes ownership and sorts by (at, fault_id) so arming the schedule on
+  // an EventQueue is order-independent of how the events were generated.
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  std::span<const FaultEvent> events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  // Distinct fault ids (a link flap's down+up pair counts once).
+  std::size_t num_faults() const;
+  // Latest event timestamp (0 when empty).
+  double horizon() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Compiles a config into a schedule. Pure function of (topo, config):
+// identical inputs yield identical schedules. Link faults draw over
+// topo.links(), node faults over topo.host_nodes(); a config requesting
+// link/node faults on a topology without links/hosts throws
+// std::invalid_argument.
+FaultSchedule make_schedule(const net::Topology& topo,
+                            const ScheduleConfig& config);
+
+// Parses a CLI fault spec of the form "key=value[,key=value...]" into a
+// config (starting from `base`, usually defaults). Keys: crashes,
+// node-failures, link-flaps, boot-failures, slow-boots, rule-failures,
+// bursts, seed, start, horizon. Throws std::invalid_argument on unknown
+// keys or malformed values. Example: "crashes=2,link-flaps=1,seed=7".
+ScheduleConfig parse_schedule_spec(std::string_view spec,
+                                   ScheduleConfig base = {});
+
+}  // namespace apple::fault

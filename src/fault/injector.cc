@@ -1,0 +1,200 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace apple::fault {
+
+const std::vector<KilledInstance> FaultInjector::kNoKilled = {};
+const std::vector<traffic::ClassId> FaultInjector::kNoSevered = {};
+
+FaultInjector::FaultInjector(InjectorTargets targets, InjectorHooks hooks)
+    : targets_(targets), hooks_(std::move(hooks)) {
+  APPLE_CHECK(targets_.topo != nullptr);
+  APPLE_CHECK(targets_.flow != nullptr);
+  APPLE_CHECK(targets_.orch != nullptr);
+  APPLE_CHECK(targets_.dp != nullptr);
+}
+
+void FaultInjector::register_class(traffic::ClassId id, net::Path path) {
+  class_paths_[id] = std::move(path);
+}
+
+void FaultInjector::arm(sim::EventQueue& queue, const FaultSchedule& schedule) {
+  for (const FaultEvent& e : schedule.events()) {
+    sim::EventQueue* q = &queue;
+    queue.schedule_at(e.at, [this, e, q] { apply(e, q->now()); });
+  }
+  // The ordinal faults fire through these hooks; installing them even when
+  // the schedule has none keeps the arm/fire bookkeeping in one place.
+  targets_.orch->set_boot_hook(
+      [this](const vnf::VnfInstance&, orch::LaunchPath, double now,
+             double) -> orch::BootOutcome {
+        if (!pending_boot_faults_.empty()) {
+          FaultEvent e = pending_boot_faults_.front();
+          pending_boot_faults_.pop_front();
+          fired_ordinal_.push_back(e);
+          APPLE_OBS_COUNT("fault.injected");
+          if (e.kind == FaultKind::kBootFailure) {
+            APPLE_OBS_COUNT("fault.boot_failures");
+            if (hooks_.on_injected) hooks_.on_injected(e, now);
+            return orch::BootOutcome{true, 1.0};
+          }
+          APPLE_OBS_COUNT("fault.slow_boots");
+          if (hooks_.on_injected) hooks_.on_injected(e, now);
+          return orch::BootOutcome{false, e.multiplier};
+        }
+        return orch::BootOutcome{};
+      });
+  targets_.dp->set_rule_fault_hook([this](traffic::ClassId) -> bool {
+    if (pending_rule_faults_.empty()) return false;
+    FaultEvent e = pending_rule_faults_.front();
+    pending_rule_faults_.pop_front();
+    fired_ordinal_.push_back(e);
+    APPLE_OBS_COUNT("fault.injected");
+    APPLE_OBS_COUNT("fault.rule_install_failures");
+    // NOTE: now is unknown inside the data plane; the driver correlates
+    // the fired event via take_fired_ordinal and stamps its own clock.
+    if (hooks_.on_injected) hooks_.on_injected(e, e.at);
+    return true;
+  });
+}
+
+const std::vector<KilledInstance>& FaultInjector::instances_killed(
+    FaultId fault_id) const {
+  const auto it = killed_.find(fault_id);
+  return it == killed_.end() ? kNoKilled : it->second;
+}
+
+const std::vector<traffic::ClassId>& FaultInjector::classes_severed(
+    FaultId fault_id) const {
+  const auto it = severed_.find(fault_id);
+  return it == severed_.end() ? kNoSevered : it->second;
+}
+
+std::optional<FaultEvent> FaultInjector::take_fired_ordinal() {
+  if (fired_ordinal_.empty()) return std::nullopt;
+  FaultEvent e = fired_ordinal_.front();
+  fired_ordinal_.pop_front();
+  return e;
+}
+
+std::vector<vnf::InstanceId> FaultInjector::live_instances() const {
+  std::vector<vnf::InstanceId> ids = targets_.flow->instance_ids();
+  std::sort(ids.begin(), ids.end());
+  std::erase_if(ids, [this](vnf::InstanceId id) {
+    return !targets_.flow->instance_alive(id) || !targets_.orch->is_alive(id);
+  });
+  return ids;
+}
+
+void FaultInjector::apply(const FaultEvent& e, double now) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      apply_link_down(e, now);
+      break;
+    case FaultKind::kLinkUp:
+      apply_link_up(e, now);
+      break;
+    case FaultKind::kNodeDown:
+      apply_node_down(e, now);
+      break;
+    case FaultKind::kInstanceCrash:
+      apply_instance_crash(e, now);
+      break;
+    case FaultKind::kBootFailure:
+    case FaultKind::kSlowBoot:
+      pending_boot_faults_.push_back(e);
+      break;
+    case FaultKind::kRuleInstallFailure:
+      pending_rule_faults_.push_back(e);
+      break;
+  }
+}
+
+void FaultInjector::apply_link_down(const FaultEvent& e, double now) {
+  targets_.topo->set_link_state(e.link, false);
+  links_down_.insert(e.link);
+  APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_COUNT("fault.link_down");
+  std::vector<traffic::ClassId>& severed = severed_[e.fault_id];
+  for (const auto& [cls, path] : class_paths_) {
+    if (targets_.flow->class_severed(cls)) continue;  // another fault owns it
+    if (!net::path_alive(*targets_.topo, path)) {
+      targets_.flow->set_class_severed(cls, true);
+      severed.push_back(cls);
+      APPLE_OBS_COUNT("fault.classes_severed");
+    }
+  }
+  if (hooks_.on_injected) hooks_.on_injected(e, now);
+}
+
+void FaultInjector::apply_link_up(const FaultEvent& e, double now) {
+  targets_.topo->set_link_state(e.link, true);
+  links_down_.erase(e.link);
+  APPLE_OBS_COUNT("fault.link_up");
+  // Un-sever every class whose path is whole again (not only the ones this
+  // fault severed: overlapping outages release classes when the LAST dead
+  // hop recovers).
+  for (const auto& [cls, path] : class_paths_) {
+    if (!targets_.flow->class_severed(cls)) continue;
+    if (net::path_alive(*targets_.topo, path)) {
+      targets_.flow->set_class_severed(cls, false);
+      APPLE_OBS_COUNT("fault.classes_restored");
+    }
+  }
+  if (hooks_.on_cleared) hooks_.on_cleared(e, now);
+}
+
+void FaultInjector::apply_node_down(const FaultEvent& e, double now) {
+  if (nodes_down_.count(e.node) > 0) {
+    ++faults_skipped_;  // already down; nothing new to inject
+    return;
+  }
+  nodes_down_.insert(e.node);
+  targets_.orch->set_host_down(e.node, true);
+  APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_COUNT("fault.node_down");
+  // Every instance on the host dies with it.
+  std::vector<vnf::InstanceId> victims;
+  for (const vnf::VnfInstance& inst : targets_.orch->instances_at(e.node)) {
+    victims.push_back(inst.id);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const vnf::InstanceId id : victims) kill_instance(e.fault_id, id);
+  if (hooks_.on_injected) hooks_.on_injected(e, now);
+}
+
+void FaultInjector::apply_instance_crash(const FaultEvent& e, double now) {
+  const std::vector<vnf::InstanceId> live = live_instances();
+  if (live.empty()) {
+    ++faults_skipped_;
+    APPLE_OBS_COUNT("fault.skipped");
+    return;
+  }
+  const vnf::InstanceId victim = live[e.ordinal % live.size()];
+  APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_COUNT("fault.instance_crash");
+  kill_instance(e.fault_id, victim);
+  if (hooks_.on_injected) hooks_.on_injected(e, now);
+}
+
+void FaultInjector::kill_instance(FaultId fault_id, vnf::InstanceId victim) {
+  const auto info = targets_.orch->instance(victim);
+  APPLE_CHECK(info.has_value());
+  killed_[fault_id].push_back(
+      KilledInstance{victim, info->host_switch, info->type});
+  targets_.orch->fail_instance(victim);
+  // The dead VM stays in the fluid sim (capacity 0) so the blackhole
+  // window is measurable, but leaves the data plane immediately: packets
+  // that reach it are DROPPED, never delivered chain-incomplete — the
+  // interference-free invariant survives the fault by construction.
+  targets_.flow->set_instance_alive(victim, false);
+  targets_.dp->unregister_instance(victim);
+  APPLE_OBS_COUNT("fault.instances_killed");
+}
+
+}  // namespace apple::fault

@@ -1,0 +1,127 @@
+// FaultInjector: owns the injection points through which a FaultSchedule
+// reaches the running system (DESIGN.md §10).
+//
+//   net        — link up/down state; classes whose fixed forwarding path
+//                loses a link are severed (APPLE is interference-free: it
+//                never reroutes, so the path stays dark until the link is
+//                back).
+//   orch       — node-down marks the APPLE host down and fails every
+//                instance on it; instance crashes fail one live VM; boot
+//                faults ride the orchestrator's boot hook.
+//   dataplane  — crashed instances are unregistered (walks through them
+//                blackhole, they do NOT deliver policy-violating packets);
+//                rule-install faults ride the rule fault hook.
+//   sim        — dead instances and severed classes are flagged in the
+//                fluid simulation so the blackhole window shows up in the
+//                delivered/blackholed rates.
+//
+// Determinism: every victim choice is resolved from sorted live-instance
+// ids and schedule-carried ordinals; the injector never iterates an
+// unordered container.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dataplane/data_plane.h"
+#include "fault/fault_schedule.h"
+#include "net/routing.h"
+#include "orch/resource_orchestrator.h"
+#include "sim/event_queue.h"
+#include "sim/flow_sim.h"
+
+namespace apple::fault {
+
+struct InjectorTargets {
+  net::Topology* topo = nullptr;
+  sim::FlowSimulation* flow = nullptr;
+  orch::ResourceOrchestrator* orch = nullptr;
+  dataplane::DataPlane* dp = nullptr;
+};
+
+// Observer callbacks (usually wired to a RecoveryMonitor by the driver).
+// `on_injected` fires when a fault actually takes effect — at its event
+// time for timeline faults, at the triggering operation for ordinal ones.
+// `on_cleared` fires for self-clearing faults (a link's kLinkUp event).
+struct InjectorHooks {
+  std::function<void(const FaultEvent&, double now)> on_injected;
+  std::function<void(const FaultEvent&, double now)> on_cleared;
+};
+
+// One instance killed by a fault, with the placement facts a repair needs.
+struct KilledInstance {
+  vnf::InstanceId id = 0;
+  net::NodeId host = net::kInvalidNode;
+  vnf::NfType type = vnf::NfType::kFirewall;
+};
+
+class FaultInjector {
+ public:
+  // All four targets must outlive the injector. `topo` must be the SAME
+  // topology object `dp` and `orch` were built over, so link/host state is
+  // shared.
+  FaultInjector(InjectorTargets targets, InjectorHooks hooks = {});
+
+  // Declares a class the injector may sever (its fixed forwarding path).
+  void register_class(traffic::ClassId id, net::Path path);
+
+  // Schedules every event of `schedule` on `queue` and installs the
+  // orchestrator boot hook / data-plane rule hook for the ordinal faults.
+  // The queue must outlive the injector's last event.
+  void arm(sim::EventQueue& queue, const FaultSchedule& schedule);
+
+  // --- state queries (driver side) ----------------------------------------
+  bool link_is_down(net::LinkId link) const { return links_down_.count(link) > 0; }
+  bool node_is_down(net::NodeId node) const { return nodes_down_.count(node) > 0; }
+  // Instances killed by `fault_id` (empty for other kinds / unknown ids).
+  const std::vector<KilledInstance>& instances_killed(FaultId fault_id) const;
+  // Classes severed by link fault `fault_id` at its down event.
+  const std::vector<traffic::ClassId>& classes_severed(FaultId fault_id) const;
+  // The most recent ordinal fault fired by a boot/rule operation, in fire
+  // order; empty when none fired since the last take. The driver calls
+  // this right after each launch / rule install to correlate the fault
+  // with the operation it hit.
+  std::optional<FaultEvent> take_fired_ordinal();
+
+  // Ordinal faults armed (their time reached) but not yet fired by a
+  // matching operation. A driver that wants every scheduled fault to fire
+  // can issue a canary boot / benign rule refresh when these are non-zero.
+  std::size_t pending_boot_faults() const { return pending_boot_faults_.size(); }
+  std::size_t pending_rule_faults() const { return pending_rule_faults_.size(); }
+
+  // Faults whose injection found no victim (e.g. a crash with an empty
+  // fleet); they are reported so a schedule is never silently shortened.
+  std::size_t faults_skipped() const { return faults_skipped_; }
+
+ private:
+  void apply(const FaultEvent& e, double now);
+  void apply_link_down(const FaultEvent& e, double now);
+  void apply_link_up(const FaultEvent& e, double now);
+  void apply_node_down(const FaultEvent& e, double now);
+  void apply_instance_crash(const FaultEvent& e, double now);
+  void kill_instance(FaultId fault_id, vnf::InstanceId victim);
+  // Sorted ids of instances alive in both the fluid sim and the
+  // orchestrator (booting replacements included).
+  std::vector<vnf::InstanceId> live_instances() const;
+
+  InjectorTargets targets_;
+  InjectorHooks hooks_;
+  std::map<traffic::ClassId, net::Path> class_paths_;
+  std::set<net::LinkId> links_down_;
+  std::set<net::NodeId> nodes_down_;
+  std::map<FaultId, std::vector<KilledInstance>> killed_;
+  std::map<FaultId, std::vector<traffic::ClassId>> severed_;
+  // Ordinal faults armed (time reached) but not yet fired, in arm order.
+  std::deque<FaultEvent> pending_boot_faults_;
+  std::deque<FaultEvent> pending_rule_faults_;
+  std::deque<FaultEvent> fired_ordinal_;
+  std::size_t faults_skipped_ = 0;
+  static const std::vector<KilledInstance> kNoKilled;
+  static const std::vector<traffic::ClassId> kNoSevered;
+};
+
+}  // namespace apple::fault

@@ -31,6 +31,7 @@ ShortestPathTree::ShortestPathTree(const Topology& topo, NodeId source)
     if (d > dist_[u]) continue;  // stale entry
     for (LinkId l : topo.incident_links(u)) {
       const Link& link = topo.link(l);
+      if (!link.up) continue;  // failed links carry no routes
       const NodeId v = link.other(u);
       const double nd = d + link.weight;
       // Strict improvement, or equal distance with a lower-id predecessor:
@@ -91,6 +92,28 @@ std::vector<NodeId> ecmp_node_union(const AllPairsPaths& paths,
 
 std::size_t hop_count(const Path& path) {
   return path.empty() ? 0 : path.size() - 1;
+}
+
+bool path_alive(const Topology& topo, const Path& path) {
+  if (path.empty()) return false;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (path[i - 1] >= topo.num_nodes() || path[i] >= topo.num_nodes()) {
+      return false;
+    }
+    // The path is alive when SOME parallel up link joins each hop
+    // (find_link returns the first match, which may be a down member of a
+    // multigraph bundle).
+    bool hop_alive = false;
+    for (const LinkId l : topo.incident_links(path[i - 1])) {
+      const Link& link = topo.link(l);
+      if (link.up && link.other(path[i - 1]) == path[i]) {
+        hop_alive = true;
+        break;
+      }
+    }
+    if (!hop_alive) return false;
+  }
+  return true;
 }
 
 bool is_valid_simple_path(const Topology& topo, const Path& path) {

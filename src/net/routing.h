@@ -64,4 +64,12 @@ std::size_t hop_count(const Path& path);
 // all node ids in range, no node repeated (simple path).
 bool is_valid_simple_path(const Topology& topo, const Path& path);
 
+// True when every hop of `path` crosses at least one UP link — i.e. the
+// path still carries traffic under the current link fault state. APPLE is
+// interference-free (it never reroutes other applications' paths), so a
+// class whose fixed path dies is blackholed until the link recovers; this
+// predicate is how the fault injector decides which classes a link failure
+// severs.
+bool path_alive(const Topology& topo, const Path& path);
+
 }  // namespace apple::net

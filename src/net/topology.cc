@@ -60,6 +60,10 @@ std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
   return std::nullopt;
 }
 
+void Topology::set_link_state(LinkId id, bool up) {
+  links_.at(id).up = up;
+}
+
 bool Topology::is_connected() const {
   if (nodes_.empty()) return true;
   std::vector<bool> seen(nodes_.size(), false);
@@ -71,6 +75,7 @@ bool Topology::is_connected() const {
     const NodeId u = frontier.front();
     frontier.pop();
     for (LinkId l : adjacency_[u]) {
+      if (!links_[l].up) continue;
       const NodeId v = links_[l].other(u);
       if (!seen[v]) {
         seen[v] = true;

@@ -43,13 +43,19 @@ struct Link {
   double capacity_mbps = 0.0;
   // Routing weight; defaults to 1 (hop count routing).
   double weight = 1.0;
+  // Operational state; fault injection flips this (src/fault). A down link
+  // carries no traffic and is skipped by routing and connectivity checks.
+  bool up = true;
 
   NodeId other(NodeId n) const { return n == a ? b : a; }
 };
 
 // Undirected multigraph of switches. Node and link ids are dense indices,
 // stable under insertion (no removal API: topologies are built once and then
-// treated as immutable inputs to the optimization engine).
+// treated as immutable inputs to the optimization engine). The only mutable
+// piece of state is each link's operational up/down flag, toggled by the
+// fault-injection subsystem; a failed link stays in the graph so ids never
+// shift.
 class Topology {
  public:
   Topology() = default;
@@ -91,7 +97,12 @@ class Topology {
   // Link connecting a and b, if any (first match for multigraphs).
   std::optional<LinkId> find_link(NodeId a, NodeId b) const;
 
-  // True when every node can reach every other node.
+  // Flips a link's operational state (fault injection). Throws
+  // std::out_of_range for unknown ids.
+  void set_link_state(LinkId id, bool up);
+  bool link_up(LinkId id) const { return links_.at(id).up; }
+
+  // True when every node can reach every other node over UP links.
   bool is_connected() const;
 
   // Total APPLE-host resource budget over all nodes (sum of A_v).

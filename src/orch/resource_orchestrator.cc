@@ -21,13 +21,20 @@ const char* to_string(LaunchStatus s) {
       return "not-reconfigurable";
     case LaunchStatus::kDuplicateInstance:
       return "duplicate-instance";
+    case LaunchStatus::kBootFailure:
+      return "boot-failure";
+    case LaunchStatus::kHostDown:
+      return "host-down";
   }
   return "unknown";
 }
 
 ResourceOrchestrator::ResourceOrchestrator(const net::Topology& topo,
                                            OrchestrationTimings timings)
-    : topo_(&topo), timings_(timings), used_cores_(topo.num_nodes(), 0.0) {}
+    : topo_(&topo),
+      timings_(timings),
+      used_cores_(topo.num_nodes(), 0.0),
+      host_down_(topo.num_nodes(), false) {}
 
 double ResourceOrchestrator::available_cores(net::NodeId v) const {
   return topo_->node(v).host_cores - used_cores_.at(v);
@@ -46,6 +53,10 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
   }
   if (!topo_->node(v).has_host()) {
     result.status = LaunchStatus::kNoAppleHost;
+    return result;
+  }
+  if (host_down_[v]) {
+    result.status = LaunchStatus::kHostDown;
     return result;
   }
   const vnf::NfSpec& spec = vnf::spec_of(type);
@@ -88,6 +99,24 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
       APPLE_OBS_COUNT("orch.lifecycle.launches_reconfigure");
       break;
   }
+  if (boot_hook_) {
+    const BootOutcome outcome = boot_hook_(inst, path, now, boot);
+    if (outcome.fail) {
+      // The VM never came up: release its resources. The consumed id is
+      // NOT reused — a retry gets a fresh id, exactly like a real
+      // orchestrator re-submitting a failed nova boot.
+      used_cores_[v] -= spec.cores_required;
+      instances_.erase(inst.id);
+      APPLE_OBS_COUNT("orch.lifecycle.boot_failures");
+      result.status = LaunchStatus::kBootFailure;
+      result.instance = inst;
+      return result;
+    }
+    if (outcome.boot_multiplier != 1.0) {
+      boot *= outcome.boot_multiplier;
+      APPLE_OBS_COUNT("orch.lifecycle.slow_boots");
+    }
+  }
   // Boot latency is MODELED time (the Table-2 timings), not wall time.
   APPLE_OBS_OBSERVE("orch.lifecycle.boot_seconds", boot);
   result.instance = inst;
@@ -105,6 +134,10 @@ LaunchResult ResourceOrchestrator::adopt(const vnf::VnfInstance& instance,
   }
   if (!topo_->node(v).has_host()) {
     result.status = LaunchStatus::kNoAppleHost;
+    return result;
+  }
+  if (host_down_[v]) {
+    result.status = LaunchStatus::kHostDown;
     return result;
   }
   if (instances_.contains(instance.id)) {
@@ -171,6 +204,30 @@ bool ResourceOrchestrator::cancel(vnf::InstanceId id) {
   instances_.erase(it);
   APPLE_OBS_COUNT("orch.lifecycle.cancellations");
   return true;
+}
+
+bool ResourceOrchestrator::fail_instance(vnf::InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return false;
+  used_cores_[it->second.host_switch] -=
+      vnf::spec_of(it->second.type).cores_required;
+  APPLE_DCHECK_GE(used_cores_[it->second.host_switch], -1e-9);
+  instances_.erase(it);
+  failed_.insert(id);
+  APPLE_OBS_COUNT("orch.lifecycle.instance_failures");
+  return true;
+}
+
+bool ResourceOrchestrator::is_alive(vnf::InstanceId id) const {
+  return instances_.contains(id);
+}
+
+void ResourceOrchestrator::set_host_down(net::NodeId v, bool down) {
+  host_down_.at(v) = down;
+}
+
+bool ResourceOrchestrator::host_down(net::NodeId v) const {
+  return host_down_.at(v);
 }
 
 std::optional<vnf::VnfInstance> ResourceOrchestrator::instance(

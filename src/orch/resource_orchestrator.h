@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/topology.h"
@@ -28,6 +30,8 @@ enum class LaunchStatus {
   kUnknownInstance,
   kNotReconfigurable,
   kDuplicateInstance,
+  kBootFailure,  // injected VM boot failure (src/fault)
+  kHostDown,     // APPLE host marked down by fault injection
 };
 
 const char* to_string(LaunchStatus s);
@@ -46,6 +50,18 @@ struct LaunchResult {
 
   bool ok() const { return status == LaunchStatus::kOk; }
 };
+
+// Fault-injection hook over VM boots (src/fault). Consulted once per
+// launch with the would-be instance, the chosen path and the planned boot
+// latency; the outcome can fail the boot outright (the VM never comes up,
+// resources are released) or stretch it (slow boot).
+struct BootOutcome {
+  bool fail = false;
+  double boot_multiplier = 1.0;
+};
+using BootHook = std::function<BootOutcome(
+    const vnf::VnfInstance& instance, LaunchPath path, double now,
+    double planned_boot_seconds)>;
 
 class ResourceOrchestrator {
  public:
@@ -78,6 +94,29 @@ class ResourceOrchestrator {
   // Sec. VI). Returns false when the id is unknown.
   bool cancel(vnf::InstanceId id);
 
+  // --- fault injection (src/fault) ---------------------------------------
+  // Marks an instance as crashed: its resources are released (the VM is
+  // gone) and `is_alive` turns false, but the id stays remembered so the
+  // recovery machinery can distinguish "crashed" from "never existed".
+  // Returns false when the id is unknown.
+  bool fail_instance(vnf::InstanceId id);
+  // True while `id` is tracked and has not been failed or cancelled.
+  bool is_alive(vnf::InstanceId id) const;
+  std::size_t num_failed() const { return failed_.size(); }
+
+  // Marks the APPLE host at switch `v` down/up; launches and adoptions at
+  // a down host are rejected with kHostDown.
+  void set_host_down(net::NodeId v, bool down);
+  bool host_down(net::NodeId v) const;
+
+  // Installs (or clears, with nullptr) the boot-outcome hook consulted by
+  // `launch`. Only fault-aware drivers install one; everyone else pays the
+  // unconditional Table-2 latencies.
+  void set_boot_hook(BootHook hook) { boot_hook_ = std::move(hook); }
+
+  // First unused instance id (for drivers that pre-assign replacement ids).
+  vnf::InstanceId peek_next_id() const { return next_id_; }
+
   std::optional<vnf::VnfInstance> instance(vnf::InstanceId id) const;
   std::vector<vnf::VnfInstance> instances_at(net::NodeId v) const;
   std::size_t num_instances() const { return instances_.size(); }
@@ -88,7 +127,10 @@ class ResourceOrchestrator {
   const net::Topology* topo_;
   OrchestrationTimings timings_;
   std::vector<double> used_cores_;
+  std::vector<bool> host_down_;
   std::unordered_map<vnf::InstanceId, vnf::VnfInstance> instances_;
+  std::unordered_set<vnf::InstanceId> failed_;
+  BootHook boot_hook_;
   vnf::InstanceId next_id_ = 1;
   std::uint64_t launch_sequence_ = 0;
 };

@@ -1,8 +1,21 @@
 #include "sim/detector.h"
 
+#include <cmath>
+
+#include "common/check.h"
 #include "obs/obs.h"
 
 namespace apple::sim {
+
+OverloadDetector::OverloadDetector(DetectorConfig config) : config_(config) {
+  // A zero/negative/NaN poll interval would make the cooldown and history
+  // trimming arithmetic silently wrong; fail loudly at construction.
+  APPLE_CHECK(std::isfinite(config_.poll_interval) &&
+              config_.poll_interval > 0.0);
+  APPLE_CHECK(std::isfinite(config_.counter_delay) &&
+              config_.counter_delay >= 0.0);
+  APPLE_CHECK_LE(config_.clear_threshold, config_.overload_threshold);
+}
 
 double OverloadDetector::delayed_value(const History& h, double now) const {
   if (h.samples.empty()) return 0.0;

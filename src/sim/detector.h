@@ -45,7 +45,10 @@ struct LoadEvent {
 // overload/clear events with hysteresis.
 class OverloadDetector {
  public:
-  explicit OverloadDetector(DetectorConfig config = {}) : config_(config) {}
+  // Contract (APPLE_CHECK): poll_interval finite and > 0, counter_delay
+  // finite and >= 0, clear_threshold <= overload_threshold (hysteresis
+  // must not invert).
+  explicit OverloadDetector(DetectorConfig config = {});
 
   const DetectorConfig& config() const { return config_; }
 

@@ -31,6 +31,28 @@ void FlowSimulation::set_ready_at(vnf::InstanceId id, double ready_at) {
   instances_.at(id).ready_at = ready_at;
 }
 
+void FlowSimulation::set_instance_alive(vnf::InstanceId id, bool alive) {
+  instances_.at(id).alive = alive;
+}
+
+bool FlowSimulation::instance_alive(vnf::InstanceId id) const {
+  return instances_.at(id).alive;
+}
+
+void FlowSimulation::set_class_severed(traffic::ClassId id, bool severed) {
+  classes_[id].severed = severed;
+}
+
+bool FlowSimulation::class_severed(traffic::ClassId id) const {
+  const auto it = classes_.find(id);
+  return it != classes_.end() && it->second.severed;
+}
+
+double FlowSimulation::class_blackholed_mbps(traffic::ClassId id) const {
+  const auto it = classes_.find(id);
+  return it == classes_.end() ? 0.0 : it->second.blackholed;
+}
+
 void FlowSimulation::set_class_rate(traffic::ClassId id, double mbps) {
   classes_[id].rate_mbps = std::max(0.0, mbps);
 }
@@ -71,6 +93,9 @@ TickStats FlowSimulation::step() {
   // Phase 1: accumulate offered load at every instance.
   for (auto& [id, state] : instances_) state.offered = 0.0;
   for (const auto& [cid, cls] : classes_) {
+    // A severed class's traffic dies at the failed link before reaching
+    // any instance, so it loads nothing.
+    if (cls.severed) continue;
     for (const dataplane::SubclassPlan& plan : cls.plans) {
       const double rate = cls.rate_mbps * plan.weight;
       if (rate <= 0.0) continue;
@@ -85,22 +110,34 @@ TickStats FlowSimulation::step() {
   // Phase 2: per-instance loss, then per-sub-class survival product.
   TickStats stats;
   stats.time = now_;
-  for (const auto& [cid, cls] : classes_) {
+  for (auto& [cid, cls] : classes_) {
+    cls.blackholed = 0.0;
     for (const dataplane::SubclassPlan& plan : cls.plans) {
       const double rate = cls.rate_mbps * plan.weight;
       if (rate <= 0.0) continue;
       stats.offered_mbps += rate;
+      if (cls.severed) {
+        // The class's fixed path crosses a failed link: everything it
+        // offers disappears at the dead hop.
+        cls.blackholed += rate;
+        continue;
+      }
       double survival = 1.0;
+      bool dead_stage = false;
       for (const dataplane::HostVisit& visit : plan.itinerary) {
         for (const vnf::InstanceId inst : visit.instances) {
           const InstanceState& state = instances_.at(inst);
-          const double capacity =
-              state.ready_at <= now_ ? state.instance.capacity_mbps : 0.0;
+          const double capacity = state.alive && state.ready_at <= now_
+                                      ? state.instance.capacity_mbps
+                                      : 0.0;
+          if (!state.alive) dead_stage = true;
           survival *= 1.0 - vnf::loss_fraction(state.offered, capacity);
         }
       }
+      if (dead_stage) cls.blackholed += rate;
       stats.delivered_mbps += rate * survival;
     }
+    stats.blackholed_mbps += cls.blackholed;
   }
   stats.loss_rate = stats.offered_mbps > 0.0
                         ? 1.0 - stats.delivered_mbps / stats.offered_mbps
@@ -116,6 +153,7 @@ TickStats FlowSimulation::step() {
   APPLE_OBS_COUNT_N("sim.flow.offered_mbps", stats.offered_mbps);
   APPLE_OBS_COUNT_N("sim.flow.lost_mbps",
                     stats.offered_mbps - stats.delivered_mbps);
+  APPLE_OBS_COUNT_N("sim.flow.blackholed_mbps", stats.blackholed_mbps);
   return stats;
 }
 
@@ -128,7 +166,10 @@ double FlowSimulation::instance_offered_mbps(vnf::InstanceId id) const {
 }
 
 double FlowSimulation::instance_capacity_mbps(vnf::InstanceId id) const {
-  return instances_.at(id).instance.capacity_mbps;
+  const InstanceState& state = instances_.at(id);
+  // A crashed instance serves nothing; reporting 0 keeps the overload
+  // detector from treating it as a viable (let alone overloaded) target.
+  return state.alive ? state.instance.capacity_mbps : 0.0;
 }
 
 std::vector<vnf::InstanceId> FlowSimulation::instance_ids() const {

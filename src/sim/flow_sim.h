@@ -29,6 +29,10 @@ struct TickStats {
   double offered_mbps = 0.0;    // total policied demand this tick
   double delivered_mbps = 0.0;  // demand surviving every chain stage
   double loss_rate = 0.0;       // 1 - delivered/offered (0 when idle)
+  // Demand lost to faults rather than congestion: sub-classes routed
+  // through a dead (crashed) instance, and classes severed by a link or
+  // node failure. Always <= offered - delivered.
+  double blackholed_mbps = 0.0;
 };
 
 class FlowSimulation {
@@ -44,6 +48,22 @@ class FlowSimulation {
   void remove_instance(vnf::InstanceId id);
   bool has_instance(vnf::InstanceId id) const;
   void set_ready_at(vnf::InstanceId id, double ready_at);
+
+  // Fault injection (src/fault): a dead instance stays installed — its
+  // plans keep referencing it so the blackhole window is visible — but its
+  // capacity reads 0 and every sub-class routed through it is accounted as
+  // blackholed until the plans are repaired.
+  void set_instance_alive(vnf::InstanceId id, bool alive);
+  bool instance_alive(vnf::InstanceId id) const;
+
+  // A severed class (its fixed forwarding path crosses a failed link) keeps
+  // offering traffic but delivers nothing until the link recovers.
+  void set_class_severed(traffic::ClassId id, bool severed);
+  bool class_severed(traffic::ClassId id) const;
+
+  // Demand of `id` lost to faults during the last executed tick, in Mbps
+  // (severed class, or sub-class plans through dead instances).
+  double class_blackholed_mbps(traffic::ClassId id) const;
 
   // --- classes ------------------------------------------------------------
   // Current offered rate of a class (updated when replaying TM snapshots).
@@ -76,10 +96,13 @@ class FlowSimulation {
     vnf::VnfInstance instance;
     double ready_at = 0.0;
     double offered = 0.0;  // last tick
+    bool alive = true;     // false after a fault-injected crash
   };
   struct ClassState {
     double rate_mbps = 0.0;
     std::vector<dataplane::SubclassPlan> plans;
+    bool severed = false;       // forwarding path crosses a failed link
+    double blackholed = 0.0;    // last tick, Mbps
   };
 
   double tick_seconds_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/topologies.h"
 
 namespace apple::core {
@@ -141,6 +143,181 @@ TEST_F(DynamicHandlerTest, NoActionBelowThreshold) {
   }
   EXPECT_EQ(handler.metrics().overload_events, 0u);
   EXPECT_EQ(handler.metrics().rebalances, 0u);
+}
+
+TEST_F(DynamicHandlerTest, RollbackRestoresDistributionVerbatim) {
+  // Two sub-classes, both through the hot instance, with deliberately
+  // asymmetric weights: rollback must restore every field of the saved
+  // plans, not merely "one plan of weight 1".
+  const auto fw1 = launch_fw(1);
+  sim_.set_class_rate(0, 1200.0);
+  const std::vector<SubclassPlan> original = {
+      make_plan(0, 0, 0.6, 1, {fw1}), make_plan(0, 1, 0.4, 1, {fw1})};
+  sim_.install_class_plans(0, original);
+  DynamicHandler handler(sim_, orch_, config_with());
+  handler.register_class(0, {NfType::kFirewall}, {0, 1, 2});
+
+  sim_.step();
+  handler.poll(sim_.now());  // overload -> halve + launch replacement
+  ASSERT_GE(handler.metrics().instances_launched, 1u);
+  sim_.run_until(0.1);
+  handler.poll(sim_.now());  // booted replacement's shift applies
+  ASSERT_NE(sim_.plans_of(0).size(), original.size());
+
+  sim_.set_class_rate(0, 100.0);
+  sim_.step();
+  handler.poll(sim_.now());  // clear -> rollback
+  ASSERT_FALSE(handler.has_active_failover());
+
+  const auto& restored = sim_.plans_of(0);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].class_id, original[i].class_id);
+    EXPECT_EQ(restored[i].subclass_id, original[i].subclass_id);
+    EXPECT_DOUBLE_EQ(restored[i].weight, original[i].weight);
+    ASSERT_EQ(restored[i].itinerary.size(), original[i].itinerary.size());
+    for (std::size_t v = 0; v < original[i].itinerary.size(); ++v) {
+      EXPECT_EQ(restored[i].itinerary[v].at_switch,
+                original[i].itinerary[v].at_switch);
+      EXPECT_EQ(restored[i].itinerary[v].instances,
+                original[i].itinerary[v].instances);
+    }
+  }
+}
+
+TEST_F(DynamicHandlerTest, PooledReplacementIsSharedAndCancelledExactlyOnce) {
+  // Two classes, both through the same hot instance: one overload round
+  // launches ONE replacement, pooled by both classes (two references).
+  // When both roll back in the same clear, the pooled instance must be
+  // cancelled exactly once — a broken refcount would double-cancel (two
+  // cancel metrics) or leak it (fleet never shrinks).
+  const auto fw1 = launch_fw(1);
+  sim_.set_class_rate(0, 600.0);
+  sim_.set_class_rate(1, 700.0);
+  sim_.install_class_plans(0, {make_plan(0, 0, 1.0, 1, {fw1})});
+  sim_.install_class_plans(1, {make_plan(1, 0, 1.0, 1, {fw1})});
+  DynamicHandler handler(sim_, orch_, config_with());
+  handler.register_class(0, {NfType::kFirewall}, {0, 1, 2});
+  handler.register_class(1, {NfType::kFirewall}, {0, 1, 2});
+
+  sim_.step();  // fw1 offered 1300 > 810: one overload event
+  handler.poll(sim_.now());
+  EXPECT_EQ(handler.metrics().overload_events, 1u);
+  // Pooling: both classes' leftover fits one replacement (300 + 350 Mbps
+  // against a 810 Mbps fill target), so exactly one launch happens.
+  EXPECT_EQ(handler.metrics().instances_launched, 1u);
+  sim_.run_until(0.1);
+  handler.poll(sim_.now());
+  EXPECT_EQ(sim_.instance_ids().size(), 2u);  // fw1 + shared replacement
+
+  sim_.set_class_rate(0, 50.0);
+  sim_.set_class_rate(1, 50.0);
+  sim_.step();
+  handler.poll(sim_.now());
+  EXPECT_EQ(handler.metrics().clear_events, 1u);
+  EXPECT_FALSE(handler.has_active_failover());
+  // Exactly one cancellation for the one shared launch.
+  EXPECT_EQ(handler.metrics().instances_cancelled, 1u);
+  EXPECT_DOUBLE_EQ(handler.metrics().extra_cores_in_use, 0.0);
+  EXPECT_EQ(sim_.instance_ids().size(), 1u);
+  ASSERT_EQ(sim_.plans_of(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.plans_of(0)[0].weight, 1.0);
+  ASSERT_EQ(sim_.plans_of(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.plans_of(1)[0].weight, 1.0);
+}
+
+TEST_F(DynamicHandlerTest, RollbackIsPerClassNotGlobal) {
+  // Independent failovers: class 0 overloads fw1, class 1 overloads fw2.
+  // Clearing class 0's overload must roll back and cancel ONLY class 0's
+  // replacement; class 1's failover stays active until its own clear.
+  const auto fw1 = launch_fw(1);
+  const auto fw2 = launch_fw(2);
+  sim_.set_class_rate(0, 1200.0);
+  sim_.set_class_rate(1, 1200.0);
+  sim_.install_class_plans(0, {make_plan(0, 0, 1.0, 1, {fw1})});
+  sim_.install_class_plans(1, {make_plan(1, 0, 1.0, 2, {fw2})});
+  DynamicHandler handler(sim_, orch_, config_with());
+  handler.register_class(0, {NfType::kFirewall}, {0, 1, 2});
+  handler.register_class(1, {NfType::kFirewall}, {0, 1, 2});
+
+  sim_.step();
+  handler.poll(sim_.now());
+  EXPECT_EQ(handler.metrics().overload_events, 2u);
+  ASSERT_EQ(handler.metrics().instances_launched, 2u);
+  sim_.run_until(0.1);
+  handler.poll(sim_.now());
+  ASSERT_EQ(sim_.instance_ids().size(), 4u);
+
+  // Only class 0's burst subsides.
+  sim_.set_class_rate(0, 100.0);
+  sim_.step();
+  handler.poll(sim_.now());
+  EXPECT_EQ(handler.metrics().clear_events, 1u);
+  EXPECT_EQ(handler.metrics().instances_cancelled, 1u);
+  // Class 0 restored verbatim; class 1's failover untouched.
+  ASSERT_EQ(sim_.plans_of(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.plans_of(0)[0].weight, 1.0);
+  EXPECT_TRUE(handler.has_active_failover());
+  EXPECT_GT(sim_.plans_of(1).size(), 1u);
+  EXPECT_EQ(sim_.instance_ids().size(), 3u);  // fw1, fw2, class 1's extra
+  EXPECT_DOUBLE_EQ(handler.metrics().extra_cores_in_use, 4.0);
+
+  sim_.set_class_rate(1, 100.0);
+  sim_.step();
+  handler.poll(sim_.now());
+  EXPECT_FALSE(handler.has_active_failover());
+  EXPECT_EQ(handler.metrics().instances_cancelled, 2u);
+  EXPECT_EQ(sim_.instance_ids().size(), 2u);
+  ASSERT_EQ(sim_.plans_of(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.plans_of(1)[0].weight, 1.0);
+}
+
+TEST_F(DynamicHandlerTest, ClearBeforeBootCancelsThePendingShift) {
+  // Overload launches a replacement and queues the traffic shift for its
+  // boot completion. The overload clears BEFORE the VM is up: the rollback
+  // must also cancel the queued shift, or it would re-install failover
+  // plans referencing a cancelled instance after the rollback.
+  const auto fw1 = launch_fw(1);
+  sim_.set_class_rate(0, 1200.0);
+  sim_.install_class_plans(0, {make_plan(0, 0, 1.0, 1, {fw1})});
+  DynamicHandler handler(sim_, orch_, config_with());
+  handler.register_class(0, {NfType::kFirewall}, {0, 1, 2});
+
+  sim_.step();  // t = 0.01
+  handler.poll(sim_.now());  // overload; replacement boots until ~0.04
+  ASSERT_EQ(handler.metrics().instances_launched, 1u);
+
+  sim_.set_class_rate(0, 100.0);
+  sim_.step();  // t = 0.02, still before the replacement is ready
+  handler.poll(sim_.now());
+  EXPECT_EQ(handler.metrics().clear_events, 1u);
+  EXPECT_EQ(handler.metrics().instances_cancelled, 1u);
+  EXPECT_FALSE(handler.has_active_failover());
+
+  // Run past the would-have-been boot completion: no zombie shift fires.
+  sim_.run_until(0.2);
+  handler.poll(sim_.now());
+  ASSERT_EQ(sim_.plans_of(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.plans_of(0)[0].weight, 1.0);
+  EXPECT_EQ(sim_.instance_ids().size(), 1u);
+}
+
+// Contract check (common/check.h): a non-positive or non-finite headroom
+// target aborts at construction.
+using DynamicHandlerDeathTest = DynamicHandlerTest;
+
+TEST_F(DynamicHandlerDeathTest, RejectsNonPositiveHeadroom) {
+  DynamicHandlerConfig cfg;
+  cfg.headroom = 0.0;
+  EXPECT_DEATH(DynamicHandler(sim_, orch_, cfg),
+               "dynamic_handler.cc:[0-9]+: check failed:");
+}
+
+TEST_F(DynamicHandlerDeathTest, RejectsNonFiniteHeadroom) {
+  DynamicHandlerConfig cfg;
+  cfg.headroom = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(DynamicHandler(sim_, orch_, cfg),
+               "dynamic_handler.cc:[0-9]+: check failed:");
 }
 
 TEST_F(DynamicHandlerTest, PeakExtraCoresTracksConcurrentFailovers) {

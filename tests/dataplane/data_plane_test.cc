@@ -254,5 +254,49 @@ TEST_F(DataPlaneTest, RevisitingSameHostTwiceIsRejected) {
                std::invalid_argument);
 }
 
+TEST_F(DataPlaneTest, RuleFaultHookFailsInstallsWithoutLeavingState) {
+  SubclassPlan plan;
+  plan.class_id = 0;
+  plan.subclass_id = 0;
+  plan.weight = 1.0;
+  plan.itinerary = {{1, {1}}};
+
+  int consulted = 0;
+  dp_.set_rule_fault_hook([&](traffic::ClassId cls) {
+    ++consulted;
+    return cls == 0;  // fail class 0 only
+  });
+  EXPECT_THROW(dp_.install_class(make_class(0, {0, 1, 2, 3}), {plan}),
+               RuleInstallError);
+  EXPECT_FALSE(dp_.has_class(0));
+  EXPECT_EQ(dp_.num_classes(), 0u);
+  EXPECT_EQ(consulted, 1);
+
+  plan.class_id = 5;
+  dp_.install_class(make_class(5, {0, 1, 2, 3}), {plan});  // other ids pass
+  EXPECT_TRUE(dp_.has_class(5));
+
+  // update_class goes through the same hook; the old plans survive.
+  dp_.set_rule_fault_hook([](traffic::ClassId) { return true; });
+  SubclassPlan updated = plan;
+  updated.itinerary = {{2, {2}}};
+  EXPECT_THROW(dp_.update_class(5, {updated}), RuleInstallError);
+  ASSERT_EQ(dp_.plans_of(5).size(), 1u);
+  EXPECT_EQ(dp_.plans_of(5)[0].itinerary[0].at_switch, 1u);
+
+  dp_.set_rule_fault_hook(nullptr);  // cleared: installs are clean again
+  EXPECT_NO_THROW(dp_.update_class(5, {updated}));
+  EXPECT_EQ(dp_.plans_of(5)[0].itinerary[0].at_switch, 2u);
+}
+
+TEST_F(DataPlaneTest, InstanceLookupReturnsRegisteredFacts) {
+  const auto fw = dp_.instance(1);
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(fw->type, NfType::kFirewall);
+  EXPECT_EQ(fw->host_switch, 1u);
+  EXPECT_DOUBLE_EQ(fw->capacity_mbps, 900.0);
+  EXPECT_FALSE(dp_.instance(999).has_value());
+}
+
 }  // namespace
 }  // namespace apple::dataplane

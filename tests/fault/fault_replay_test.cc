@@ -1,0 +1,208 @@
+// End-to-end fault replay: seeded schedules fired against a live placement
+// must be fully repaired, policy-clean, and bit-deterministic — the three
+// gates bench_fault_recovery enforces, exercised here per scenario.
+#include "core/fault_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "traffic/synthesis.h"
+#include "traffic/traffic_matrix.h"
+
+namespace apple::core {
+namespace {
+
+class FaultReplayTest : public ::testing::Test {
+ protected:
+  FaultReplayTest()
+      : topo_(net::make_internet2()),
+        controller_(topo_, vnf::default_policy_chains(), config()) {
+    const traffic::TrafficMatrix base = traffic::make_gravity_matrix(
+        topo_.num_nodes(), {.total_mbps = 5000.0});
+    traffic::DiurnalConfig diurnal;
+    diurnal.num_snapshots = 6;
+    diurnal.snapshots_per_day = 6;
+    diurnal.noise_sigma = 0.0;
+    series_ = traffic::make_diurnal_series(base, diurnal);
+    epoch_ = controller_.optimize(traffic::mean_matrix(series_));
+  }
+
+  static ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.engine.strategy = PlacementStrategy::kGreedy;
+    cfg.policied_fraction = 0.5;
+    return cfg;
+  }
+
+  fault::FaultSchedule seeded(fault::ScheduleConfig cfg) const {
+    cfg.start = 1.0;
+    cfg.horizon = 4.0;
+    return fault::make_schedule(topo_, cfg);
+  }
+
+  FaultReplayResult run(const fault::FaultSchedule& schedule) const {
+    return replay_with_faults(controller_, epoch_, series_, schedule);
+  }
+
+  net::Topology topo_;
+  AppleController controller_;
+  std::vector<traffic::TrafficMatrix> series_;
+  Epoch epoch_;
+};
+
+TEST_F(FaultReplayTest, FaultFreeReplayIsClean) {
+  const FaultReplayResult result = run(fault::FaultSchedule{});
+  EXPECT_EQ(result.recovery.injected, 0u);
+  EXPECT_TRUE(result.recovery.all_repaired());
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  EXPECT_GT(result.recovery.policy_probes, 0u);
+  EXPECT_EQ(result.recovery.blackholed_probes, 0u);
+  EXPECT_EQ(result.snapshot_loss.size(), series_.size());
+  EXPECT_DOUBLE_EQ(result.recovery.traffic_lost_mbit, 0.0);
+}
+
+TEST_F(FaultReplayTest, CrashesAreDetectedRepairedAndPolicyClean) {
+  fault::ScheduleConfig cfg;
+  cfg.instance_crashes = 2;
+  cfg.seed = 11;
+  const FaultReplayResult result = run(seeded(cfg));
+
+  EXPECT_EQ(result.recovery.injected, 2u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  EXPECT_EQ(result.faults_skipped, 0u);
+  // Detection rides the counter poll: strictly positive, bounded by the
+  // poll interval; repair cannot precede detection.
+  for (const fault::FaultRecord& r : result.recovery.records) {
+    EXPECT_GT(r.time_to_detect(), 0.0);
+    EXPECT_LE(r.time_to_detect(), 0.1 + 1e-9);
+    EXPECT_GE(r.time_to_repair(), r.time_to_detect());
+  }
+  // A crash blackholes its instance's share until the replacement serves.
+  EXPECT_GT(result.recovery.traffic_lost_mbit, 0.0);
+}
+
+TEST_F(FaultReplayTest, SameSeedRunsAreByteIdentical) {
+  fault::ScheduleConfig cfg;
+  cfg.instance_crashes = 2;
+  cfg.link_flaps = 1;
+  cfg.seed = 5;
+  const FaultReplayResult a = run(seeded(cfg));
+  const FaultReplayResult b = run(seeded(cfg));
+  EXPECT_EQ(a.recovery.fingerprint(), b.recovery.fingerprint());
+  EXPECT_EQ(a.snapshot_loss, b.snapshot_loss);
+  EXPECT_EQ(a.snapshot_blackholed, b.snapshot_blackholed);
+  EXPECT_EQ(a.end_time, b.end_time);
+
+  fault::ScheduleConfig other = cfg;
+  other.seed = 6;
+  const FaultReplayResult c = run(seeded(other));
+  EXPECT_NE(a.recovery.fingerprint(), c.recovery.fingerprint());
+}
+
+TEST_F(FaultReplayTest, NodeFailureIsRepairedByReoptimization) {
+  fault::ScheduleConfig cfg;
+  cfg.node_failures = 1;
+  cfg.seed = 3;
+  const FaultReplayResult result = run(seeded(cfg));
+
+  EXPECT_EQ(result.recovery.injected, 1u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  // The full placement swap pays boot + rule-install makespan, far beyond
+  // a single crash failover.
+  const fault::FaultRecord& r = result.recovery.records.front();
+  EXPECT_EQ(r.kind, fault::FaultKind::kNodeDown);
+  EXPECT_GT(r.time_to_repair(), 1.0);
+}
+
+TEST_F(FaultReplayTest, LinkFlapSelfRepairsWithoutReroute) {
+  fault::ScheduleConfig cfg;
+  cfg.link_flaps = 2;
+  cfg.seed = 7;
+  const FaultReplayResult result = run(seeded(cfg));
+
+  EXPECT_EQ(result.recovery.injected, 2u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  // Interference freedom: the outage ends when the link comes back, so
+  // repair time tracks the scheduled downtime window.
+  for (const fault::FaultRecord& r : result.recovery.records) {
+    EXPECT_EQ(r.kind, fault::FaultKind::kLinkDown);
+    EXPECT_GE(r.time_to_repair(), cfg.link_downtime_min - 1e-9);
+    EXPECT_LE(r.time_to_repair(), cfg.link_downtime_max + 1e-9);
+  }
+}
+
+TEST_F(FaultReplayTest, OrdinalFaultsForceRetriesButStillRepair) {
+  // Hand-built timeline: a crash at t=1, with a boot fault and a rule fault
+  // armed just after it, so the recovery launch and the recovery rule swap
+  // each eat exactly one injected failure and must retry.
+  std::vector<fault::FaultEvent> events;
+  fault::FaultEvent crash;
+  crash.fault_id = 0;
+  crash.at = 1.0;
+  crash.kind = fault::FaultKind::kInstanceCrash;
+  crash.ordinal = 2;
+  events.push_back(crash);
+  fault::FaultEvent boot;
+  boot.fault_id = 1;
+  boot.at = 1.01;
+  boot.kind = fault::FaultKind::kBootFailure;
+  events.push_back(boot);
+  fault::FaultEvent rule;
+  rule.fault_id = 2;
+  rule.at = 1.02;
+  rule.kind = fault::FaultKind::kRuleInstallFailure;
+  events.push_back(rule);
+
+  const FaultReplayResult result =
+      run(fault::FaultSchedule(std::move(events)));
+  EXPECT_EQ(result.recovery.injected, 3u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  EXPECT_GE(result.boot_retries, 1u);
+  EXPECT_GE(result.rule_retries, 1u);
+}
+
+TEST_F(FaultReplayTest, SlowBootStretchesRecoveryButRepairs) {
+  std::vector<fault::FaultEvent> events;
+  fault::FaultEvent crash;
+  crash.fault_id = 0;
+  crash.at = 1.0;
+  crash.kind = fault::FaultKind::kInstanceCrash;
+  crash.ordinal = 0;
+  events.push_back(crash);
+  fault::FaultEvent slow;
+  slow.fault_id = 1;
+  slow.at = 1.01;
+  slow.kind = fault::FaultKind::kSlowBoot;
+  slow.multiplier = 4.0;
+  events.push_back(slow);
+
+  const FaultReplayResult result =
+      run(fault::FaultSchedule(std::move(events)));
+  EXPECT_EQ(result.recovery.injected, 2u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+  EXPECT_EQ(result.boot_retries, 0u);  // slow, not failed
+}
+
+TEST_F(FaultReplayTest, CorrelatedBurstRepairsBothCrashes) {
+  fault::ScheduleConfig cfg;
+  cfg.correlated_bursts = 1;
+  cfg.seed = 13;
+  const FaultReplayResult result = run(seeded(cfg));
+  EXPECT_EQ(result.recovery.injected, 2u);
+  EXPECT_TRUE(result.recovery.all_repaired())
+      << result.recovery.fingerprint();
+  EXPECT_EQ(result.recovery.policy_violations, 0u);
+}
+
+}  // namespace
+}  // namespace apple::core

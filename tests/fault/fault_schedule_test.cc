@@ -1,0 +1,204 @@
+// FaultSchedule compiler: determinism, event shape, and the CLI spec
+// parser.
+#include "fault/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace apple::fault {
+namespace {
+
+ScheduleConfig full_config(std::uint64_t seed) {
+  ScheduleConfig cfg;
+  cfg.seed = seed;
+  cfg.instance_crashes = 2;
+  cfg.node_failures = 1;
+  cfg.link_flaps = 2;
+  cfg.boot_failures = 1;
+  cfg.slow_boots = 1;
+  cfg.rule_install_failures = 1;
+  cfg.correlated_bursts = 1;
+  return cfg;
+}
+
+TEST(FaultSchedule, SameSeedCompilesIdenticalSchedules) {
+  const net::Topology topo = net::make_internet2();
+  const FaultSchedule a = make_schedule(topo, full_config(42));
+  const FaultSchedule b = make_schedule(topo, full_config(42));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FaultEvent& ea = a.events()[i];
+    const FaultEvent& eb = b.events()[i];
+    EXPECT_EQ(ea.fault_id, eb.fault_id);
+    EXPECT_EQ(ea.at, eb.at);  // bit-identical, not just close
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.link, eb.link);
+    EXPECT_EQ(ea.node, eb.node);
+    EXPECT_EQ(ea.ordinal, eb.ordinal);
+    EXPECT_EQ(ea.multiplier, eb.multiplier);
+  }
+}
+
+TEST(FaultSchedule, DifferentSeedsDiffer) {
+  const net::Topology topo = net::make_internet2();
+  const FaultSchedule a = make_schedule(topo, full_config(1));
+  const FaultSchedule b = make_schedule(topo, full_config(2));
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.events()[i].at != b.events()[i].at) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultSchedule, EventsSortedAndWithinWindow) {
+  const net::Topology topo = net::make_geant();
+  ScheduleConfig cfg = full_config(7);
+  cfg.start = 2.0;
+  cfg.horizon = 6.0;
+  const FaultSchedule schedule = make_schedule(topo, cfg);
+  double prev = 0.0;
+  for (const FaultEvent& e : schedule.events()) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+    if (e.kind == FaultKind::kLinkUp) continue;  // downtime extends past it
+    EXPECT_GE(e.at, cfg.start);
+    EXPECT_LT(e.at, cfg.horizon);
+  }
+  EXPECT_EQ(schedule.horizon(), prev);
+}
+
+TEST(FaultSchedule, CountsAndKindsMatchConfig) {
+  const net::Topology topo = net::make_internet2();
+  const ScheduleConfig cfg = full_config(3);
+  const FaultSchedule schedule = make_schedule(topo, cfg);
+  // A flap compiles to 2 events (down + up) sharing one fault id.
+  EXPECT_EQ(schedule.size(), cfg.total_faults() + cfg.link_flaps);
+  EXPECT_EQ(schedule.num_faults(), cfg.total_faults());
+
+  std::size_t crashes = 0, downs = 0, ups = 0, nodes = 0;
+  for (const FaultEvent& e : schedule.events()) {
+    switch (e.kind) {
+      case FaultKind::kInstanceCrash: ++crashes; break;
+      case FaultKind::kLinkDown: ++downs; break;
+      case FaultKind::kLinkUp: ++ups; break;
+      case FaultKind::kNodeDown:
+        ++nodes;
+        EXPECT_NE(e.node, net::kInvalidNode);
+        break;
+      default: break;
+    }
+  }
+  // 2 plain crashes + 1 burst of 2.
+  EXPECT_EQ(crashes, 4u);
+  EXPECT_EQ(downs, 2u);
+  EXPECT_EQ(ups, 2u);
+  EXPECT_EQ(nodes, 1u);
+}
+
+TEST(FaultSchedule, FlapPairSharesIdAndOrdersDownBeforeUp) {
+  const net::Topology topo = net::make_internet2();
+  ScheduleConfig cfg;
+  cfg.link_flaps = 3;
+  const FaultSchedule schedule = make_schedule(topo, cfg);
+  std::map<FaultId, std::pair<double, double>> pairs;  // id -> (down, up)
+  for (const FaultEvent& e : schedule.events()) {
+    if (e.kind == FaultKind::kLinkDown) pairs[e.fault_id].first = e.at;
+    if (e.kind == FaultKind::kLinkUp) pairs[e.fault_id].second = e.at;
+  }
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const auto& [id, times] : pairs) {
+    EXPECT_GE(times.second - times.first, cfg.link_downtime_min - 1e-12);
+    EXPECT_LE(times.second - times.first, cfg.link_downtime_max + 1e-12);
+  }
+}
+
+TEST(FaultSchedule, CorrelatedBurstIsSimultaneousWithDistinctIds) {
+  const net::Topology topo = net::make_internet2();
+  ScheduleConfig cfg;
+  cfg.correlated_bursts = 1;
+  const FaultSchedule schedule = make_schedule(topo, cfg);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule.events()[0].at, schedule.events()[1].at);
+  EXPECT_NE(schedule.events()[0].fault_id, schedule.events()[1].fault_id);
+}
+
+TEST(FaultSchedule, RejectsImpossibleTargets) {
+  net::Topology linkless;
+  linkless.add_node("a", 8.0);
+  ScheduleConfig links;
+  links.link_flaps = 1;
+  EXPECT_THROW(make_schedule(linkless, links), std::invalid_argument);
+
+  net::Topology hostless;
+  hostless.add_node("a");
+  hostless.add_node("b");
+  ScheduleConfig nodes;
+  nodes.node_failures = 1;
+  EXPECT_THROW(make_schedule(hostless, nodes), std::invalid_argument);
+}
+
+TEST(FaultSchedule, ValidateRejectsBadWindows) {
+  ScheduleConfig cfg;
+  cfg.start = 5.0;
+  cfg.horizon = 5.0;  // empty window
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ScheduleConfig{};
+  cfg.link_downtime_min = 2.0;
+  cfg.link_downtime_max = 1.0;  // inverted
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ScheduleConfig{};
+  cfg.slow_boot_multiplier = 0.5;  // a speed-UP is not a fault
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleSpec, ParsesKeyValueList) {
+  const ScheduleConfig cfg = parse_schedule_spec(
+      "crashes=2,link-flaps=1,node-failures=1,boot-failures=3,slow-boots=1,"
+      "rule-failures=2,bursts=1,seed=9,start=0.5,horizon=4");
+  EXPECT_EQ(cfg.instance_crashes, 2u);
+  EXPECT_EQ(cfg.link_flaps, 1u);
+  EXPECT_EQ(cfg.node_failures, 1u);
+  EXPECT_EQ(cfg.boot_failures, 3u);
+  EXPECT_EQ(cfg.slow_boots, 1u);
+  EXPECT_EQ(cfg.rule_install_failures, 2u);
+  EXPECT_EQ(cfg.correlated_bursts, 1u);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_DOUBLE_EQ(cfg.start, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.horizon, 4.0);
+}
+
+TEST(FaultScheduleSpec, EmptySpecKeepsBase) {
+  ScheduleConfig base;
+  base.instance_crashes = 5;
+  const ScheduleConfig cfg = parse_schedule_spec("", base);
+  EXPECT_EQ(cfg.instance_crashes, 5u);
+}
+
+TEST(FaultScheduleSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_schedule_spec("unknown=1"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_spec("crashes"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_spec("crashes=-1"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_spec("crashes=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_spec("crashes=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule_spec("start=3,horizon=2"),
+               std::invalid_argument);
+}
+
+TEST(FaultKindNames, RoundTripAllKinds) {
+  EXPECT_EQ(to_string(FaultKind::kLinkDown), "link-down");
+  EXPECT_EQ(to_string(FaultKind::kRuleInstallFailure),
+            "rule-install-failure");
+  EXPECT_TRUE(is_ordinal(FaultKind::kBootFailure));
+  EXPECT_TRUE(is_ordinal(FaultKind::kSlowBoot));
+  EXPECT_TRUE(is_ordinal(FaultKind::kRuleInstallFailure));
+  EXPECT_FALSE(is_ordinal(FaultKind::kLinkDown));
+  EXPECT_FALSE(is_ordinal(FaultKind::kNodeDown));
+  EXPECT_FALSE(is_ordinal(FaultKind::kInstanceCrash));
+}
+
+}  // namespace
+}  // namespace apple::fault

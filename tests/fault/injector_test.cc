@@ -1,0 +1,253 @@
+// FaultInjector: link severing, node kills, ordinal-fault hooks, and the
+// deterministic victim selection they all share.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "sim/event_queue.h"
+
+namespace apple::fault {
+namespace {
+
+using vnf::NfType;
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest()
+      : topo_(net::make_line(4, 64.0)),
+        flow_(0.05),
+        orch_(topo_),
+        dp_(topo_),
+        injector_({&topo_, &flow_, &orch_, &dp_},
+                  {[this](const FaultEvent& e, double now) {
+                     injected_.push_back({e.fault_id, now});
+                   },
+                   [this](const FaultEvent& e, double now) {
+                     cleared_.push_back({e.fault_id, now});
+                   }}) {}
+
+  // Launches an NF at switch `v` and registers it everywhere a real driver
+  // would; non-ClickOS types must take the full OpenStack pipeline.
+  vnf::InstanceId launch(NfType type, net::NodeId v) {
+    const orch::LaunchResult r =
+        orch_.launch(type, v, flow_.now(),
+                     vnf::spec_of(type).clickos ? orch::LaunchPath::kBareXen
+                                                : orch::LaunchPath::kOpenStack);
+    EXPECT_TRUE(r.ok()) << to_string(r.status);
+    flow_.add_instance(r.instance, r.ready_at);
+    dp_.register_instance(r.instance);
+    return r.instance.id;
+  }
+
+  // Arms a hand-built schedule and runs the clock past its horizon.
+  void arm_and_run(std::vector<FaultEvent> events, double until) {
+    injector_.arm(queue_, FaultSchedule(std::move(events)));
+    queue_.run_until(until);
+  }
+
+  static FaultEvent event(FaultId id, double at, FaultKind kind) {
+    FaultEvent e;
+    e.fault_id = id;
+    e.at = at;
+    e.kind = kind;
+    return e;
+  }
+
+  net::Topology topo_;
+  sim::FlowSimulation flow_;
+  orch::ResourceOrchestrator orch_;
+  dataplane::DataPlane dp_;
+  FaultInjector injector_;
+  sim::EventQueue queue_;
+  std::vector<std::pair<FaultId, double>> injected_;
+  std::vector<std::pair<FaultId, double>> cleared_;
+};
+
+TEST_F(InjectorTest, LinkDownSeversClassAndLinkUpRestores) {
+  const net::LinkId link01 = *topo_.find_link(0, 1);
+  injector_.register_class(7, {0, 1, 2});
+  injector_.register_class(8, {2, 3});  // does not cross link01
+
+  FaultEvent down = event(0, 1.0, FaultKind::kLinkDown);
+  down.link = link01;
+  FaultEvent up = down;
+  up.kind = FaultKind::kLinkUp;
+  up.at = 2.0;
+  arm_and_run({down, up}, 1.5);
+
+  EXPECT_FALSE(topo_.link_up(link01));
+  EXPECT_TRUE(injector_.link_is_down(link01));
+  EXPECT_TRUE(flow_.class_severed(7));
+  EXPECT_FALSE(flow_.class_severed(8));
+  EXPECT_EQ(injector_.classes_severed(0),
+            (std::vector<traffic::ClassId>{7}));
+  ASSERT_EQ(injected_.size(), 1u);
+  EXPECT_DOUBLE_EQ(injected_[0].second, 1.0);
+
+  queue_.run_until(3.0);
+  EXPECT_TRUE(topo_.link_up(link01));
+  EXPECT_FALSE(injector_.link_is_down(link01));
+  EXPECT_FALSE(flow_.class_severed(7));
+  ASSERT_EQ(cleared_.size(), 1u);
+  EXPECT_EQ(cleared_[0].first, 0u);
+  EXPECT_DOUBLE_EQ(cleared_[0].second, 2.0);
+}
+
+TEST_F(InjectorTest, OverlappingOutagesRestoreOnlyWhenPathIsWhole) {
+  const net::LinkId link01 = *topo_.find_link(0, 1);
+  const net::LinkId link12 = *topo_.find_link(1, 2);
+  injector_.register_class(5, {0, 1, 2});
+
+  FaultEvent down_a = event(0, 1.0, FaultKind::kLinkDown);
+  down_a.link = link01;
+  FaultEvent up_a = down_a;
+  up_a.kind = FaultKind::kLinkUp;
+  up_a.at = 2.0;
+  FaultEvent down_b = event(1, 1.5, FaultKind::kLinkDown);
+  down_b.link = link12;
+  FaultEvent up_b = down_b;
+  up_b.kind = FaultKind::kLinkUp;
+  up_b.at = 3.0;
+
+  arm_and_run({down_a, up_a, down_b, up_b}, 2.5);
+  // link01 is back but link12 is still dead: the path stays severed.
+  EXPECT_TRUE(flow_.class_severed(5));
+  // The second down found the class already severed, so it owns nothing.
+  EXPECT_TRUE(injector_.classes_severed(1).empty());
+
+  queue_.run_until(3.5);
+  EXPECT_FALSE(flow_.class_severed(5));
+}
+
+TEST_F(InjectorTest, NodeDownKillsEveryInstanceOnTheHost) {
+  const vnf::InstanceId fw = launch(NfType::kFirewall, 1);
+  const vnf::InstanceId ids = launch(NfType::kIds, 1);
+  const vnf::InstanceId other = launch(NfType::kFirewall, 2);
+
+  FaultEvent e = event(3, 1.0, FaultKind::kNodeDown);
+  e.node = 1;
+  arm_and_run({e}, 1.5);
+
+  EXPECT_TRUE(injector_.node_is_down(1));
+  EXPECT_TRUE(orch_.host_down(1));
+  EXPECT_FALSE(orch_.is_alive(fw));
+  EXPECT_FALSE(orch_.is_alive(ids));
+  EXPECT_TRUE(orch_.is_alive(other));
+  EXPECT_FALSE(flow_.instance_alive(fw));
+  EXPECT_FALSE(dp_.has_instance(fw));
+  EXPECT_TRUE(dp_.has_instance(other));
+
+  const auto& killed = injector_.instances_killed(3);
+  ASSERT_EQ(killed.size(), 2u);
+  // Victims are recorded in ascending id order with placement facts.
+  EXPECT_EQ(killed[0].id, fw);
+  EXPECT_EQ(killed[0].host, 1u);
+  EXPECT_EQ(killed[0].type, NfType::kFirewall);
+  EXPECT_EQ(killed[1].id, ids);
+  EXPECT_EQ(killed[1].type, NfType::kIds);
+
+  // Launching at the dead host is rejected until it is repaired.
+  const orch::LaunchResult r =
+      orch_.launch(NfType::kFirewall, 1, 2.0, orch::LaunchPath::kBareXen);
+  EXPECT_EQ(r.status, orch::LaunchStatus::kHostDown);
+}
+
+TEST_F(InjectorTest, CrashSelectsOrdinalOverSortedLiveIds) {
+  const vnf::InstanceId a = launch(NfType::kFirewall, 1);
+  const vnf::InstanceId b = launch(NfType::kIds, 2);
+  const vnf::InstanceId c = launch(NfType::kFirewall, 3);
+  ASSERT_LT(a, b);
+  ASSERT_LT(b, c);
+
+  // ordinal 4 over live {a,b,c} -> index 4 % 3 = 1 -> b.
+  FaultEvent first = event(0, 1.0, FaultKind::kInstanceCrash);
+  first.ordinal = 4;
+  // After b dies, live is {a,c}; ordinal 3 -> index 3 % 2 = 1 -> c.
+  FaultEvent second = event(1, 2.0, FaultKind::kInstanceCrash);
+  second.ordinal = 3;
+  arm_and_run({first, second}, 3.0);
+
+  ASSERT_EQ(injector_.instances_killed(0).size(), 1u);
+  EXPECT_EQ(injector_.instances_killed(0)[0].id, b);
+  ASSERT_EQ(injector_.instances_killed(1).size(), 1u);
+  EXPECT_EQ(injector_.instances_killed(1)[0].id, c);
+  EXPECT_TRUE(orch_.is_alive(a));
+  EXPECT_EQ(injector_.faults_skipped(), 0u);
+}
+
+TEST_F(InjectorTest, CrashWithEmptyFleetIsCountedAsSkipped) {
+  arm_and_run({event(0, 1.0, FaultKind::kInstanceCrash)}, 2.0);
+  EXPECT_EQ(injector_.faults_skipped(), 1u);
+  EXPECT_TRUE(injector_.instances_killed(0).empty());
+  EXPECT_TRUE(injected_.empty());
+}
+
+TEST_F(InjectorTest, BootFailureFiresOnNextLaunch) {
+  arm_and_run({event(9, 1.0, FaultKind::kBootFailure)}, 1.5);
+  EXPECT_EQ(injector_.pending_boot_faults(), 1u);
+
+  const orch::LaunchResult r =
+      orch_.launch(NfType::kFirewall, 1, 1.5, orch::LaunchPath::kBareXen);
+  EXPECT_EQ(r.status, orch::LaunchStatus::kBootFailure);
+  EXPECT_EQ(injector_.pending_boot_faults(), 0u);
+
+  const auto fired = injector_.take_fired_ordinal();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->fault_id, 9u);
+  EXPECT_EQ(fired->kind, FaultKind::kBootFailure);
+  EXPECT_FALSE(injector_.take_fired_ordinal().has_value());
+
+  // The fault is spent: the next launch is clean.
+  const orch::LaunchResult retry =
+      orch_.launch(NfType::kFirewall, 1, 2.0, orch::LaunchPath::kBareXen);
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST_F(InjectorTest, SlowBootStretchesTheBootLatency) {
+  FaultEvent slow = event(4, 1.0, FaultKind::kSlowBoot);
+  slow.multiplier = 4.0;
+  arm_and_run({slow}, 1.5);
+
+  const double normal = orch_.timings().clickos_boot_bare_xen;
+  const orch::LaunchResult r =
+      orch_.launch(NfType::kFirewall, 1, 2.0, orch::LaunchPath::kBareXen);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ready_at, 2.0 + 4.0 * normal, 1e-9);
+
+  const auto fired = injector_.take_fired_ordinal();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->kind, FaultKind::kSlowBoot);
+}
+
+TEST_F(InjectorTest, RuleInstallFaultRejectsExactlyOneInstall) {
+  const vnf::InstanceId fw = launch(NfType::kFirewall, 1);
+
+  traffic::TrafficClass cls;
+  cls.id = 0;
+  cls.src = 0;
+  cls.dst = 3;
+  cls.path = {0, 1, 2, 3};
+  dataplane::SubclassPlan plan;
+  plan.class_id = 0;
+  plan.subclass_id = 0;
+  plan.weight = 1.0;
+  plan.itinerary = {{1, {fw}}};
+
+  arm_and_run({event(6, 1.0, FaultKind::kRuleInstallFailure)}, 1.5);
+  EXPECT_EQ(injector_.pending_rule_faults(), 1u);
+  EXPECT_THROW(dp_.install_class(cls, {plan}), dataplane::RuleInstallError);
+  EXPECT_FALSE(dp_.has_class(0));  // rejected install left no state behind
+  EXPECT_EQ(injector_.pending_rule_faults(), 0u);
+
+  const auto fired = injector_.take_fired_ordinal();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->fault_id, 6u);
+
+  // Retry, like a controller re-pushing the flow-mod.
+  EXPECT_NO_THROW(dp_.install_class(cls, {plan}));
+  EXPECT_TRUE(dp_.has_class(0));
+}
+
+}  // namespace
+}  // namespace apple::fault

@@ -1,0 +1,198 @@
+// RecoveryMonitor: fault lifecycle accounting, latency statistics, policy
+// probing against a live data plane, and the determinism fingerprint.
+#include "fault/recovery_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace apple::fault {
+namespace {
+
+using vnf::NfType;
+
+FaultEvent crash_event(FaultId id) {
+  FaultEvent e;
+  e.fault_id = id;
+  e.kind = FaultKind::kInstanceCrash;
+  return e;
+}
+
+TEST(RecoveryMonitor, LifecycleTimestampsAndIdempotence) {
+  RecoveryMonitor monitor;
+  monitor.on_injected(crash_event(1), 2.0);
+  monitor.on_injected(crash_event(1), 5.0);  // duplicate: ignored
+
+  auto rec = monitor.record(1);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->injected_at, 2.0);
+  EXPECT_FALSE(rec->detected());
+  EXPECT_FALSE(monitor.all_repaired());
+  EXPECT_EQ(monitor.open_faults(), (std::vector<FaultId>{1}));
+
+  monitor.on_detected(1, 2.5);
+  monitor.on_detected(1, 9.0);  // first detection wins
+  rec = monitor.record(1);
+  EXPECT_DOUBLE_EQ(rec->detected_at, 2.5);
+  EXPECT_DOUBLE_EQ(rec->time_to_detect(), 0.5);
+
+  monitor.on_repaired(1, 4.0);
+  monitor.on_repaired(1, 9.0);  // ignored
+  rec = monitor.record(1);
+  EXPECT_DOUBLE_EQ(rec->repaired_at, 4.0);
+  EXPECT_DOUBLE_EQ(rec->time_to_repair(), 2.0);
+  EXPECT_TRUE(monitor.all_repaired());
+  EXPECT_TRUE(monitor.open_faults().empty());
+}
+
+TEST(RecoveryMonitor, RepairImpliesDetection) {
+  // Self-clearing faults (link up) may never get an explicit on_detected.
+  RecoveryMonitor monitor;
+  monitor.on_injected(crash_event(3), 1.0);
+  monitor.on_repaired(3, 2.5);
+  const auto rec = monitor.record(3);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->detected_at, 2.5);
+  EXPECT_DOUBLE_EQ(rec->repaired_at, 2.5);
+}
+
+TEST(RecoveryMonitor, LossAttributionFallsBackToUnattributed) {
+  RecoveryMonitor monitor;
+  monitor.on_injected(crash_event(1), 1.0);
+  monitor.account_loss(1, 10.0);
+  monitor.account_loss(1, 5.0);
+  monitor.account_loss(99, 7.0);  // unknown fault id
+  monitor.account_unattributed(3.0);
+  monitor.account_loss(1, -1.0);  // non-positive: ignored
+
+  const RecoveryReport report = monitor.report();
+  EXPECT_DOUBLE_EQ(report.traffic_lost_mbit, 15.0);
+  EXPECT_DOUBLE_EQ(report.unattributed_lost_mbit, 10.0);
+}
+
+TEST(RecoveryMonitor, UnknownFaultQueriesAreHarmless) {
+  RecoveryMonitor monitor;
+  monitor.on_detected(5, 1.0);  // never injected: no record appears
+  monitor.on_repaired(5, 2.0);
+  EXPECT_FALSE(monitor.record(5).has_value());
+  EXPECT_TRUE(monitor.all_repaired());  // vacuous
+  EXPECT_EQ(monitor.report().injected, 0u);
+}
+
+TEST(LatencyStats, NearestRankPercentiles) {
+  // 1..100 reversed: from_samples must sort first.
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const LatencyStats stats = LatencyStats::from_samples(std::move(samples));
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+  EXPECT_DOUBLE_EQ(stats.p50, 50.0);  // nearest-rank: ceil(0.5*100) = 50th
+  EXPECT_DOUBLE_EQ(stats.p99, 99.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+}
+
+TEST(LatencyStats, SmallAndEmptySamples) {
+  const LatencyStats empty = LatencyStats::from_samples({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  const LatencyStats one = LatencyStats::from_samples({7.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.p50, 7.0);
+  EXPECT_DOUBLE_EQ(one.p99, 7.0);
+  EXPECT_DOUBLE_EQ(one.max, 7.0);
+}
+
+class PolicyProbeTest : public ::testing::Test {
+ protected:
+  PolicyProbeTest() : topo_(net::make_line(4, 64.0)), dp_(topo_) {
+    dp_.register_instance({/*id=*/1, NfType::kFirewall, /*host=*/1, 900.0});
+    dp_.register_instance({/*id=*/2, NfType::kIds, /*host=*/2, 600.0});
+
+    traffic::TrafficClass cls;
+    cls.id = 0;
+    cls.src = 0;
+    cls.dst = 3;
+    cls.path = {0, 1, 2, 3};
+    dataplane::SubclassPlan plan;
+    plan.class_id = 0;
+    plan.subclass_id = 0;
+    plan.weight = 1.0;
+    plan.itinerary = {{1, {1}}, {2, {2}}};
+    dp_.install_class(cls, {plan});
+  }
+
+  PolicyProbe probe(std::vector<NfType> expected) const {
+    PolicyProbe p;
+    p.class_id = 0;
+    p.header.src_ip = 0x0a000001;
+    p.header.dst_ip = 0x0a000002;
+    p.header.src_port = 1024;
+    p.header.dst_port = 443;
+    p.header.proto = 6;
+    p.expected_chain = std::move(expected);
+    return p;
+  }
+
+  net::Topology topo_;
+  dataplane::DataPlane dp_;
+};
+
+TEST_F(PolicyProbeTest, CorrectChainIsNoViolation) {
+  RecoveryMonitor monitor;
+  const std::vector<PolicyProbe> probes = {
+      probe({NfType::kFirewall, NfType::kIds})};
+  EXPECT_EQ(monitor.verify_policies(dp_, probes), 0u);
+  const RecoveryReport report = monitor.report();
+  EXPECT_EQ(report.policy_probes, 1u);
+  EXPECT_EQ(report.policy_violations, 0u);
+  EXPECT_EQ(report.blackholed_probes, 0u);
+}
+
+TEST_F(PolicyProbeTest, BlackholedProbeIsAllowed) {
+  // A crashed (unregistered) instance makes the walk fail mid-chain: that
+  // is availability loss during the repair window, not a violation.
+  dp_.unregister_instance(2);
+  RecoveryMonitor monitor;
+  const std::vector<PolicyProbe> probes = {
+      probe({NfType::kFirewall, NfType::kIds})};
+  EXPECT_EQ(monitor.verify_policies(dp_, probes), 0u);
+  const RecoveryReport report = monitor.report();
+  EXPECT_EQ(report.policy_violations, 0u);
+  EXPECT_EQ(report.blackholed_probes, 1u);
+}
+
+TEST_F(PolicyProbeTest, WrongChainIsAViolation) {
+  RecoveryMonitor monitor;
+  // The policy expected FW only; the data plane also ran IDS.
+  const std::vector<PolicyProbe> probes = {probe({NfType::kFirewall})};
+  EXPECT_EQ(monitor.verify_policies(dp_, probes), 1u);
+  EXPECT_EQ(monitor.policy_violations(), 1u);
+}
+
+TEST(RecoveryReport, FingerprintIsDeterministicAndValueSensitive) {
+  const auto build = [](double repair_time) {
+    RecoveryMonitor monitor;
+    monitor.on_injected(crash_event(1), 1.0);
+    monitor.on_detected(1, 1.25);
+    monitor.on_repaired(1, repair_time);
+    monitor.account_loss(1, 12.5);
+    FaultEvent link = crash_event(2);
+    link.kind = FaultKind::kLinkDown;
+    monitor.on_injected(link, 2.0);
+    return monitor.report();
+  };
+  const RecoveryReport a = build(3.0);
+  const RecoveryReport b = build(3.0);
+  const RecoveryReport c = build(3.5);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  // Human-auditable: names the fault kind and the lifecycle timestamps.
+  EXPECT_NE(a.fingerprint().find("instance-crash"), std::string::npos);
+  EXPECT_NE(a.fingerprint().find("link-down"), std::string::npos);
+  EXPECT_NE(a.fingerprint().find("totals injected=2"), std::string::npos);
+  EXPECT_FALSE(a.all_repaired());
+}
+
+}  // namespace
+}  // namespace apple::fault

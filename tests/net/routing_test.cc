@@ -103,5 +103,60 @@ TEST(PathHelpers, ValidSimplePath) {
   EXPECT_FALSE(is_valid_simple_path(t, {0, 9}));     // out of range
 }
 
+TEST(PathAlive, TracksLinkState) {
+  Topology t = make_line(4);
+  const Path path{0, 1, 2, 3};
+  EXPECT_TRUE(path_alive(t, path));
+
+  const LinkId middle = *t.find_link(1, 2);
+  t.set_link_state(middle, false);
+  EXPECT_FALSE(path_alive(t, path));
+  EXPECT_TRUE(path_alive(t, {0, 1}));   // up segment before the failure
+  EXPECT_TRUE(path_alive(t, {2, 3}));   // up segment after the failure
+  EXPECT_FALSE(t.is_connected());
+
+  t.set_link_state(middle, true);
+  EXPECT_TRUE(path_alive(t, path));
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(PathAlive, MultigraphSurvivesOneParallelLinkFailing) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  const LinkId first = t.add_link(0, 1);
+  const LinkId second = t.add_link(0, 1);
+  t.set_link_state(first, false);
+  // A hop is alive while ANY parallel link is up.
+  EXPECT_TRUE(path_alive(t, {0, 1}));
+  t.set_link_state(second, false);
+  EXPECT_FALSE(path_alive(t, {0, 1}));
+}
+
+TEST(ShortestPathTree, SkipsDownLinks) {
+  // Ring of 4: two equal-cost routes 0->2. Killing one side forces the
+  // other; killing both isolates node 2.
+  const Topology base = make_ring(4);
+  Topology t = base;
+  const LinkId l01 = *t.find_link(0, 1);
+  const LinkId l12 = *t.find_link(1, 2);
+  t.set_link_state(l01, false);
+  const ShortestPathTree around(t, 0);
+  ASSERT_TRUE(around.reachable(2));
+  EXPECT_EQ(*around.path_to(2), (Path{0, 3, 2}));
+
+  t.set_link_state(l12, false);
+  t.set_link_state(l01, true);
+  const ShortestPathTree other_way(t, 0);
+  ASSERT_TRUE(other_way.reachable(2));
+  EXPECT_EQ(*other_way.path_to(2), (Path{0, 3, 2}));
+
+  t.set_link_state(l01, false);  // both down: node 1 is fully cut off
+  const ShortestPathTree cut(t, 0);
+  EXPECT_TRUE(cut.reachable(3));
+  EXPECT_TRUE(cut.reachable(2));  // still alive the long way round
+  EXPECT_FALSE(cut.reachable(1));
+}
+
 }  // namespace
 }  // namespace apple::net

@@ -132,6 +132,94 @@ TEST_F(OrchestratorTest, InstanceLookupAndPerHostListing) {
   EXPECT_FALSE(orch.instance(999).has_value());
 }
 
+TEST_F(OrchestratorTest, FailInstanceReleasesCoresButRemembersTheId) {
+  ResourceOrchestrator orch(topo_);
+  const auto fw = orch.launch(NfType::kFirewall, 0, 0.0);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_TRUE(orch.is_alive(fw.instance.id));
+
+  EXPECT_TRUE(orch.fail_instance(fw.instance.id));
+  EXPECT_FALSE(orch.is_alive(fw.instance.id));
+  EXPECT_EQ(orch.num_failed(), 1u);
+  EXPECT_DOUBLE_EQ(orch.used_cores(0), 0.0);  // the VM is gone
+  // Crashed != never existed: the id is still remembered as failed.
+  EXPECT_FALSE(orch.fail_instance(fw.instance.id));  // already failed
+  EXPECT_FALSE(orch.fail_instance(999));             // never existed
+  EXPECT_FALSE(orch.is_alive(999));
+}
+
+TEST_F(OrchestratorTest, DownHostRejectsLaunchAndAdopt) {
+  ResourceOrchestrator orch(topo_);
+  orch.set_host_down(1, true);
+  EXPECT_TRUE(orch.host_down(1));
+  EXPECT_FALSE(orch.host_down(0));
+
+  EXPECT_EQ(orch.launch(NfType::kNat, 1, 0.0).status,
+            LaunchStatus::kHostDown);
+
+  vnf::VnfInstance carried;
+  carried.id = 50;
+  carried.type = NfType::kNat;
+  carried.host_switch = 1;
+  EXPECT_EQ(orch.adopt(carried).status, LaunchStatus::kHostDown);
+
+  // Repair: the same host serves launches again.
+  orch.set_host_down(1, false);
+  EXPECT_TRUE(orch.launch(NfType::kNat, 1, 0.0).ok());
+}
+
+TEST_F(OrchestratorTest, BootHookCanFailTheLaunchAndReleaseResources) {
+  ResourceOrchestrator orch(topo_);
+  int consulted = 0;
+  orch.set_boot_hook([&](const vnf::VnfInstance& inst, LaunchPath path,
+                         double now, double planned) {
+    ++consulted;
+    EXPECT_EQ(inst.type, NfType::kFirewall);
+    EXPECT_EQ(path, LaunchPath::kBareXen);
+    EXPECT_DOUBLE_EQ(now, 5.0);
+    EXPECT_GT(planned, 0.0);
+    return BootOutcome{.fail = true};
+  });
+  const auto r = orch.launch(NfType::kFirewall, 0, 5.0, LaunchPath::kBareXen);
+  EXPECT_EQ(r.status, LaunchStatus::kBootFailure);
+  EXPECT_EQ(consulted, 1);
+  EXPECT_DOUBLE_EQ(orch.used_cores(0), 0.0);  // nothing leaked
+  EXPECT_EQ(orch.num_instances(), 0u);
+
+  orch.set_boot_hook(nullptr);  // cleared hook: launches are clean again
+  EXPECT_TRUE(orch.launch(NfType::kFirewall, 0, 6.0,
+                          LaunchPath::kBareXen).ok());
+}
+
+TEST_F(OrchestratorTest, BootHookMultiplierStretchesReadyAt) {
+  ResourceOrchestrator orch(topo_);
+  orch.set_boot_hook([](const vnf::VnfInstance&, LaunchPath, double,
+                        double) {
+    return BootOutcome{.boot_multiplier = 10.0};
+  });
+  const auto r = orch.launch(NfType::kNat, 0, 1.0, LaunchPath::kBareXen);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ready_at, 1.0 + 10.0 * orch.timings().clickos_boot_bare_xen,
+              1e-9);
+}
+
+TEST_F(OrchestratorTest, PeekNextIdTracksTheCounter) {
+  ResourceOrchestrator orch(topo_);
+  const vnf::InstanceId before = orch.peek_next_id();
+  const auto r = orch.launch(NfType::kNat, 0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.instance.id, before);
+  EXPECT_EQ(orch.peek_next_id(), before + 1);
+
+  // Adoption advances the counter past carried-forward ids.
+  vnf::VnfInstance carried;
+  carried.id = before + 10;
+  carried.type = NfType::kNat;
+  carried.host_switch = 1;
+  ASSERT_TRUE(orch.adopt(carried).ok());
+  EXPECT_EQ(orch.peek_next_id(), before + 11);
+}
+
 TEST(OpenStackBootTime, StaysInMeasuredBandAndVaries) {
   const OrchestrationTimings t;
   double lo = 1e9, hi = 0.0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace apple::sim {
 namespace {
 
@@ -81,6 +83,35 @@ TEST(OverloadDetector, ForgetDropsState) {
 TEST(OverloadDetector, ZeroCapacityNeverTrips) {
   OverloadDetector det;
   EXPECT_FALSE(det.sample(0.0, 1, 1000.0, 0.0).has_value());
+}
+
+// Contract checks (common/check.h): a mis-configured detector aborts at
+// construction instead of silently never polling or never clearing.
+using DetectorConfigDeathTest = ::testing::Test;
+
+TEST(DetectorConfigDeathTest, RejectsNonPositivePollInterval) {
+  DetectorConfig cfg;
+  cfg.poll_interval = 0.0;
+  EXPECT_DEATH(OverloadDetector{cfg}, "detector.cc:[0-9]+: check failed:");
+}
+
+TEST(DetectorConfigDeathTest, RejectsNonFinitePollInterval) {
+  DetectorConfig cfg;
+  cfg.poll_interval = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(OverloadDetector{cfg}, "detector.cc:[0-9]+: check failed:");
+}
+
+TEST(DetectorConfigDeathTest, RejectsNegativeCounterDelay) {
+  DetectorConfig cfg;
+  cfg.counter_delay = -0.5;
+  EXPECT_DEATH(OverloadDetector{cfg}, "detector.cc:[0-9]+: check failed:");
+}
+
+TEST(DetectorConfigDeathTest, RejectsInvertedHysteresis) {
+  DetectorConfig cfg;
+  cfg.overload_threshold = 0.5;
+  cfg.clear_threshold = 0.9;  // clear above overload: would never clear
+  EXPECT_DEATH(OverloadDetector{cfg}, "detector.cc:[0-9]+: check failed:");
 }
 
 }  // namespace

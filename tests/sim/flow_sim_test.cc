@@ -139,5 +139,61 @@ TEST(FlowSimulation, ZeroRateClassCostsNothing) {
   EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(1), 0.0);
 }
 
+TEST(FlowSimulation, DeadInstanceBlackholesItsSubclasses) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.add_instance(VnfInstance{2, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 400.0);
+  sim.install_class_plans(
+      0, {plan_through(0, {1}, 0.5, 0), plan_through(0, {2}, 0.5, 1)});
+
+  sim.set_instance_alive(1, false);
+  EXPECT_FALSE(sim.instance_alive(1));
+  EXPECT_TRUE(sim.has_instance(1));  // stays installed: plans still dangle
+  EXPECT_DOUBLE_EQ(sim.instance_capacity_mbps(1), 0.0);
+
+  const TickStats stats = sim.step();
+  // Only the sub-class through the dead instance is lost, and that loss is
+  // attributed to the fault, not to congestion.
+  EXPECT_DOUBLE_EQ(stats.offered_mbps, 400.0);
+  EXPECT_NEAR(stats.delivered_mbps, 200.0, 1e-9);
+  EXPECT_NEAR(stats.blackholed_mbps, 200.0, 1e-9);
+  EXPECT_NEAR(sim.class_blackholed_mbps(0), 200.0, 1e-9);
+
+  // Repair: the instance serves again immediately.
+  sim.set_instance_alive(1, true);
+  EXPECT_DOUBLE_EQ(sim.instance_capacity_mbps(1), 900.0);
+  const TickStats after = sim.step();
+  EXPECT_DOUBLE_EQ(after.blackholed_mbps, 0.0);
+  EXPECT_NEAR(after.delivered_mbps, 400.0, 1e-9);
+}
+
+TEST(FlowSimulation, SeveredClassDeliversNothingButOthersAreUntouched) {
+  FlowSimulation sim(0.01);
+  sim.add_instance(VnfInstance{1, NfType::kFirewall, 0, 900.0});
+  sim.set_class_rate(0, 300.0);
+  sim.set_class_rate(1, 200.0);
+  sim.install_class_plans(0, {plan_through(0, {1})});
+  sim.install_class_plans(1, {plan_through(1, {1})});
+
+  sim.set_class_severed(0, true);
+  EXPECT_TRUE(sim.class_severed(0));
+  EXPECT_FALSE(sim.class_severed(1));
+
+  const TickStats stats = sim.step();
+  EXPECT_DOUBLE_EQ(stats.offered_mbps, 500.0);  // severed demand still offers
+  EXPECT_NEAR(stats.delivered_mbps, 200.0, 1e-9);
+  EXPECT_NEAR(stats.blackholed_mbps, 300.0, 1e-9);
+  EXPECT_NEAR(sim.class_blackholed_mbps(0), 300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.class_blackholed_mbps(1), 0.0);
+  // The severed class's traffic never reaches the instance.
+  EXPECT_DOUBLE_EQ(sim.instance_offered_mbps(1), 200.0);
+
+  sim.set_class_severed(0, false);
+  const TickStats after = sim.step();
+  EXPECT_DOUBLE_EQ(after.blackholed_mbps, 0.0);
+  EXPECT_NEAR(after.delivered_mbps, 500.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace apple::sim

@@ -17,7 +17,9 @@
 #include <string>
 
 #include "core/apple_controller.h"
+#include "core/fault_replay.h"
 #include "core/ilp_builder.h"
+#include "fault/fault_schedule.h"
 #include "lp/lp_format.h"
 #include "net/topologies.h"
 #include "net/topology_io.h"
@@ -40,6 +42,7 @@ struct Options {
   double policied = 0.5;
   std::size_t reoptimize = 0;
   std::uint64_t seed = 1;
+  std::string faults;  // schedule spec, e.g. "crashes=2,link-flaps=1"
 };
 
 void usage() {
@@ -56,7 +59,13 @@ void usage() {
       "  --policied <f>                            policied OD fraction (default 0.5)\n"
       "  --reoptimize <n>                          re-run the engine every n snapshots\n"
       "  --export-lp <path>                        dump the placement ILP in LP format\n"
-      "  --seed <s>                                synthesis seed");
+      "  --seed <s>                                synthesis seed\n"
+      "  --faults <spec>                           replay under a seeded fault schedule;\n"
+      "                                            spec is key=value[,...] with keys\n"
+      "                                            crashes, node-failures, link-flaps,\n"
+      "                                            boot-failures, slow-boots, rule-failures,\n"
+      "                                            bursts, seed, start, horizon\n"
+      "                                            (e.g. \"crashes=2,link-flaps=1,seed=7\")");
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -119,6 +128,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.seed = std::stoull(v);
+    } else if (arg == "--faults") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.faults = v;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -217,6 +230,43 @@ int main(int argc, char** argv) {
       std::printf("ILP exported to %s (%zu vars, %zu rows)\n",
                   opt->export_lp.c_str(), builder.model().num_vars(),
                   builder.model().num_rows());
+    }
+
+    if (!opt->faults.empty()) {
+      if (series.empty()) {
+        throw std::runtime_error(
+            "--faults needs a snapshot series to replay "
+            "(--snapshots > 0 or --tm-series)");
+      }
+      const fault::ScheduleConfig fault_cfg =
+          fault::parse_schedule_spec(opt->faults);
+      const fault::FaultSchedule schedule =
+          fault::make_schedule(topo, fault_cfg);
+      const core::FaultReplayResult result =
+          core::replay_with_faults(controller, epoch, series, schedule);
+      const fault::RecoveryReport& rec = result.recovery;
+      std::printf("fault replay: %zu events (%zu faults), seed %llu\n",
+                  schedule.size(), schedule.num_faults(),
+                  static_cast<unsigned long long>(fault_cfg.seed));
+      std::printf("  injected %zu, detected %zu, repaired %zu, skipped %zu\n",
+                  rec.injected, rec.detected, rec.repaired,
+                  result.faults_skipped);
+      std::printf("  detect latency  p50 %.3f s, p99 %.3f s\n",
+                  rec.detect_latency.p50, rec.detect_latency.p99);
+      std::printf("  repair latency  p50 %.3f s, p99 %.3f s\n",
+                  rec.repair_latency.p50, rec.repair_latency.p99);
+      std::printf("  blackholed %.1f Mbit, mean loss %.4f, "
+                  "boot retries %zu, rule retries %zu\n",
+                  rec.traffic_lost_mbit + rec.unattributed_lost_mbit,
+                  result.mean_loss, result.boot_retries, result.rule_retries);
+      std::printf("  policy probes %zu, violations %zu%s\n",
+                  rec.policy_probes, rec.policy_violations,
+                  rec.policy_violations == 0 ? " (interference-free)" : "");
+      if (!rec.all_repaired() || rec.policy_violations != 0) {
+        std::fprintf(stderr, "fault replay FAILED the recovery gate\n");
+        return 1;
+      }
+      return 0;
     }
 
     if (!series.empty()) {

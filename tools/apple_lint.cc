@@ -48,12 +48,15 @@ const std::map<std::string, std::set<std::string>>& layering_dag() {
       {"orch", {"common", "obs", "net", "vnf"}},
       {"dataplane", {"common", "obs", "net", "traffic", "vnf", "hsa"}},
       {"sim", {"common", "obs", "net", "vnf", "traffic", "hsa", "dataplane"}},
+      {"fault",
+       {"common", "obs", "net", "traffic", "vnf", "hsa", "dataplane", "orch",
+        "sim"}},
       {"core",
        {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
-        "dataplane", "orch", "sim"}},
+        "dataplane", "orch", "sim", "fault"}},
       {"baselines",
        {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
-        "dataplane", "orch", "sim", "core"}},
+        "dataplane", "orch", "sim", "fault", "core"}},
   };
   return dag;
 }
