@@ -1,0 +1,60 @@
+// Deterministic snapshots of unordered associative containers.
+//
+// The repo's reproducibility guarantees (bitwise-identical parallel B&B
+// trees, byte-identical same-seed fault replays, stable plan/rule/metrics
+// serializations) forbid letting std::unordered_map/set iteration order
+// reach any observable result: that order depends on the hash seed, the
+// insertion history and the bucket count, none of which are part of the
+// contract. `apple_analyze` (tools/analysis) flags every raw iteration
+// over an unordered container; code whose order escapes routes it through
+// these helpers instead, which cost one O(n log n) sort per snapshot.
+//
+// sorted_keys(c)  — ascending vector of the keys of an unordered map/set.
+// sorted_items(c) — ascending (key, pointer-to-mapped) pairs of an
+//                   unordered map; pointers avoid copying mapped values
+//                   and stay valid while the map is not rehashed.
+//
+// Both are recognized by the unordered-iter rule: a range-for whose range
+// expression goes through sorted_keys/sorted_items is deterministic by
+// construction and is not flagged.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace apple::common {
+
+template <typename Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (std::is_same_v<typename Container::value_type,
+                                 typename Container::key_type>) {
+      keys.push_back(entry);
+    } else {
+      keys.push_back(entry.first);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, const typename Map::mapped_type*>>
+sorted_items(const Map& map) {
+  std::vector<
+      std::pair<typename Map::key_type, const typename Map::mapped_type*>>
+      items;
+  items.reserve(map.size());
+  for (const auto& entry : map) {
+    items.emplace_back(entry.first, &entry.second);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace apple::common

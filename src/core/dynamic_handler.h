@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -99,9 +100,13 @@ class DynamicHandler {
   orch::ResourceOrchestrator* orch_;
   DynamicHandlerConfig config_;
   sim::OverloadDetector detector_;
-  std::unordered_map<traffic::ClassId, vnf::PolicyChain> chains_;
+  // Ordered maps: handle_overload walks chains_ handing out pooled
+  // replacement capacity first-come-first-served, and handle_clear walks
+  // saved_ rolling distributions back — both orders reach the installed
+  // plans, so they must be deterministic (apple_analyze unordered-iter).
+  std::map<traffic::ClassId, vnf::PolicyChain> chains_;
   std::unordered_map<traffic::ClassId, net::Path> paths_;
-  std::unordered_map<traffic::ClassId, SavedClassState> saved_;
+  std::map<traffic::ClassId, SavedClassState> saved_;
   std::vector<PendingShift> pending_;
   // Last mitigation time per instance; gates persistent-overload retries.
   std::unordered_map<vnf::InstanceId, double> last_action_;

@@ -1,7 +1,6 @@
 #include "core/optimization_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <string>
@@ -17,13 +16,7 @@ namespace apple::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 constexpr double kEps = 1e-9;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 PlacementPlan empty_plan(const PlacementInput& input) {
   PlacementPlan plan;
@@ -631,7 +624,7 @@ PlacementPlan OptimizationEngine::replace(const PlacementInput& input,
   APPLE_CHECK(prev.feasible);
   APPLE_CHECK_EQ(prev.instance_count.size(), input.topology->num_nodes());
   APPLE_CHECK_EQ(delta.prev_of.size(), input.classes.size());
-  const auto start = Clock::now();
+  const obs::Stopwatch timer;
   APPLE_OBS_COUNT("core.engine.replacements");
 
   PlacementPlan plan = empty_plan(input);
@@ -644,7 +637,7 @@ PlacementPlan OptimizationEngine::replace(const PlacementInput& input,
     // downstream delta is empty — zero churn by construction.
     plan.feasible = true;
     plan.strategy = std::string(to_string(options_.strategy)) + "-delta";
-    plan.solve_seconds = seconds_since(start);
+    plan.solve_seconds = timer.elapsed_seconds();
     return plan;
   }
 
@@ -692,12 +685,12 @@ PlacementPlan OptimizationEngine::replace(const PlacementInput& input,
           std::string("MIP solver: ") + lp::to_string(result.status);
     }
     exact.strategy = "exact-delta";
-    exact.solve_seconds = seconds_since(start);
+    exact.solve_seconds = timer.elapsed_seconds();
     return exact;
   }
 
   plan.strategy = std::string(to_string(options_.strategy)) + "-delta";
-  plan.solve_seconds = seconds_since(start);
+  plan.solve_seconds = timer.elapsed_seconds();
   if (!plan.feasible) {
     APPLE_OBS_COUNT("core.engine.replace_infeasible");
   }
@@ -706,7 +699,7 @@ PlacementPlan OptimizationEngine::replace(const PlacementInput& input,
 
 PlacementPlan OptimizationEngine::place_exact(
     const PlacementInput& input) const {
-  const auto start = Clock::now();
+  const obs::Stopwatch timer;
   const IlpBuilder builder(input, /*integral_q=*/true);
   const lp::MipResult result = lp::MipSolver(options_.mip).solve(builder.model());
   PlacementPlan plan;
@@ -722,20 +715,20 @@ PlacementPlan OptimizationEngine::place_exact(
         std::string("MIP solver: ") + lp::to_string(result.status);
   }
   plan.strategy = "exact";
-  plan.solve_seconds = seconds_since(start);
+  plan.solve_seconds = timer.elapsed_seconds();
   return plan;
 }
 
 PlacementPlan OptimizationEngine::place_lp_round(
     const PlacementInput& input) const {
-  const auto start = Clock::now();
+  const obs::Stopwatch timer;
   const IlpBuilder builder(input, /*integral_q=*/false);
   const lp::LpSolution relax =
       lp::SimplexSolver(options_.simplex).solve(builder.model());
   if (!relax.optimal()) {
     PlacementPlan plan = empty_plan(input);
     plan.strategy = "lp-round";
-    plan.solve_seconds = seconds_since(start);
+    plan.solve_seconds = timer.elapsed_seconds();
     plan.infeasibility_reason =
         std::string("LP relaxation: ") + lp::to_string(relax.status);
     return plan;
@@ -756,13 +749,13 @@ PlacementPlan OptimizationEngine::place_lp_round(
   PlacementPlan plan = fill_plan(input, popularity);
   plan.strategy = "lp-round";
   plan.lower_bound = relax.objective;
-  plan.solve_seconds = seconds_since(start);
+  plan.solve_seconds = timer.elapsed_seconds();
   return plan;
 }
 
 PlacementPlan OptimizationEngine::place_greedy(
     const PlacementInput& input) const {
-  const auto start = Clock::now();
+  const obs::Stopwatch timer;
   const net::Topology& topo = *input.topology;
 
   // Popularity of (switch, NF type): total rate of classes whose path
@@ -799,7 +792,7 @@ PlacementPlan OptimizationEngine::place_greedy(
     plan = std::move(refined);
   }
   plan.strategy = "greedy";
-  plan.solve_seconds = seconds_since(start);
+  plan.solve_seconds = timer.elapsed_seconds();
   return plan;
 }
 

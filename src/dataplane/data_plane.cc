@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/sorted.h"
 #include "obs/obs.h"
 
 namespace apple::dataplane {
@@ -100,11 +101,7 @@ bool DataPlane::has_class(traffic::ClassId class_id) const {
 }
 
 std::vector<traffic::ClassId> DataPlane::class_ids() const {
-  std::vector<traffic::ClassId> ids;
-  ids.reserve(classes_.size());
-  for (const auto& [id, installed] : classes_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return common::sorted_keys(classes_);
 }
 
 const std::vector<SubclassPlan>& DataPlane::plans_of(

@@ -91,8 +91,10 @@ MipResult MipSolver::solve(const LpModel& model) const {
   APPLE_OBS_SPAN("lp.mip.solve_seconds");
   APPLE_OBS_COUNT("lp.mip.solves");
   std::uint64_t nodes_pruned = 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() +
+  // apple-analyze: allow(ambient-time): opt-in wall-clock budget; with the
+  // default infinite time_limit_sec the deadline never fires, and a finite
+  // budget is an explicit request to trade determinism for latency
+  const auto deadline = std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(options_.time_limit_sec));
 
@@ -208,6 +210,8 @@ MipResult MipSolver::solve(const LpModel& model) const {
 
   while (!open.empty()) {
     if (res.nodes_explored >= options_.max_nodes ||
+        // apple-analyze: allow(ambient-time): deadline poll for the opt-in
+        // wall-clock budget above; unreachable under the default options
         std::chrono::steady_clock::now() > deadline) {
       hit_limit = true;
       break;

@@ -255,6 +255,9 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
   while (true) {
     if (iterations >= max_iters) return PhaseResult::kIterationLimit;
     if (has_deadline && iterations % poll == 0 &&
+        // apple-analyze: allow(ambient-time): SimplexOptions::deadline is an
+        // opt-in wall-clock escape hatch; the default (time_point::max) is
+        // never polled, so deterministic solves stay deterministic
         std::chrono::steady_clock::now() >= opt.deadline) {
       return PhaseResult::kIterationLimit;
     }

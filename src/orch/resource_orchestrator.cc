@@ -1,6 +1,7 @@
 #include "orch/resource_orchestrator.h"
 
 #include "common/check.h"
+#include "common/sorted.h"
 #include "obs/obs.h"
 
 namespace apple::orch {
@@ -239,9 +240,11 @@ std::optional<vnf::VnfInstance> ResourceOrchestrator::instance(
 
 std::vector<vnf::VnfInstance> ResourceOrchestrator::instances_at(
     net::NodeId v) const {
+  // Ascending-id order: callers launch replacements and pick crash victims
+  // from this list, so its order is part of the replay contract.
   std::vector<vnf::VnfInstance> out;
-  for (const auto& [id, inst] : instances_) {
-    if (inst.host_switch == v) out.push_back(inst);
+  for (const auto& [id, inst] : common::sorted_items(instances_)) {
+    if (inst->host_switch == v) out.push_back(*inst);
   }
   return out;
 }

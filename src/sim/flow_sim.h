@@ -15,7 +15,7 @@
 // a sub-class is the product of survival across its instances.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "dataplane/types.h"
@@ -107,8 +107,11 @@ class FlowSimulation {
 
   double tick_seconds_;
   double now_ = 0.0;
-  std::unordered_map<vnf::InstanceId, InstanceState> instances_;
-  std::unordered_map<traffic::ClassId, ClassState> classes_;
+  // Ordered maps: the tick loop accumulates floating-point offered/
+  // delivered sums across these tables, so their walk order is part of the
+  // byte-identical replay contract (apple_analyze unordered-iter).
+  std::map<vnf::InstanceId, InstanceState> instances_;
+  std::map<traffic::ClassId, ClassState> classes_;
   std::vector<TickStats> history_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/optimization_engine.h"
 #include "net/topologies.h"
 
@@ -124,7 +126,7 @@ TEST(AssignSubclasses, RespectsPerInstanceCapacity) {
   const PlacementInput input = make_input(topo, classes, chains);
   const Prepared p = prepare(input);
 
-  std::unordered_map<vnf::InstanceId, double> load;
+  std::map<vnf::InstanceId, double> load;
   for (const auto& sub : p.subclasses[0]) {
     for (const auto& visit : sub.itinerary) {
       for (const vnf::InstanceId id : visit.instances) {

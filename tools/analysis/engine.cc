@@ -1,0 +1,229 @@
+#include "analysis/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace apple::analysis {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kOff:
+      return "off";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+Corpus::Corpus(std::vector<SourceFile> files) : files_(std::move(files)) {
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path() < b.path();
+            });
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    by_path_.emplace(files_[i].path(), i);
+  }
+}
+
+const SourceFile* Corpus::find(std::string_view display_path) const {
+  const auto it = by_path_.find(display_path);
+  return it == by_path_.end() ? nullptr : &files_[it->second];
+}
+
+void Analyzer::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void Analyzer::set_severity(std::string_view rule, Severity severity) {
+  severities_.insert_or_assign(std::string(rule), severity);
+}
+
+bool Analyzer::has_rule(std::string_view rule) const {
+  if (rule == "suppression") return true;  // engine-owned meta rule
+  for (const auto& r : rules_) {
+    if (r->name() == rule) return true;
+  }
+  return false;
+}
+
+Severity Analyzer::severity_of(std::string_view rule) const {
+  const auto it = severities_.find(rule);
+  return it == severities_.end() ? Severity::kError : it->second;
+}
+
+Report Analyzer::run(const Corpus& corpus) {
+  Report report;
+  report.files_scanned = corpus.files().size();
+
+  for (const auto& rule : rules_) {
+    if (severity_of(rule->name()) == Severity::kOff) continue;
+    for (const SourceFile& file : corpus.files()) rule->collect(file);
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& file : corpus.files()) {
+    if (!file.ok()) {
+      findings.push_back(Finding{"io", file.path(), 1, Severity::kError,
+                                 "cannot read file", false, ""});
+      continue;
+    }
+    for (const auto& rule : rules_) {
+      const Severity sev = severity_of(rule->name());
+      if (sev == Severity::kOff) continue;
+      Sink sink;
+      rule->analyze(file, corpus, sink);
+      for (Finding& f : sink.findings_) {
+        f.rule = std::string(rule->name());
+        f.severity = sev;
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // Resolve suppressions. A suppression applies when its rule matches and
+  // either it is file-scoped or it covers the finding's line. Suppressions
+  // with an empty justification never suppress — they are themselves
+  // errors — but still count as "used" so they are not doubly reported as
+  // stale.
+  const Severity meta_sev = severity_of("suppression");
+  for (const SourceFile& file : corpus.files()) {
+    std::vector<bool> used(file.suppressions().size(), false);
+    for (Finding& f : findings) {
+      if (f.file != file.path()) continue;
+      for (std::size_t i = 0; i < file.suppressions().size(); ++i) {
+        const Suppression& s = file.suppressions()[i];
+        if (s.rule != f.rule) continue;
+        if (!s.file_scope && s.covered_line != f.line) continue;
+        used[i] = true;
+        if (!s.justification.empty()) {
+          f.suppressed = true;
+          f.justification = s.justification;
+        }
+        break;
+      }
+    }
+    if (meta_sev == Severity::kOff) continue;
+    for (std::size_t i = 0; i < file.suppressions().size(); ++i) {
+      const Suppression& s = file.suppressions()[i];
+      if (s.rule.empty()) {
+        findings.push_back(Finding{
+            "suppression", file.path(), s.directive_line, meta_sev,
+            "malformed apple-analyze directive: expected "
+            "'apple-analyze: allow(<rule>): <justification>'",
+            false, ""});
+      } else if (!has_rule(s.rule)) {
+        findings.push_back(Finding{"suppression", file.path(),
+                                   s.directive_line, meta_sev,
+                                   "suppression names unknown rule '" +
+                                       s.rule + "'",
+                                   false, ""});
+      } else if (s.justification.empty()) {
+        findings.push_back(Finding{"suppression", file.path(),
+                                   s.directive_line, meta_sev,
+                                   "suppression for '" + s.rule +
+                                       "' has an empty justification; say "
+                                       "why the finding is acceptable",
+                                   false, ""});
+      } else if (!used[i]) {
+        findings.push_back(Finding{"suppression", file.path(),
+                                   s.directive_line, Severity::kWarning,
+                                   "stale suppression: no '" + s.rule +
+                                       "' finding on the covered line; "
+                                       "remove it",
+                                   false, ""});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++report.suppressed;
+    } else if (f.severity == Severity::kError) {
+      ++report.errors;
+    } else if (f.severity == Severity::kWarning) {
+      ++report.warnings;
+    }
+  }
+  report.findings = std::move(findings);
+  return report;
+}
+
+std::string Report::to_json() const {
+  namespace json = apple::obs::json;
+  json::Writer w;
+  w.begin_object();
+  w.key("tool");
+  w.value("apple_analyze");
+  w.key("version");
+  w.value(std::uint64_t{1});
+  w.key("files_scanned");
+  w.value(static_cast<std::uint64_t>(files_scanned));
+
+  // Per-rule tallies, keyed in sorted order for a stable document.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_rule;
+  for (const Finding& f : findings) {
+    auto& [total, supp] = by_rule[f.rule];
+    ++total;
+    if (f.suppressed) ++supp;
+  }
+  w.key("summary");
+  w.begin_object();
+  w.key("errors");
+  w.value(static_cast<std::uint64_t>(errors));
+  w.key("warnings");
+  w.value(static_cast<std::uint64_t>(warnings));
+  w.key("suppressed");
+  w.value(static_cast<std::uint64_t>(suppressed));
+  w.key("by_rule");
+  w.begin_object();
+  for (const auto& [rule, counts] : by_rule) {
+    w.key(rule);
+    w.begin_object();
+    w.key("findings");
+    w.value(counts.first);
+    w.key("suppressed");
+    w.value(counts.second);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.key("file");
+    w.value(f.file);
+    w.key("line");
+    w.value(static_cast<std::uint64_t>(f.line));
+    w.key("rule");
+    w.value(f.rule);
+    w.key("severity");
+    w.value(severity_name(f.severity));
+    w.key("message");
+    w.value(f.message);
+    w.key("suppressed");
+    w.value(f.suppressed);
+    if (f.suppressed) {
+      w.key("justification");
+      w.value(f.justification);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace apple::analysis

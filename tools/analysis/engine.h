@@ -1,0 +1,112 @@
+// Pluggable rule engine for apple_analyze.
+//
+// An Analyzer owns a set of Rules and runs them over a Corpus (the scanned
+// SourceFiles) in two phases: collect() lets every rule observe every file
+// first (cross-file symbol tables: unordered-container names, config
+// structs, validate() call sites), then analyze() reports findings. The
+// engine — not the rules — resolves suppressions, enforces the
+// non-empty-justification contract, flags stale or unknown suppressions,
+// and applies per-rule severity overrides (error / warning / off).
+//
+// Exit-status contract: Report::clean() is true iff there are zero
+// unsuppressed error-severity findings. Suppressed findings stay in the
+// report (with their justification) so the JSON artifact is an audit
+// trail, not a filter.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace apple::analysis {
+
+enum class Severity { kOff, kWarning, kError };
+
+std::string_view severity_name(Severity s);
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  Severity severity = Severity::kError;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  // non-empty iff suppressed
+};
+
+// The scanned file set. Rules use find() to resolve project-relative
+// includes ("net/topology.h" -> "src/net/topology.h") against it.
+class Corpus {
+ public:
+  explicit Corpus(std::vector<SourceFile> files);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+  const SourceFile* find(std::string_view display_path) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t, std::less<>> by_path_;
+};
+
+// Finding collector handed to Rule::analyze. The engine fills in rule name
+// and severity and resolves suppressions afterwards.
+class Sink {
+ public:
+  void report(const SourceFile& file, std::size_t line, std::string message) {
+    findings_.push_back(Finding{"", file.path(), line, Severity::kError,
+                                std::move(message), false, ""});
+  }
+
+ private:
+  friend class Analyzer;
+  std::vector<Finding> findings_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  // Phase 1: observe a file (build cross-file state). Default: nothing.
+  virtual void collect(const SourceFile& file) { (void)file; }
+  // Phase 2: report findings for one file.
+  virtual void analyze(const SourceFile& file, const Corpus& corpus,
+                       Sink& sink) = 0;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t errors = 0;    // unsuppressed error-severity findings
+  std::size_t warnings = 0;  // unsuppressed warning-severity findings
+  std::size_t suppressed = 0;
+
+  bool clean() const { return errors == 0; }
+  // Machine-readable report (consumed by the CI artifact + tests).
+  std::string to_json() const;
+};
+
+// One-shot: rules accumulate collect() state, so build a fresh Analyzer
+// (make_default_analyzer in rules.h) per run.
+class Analyzer {
+ public:
+  void add_rule(std::unique_ptr<Rule> rule);
+  // Overrides the default (error) severity of `rule`. kOff disables it.
+  void set_severity(std::string_view rule, Severity severity);
+  bool has_rule(std::string_view rule) const;
+
+  Report run(const Corpus& corpus);
+
+ private:
+  Severity severity_of(std::string_view rule) const;
+
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::map<std::string, Severity, std::less<>> severities_;
+};
+
+}  // namespace apple::analysis

@@ -1,0 +1,37 @@
+// The determinism-hazard rule set for apple_analyze.
+//
+// Rule          | what it catches
+// --------------|-----------------------------------------------------------
+// unordered-iter| range-for / iterator loops over std::unordered_{map,set}
+//               | (order must flow through common/sorted.h snapshots)
+// ambient-time  | system/steady/high_resolution_clock::now() outside the
+//               | src/obs Clock-injection layer (bench/tools are exempt:
+//               | wall-clock measurement is their job)
+// ambient-random| std::random_device, rand()/srand(), default-constructed
+//               | (unseeded) <random> engines
+// pointer-order | ordered containers / comparators keyed by raw pointer
+//               | value (std::map<T*, ...>, std::set<T*>, std::less<T*>)
+// layering      | module include DAG, '#pragma once', 'using namespace' in
+//               | headers, raw new/delete (migrated from apple_lint)
+// contract-config| *Config/*Options structs that define validate() nobody
+//               | invokes
+//
+// All rules are token-sequence heuristics over SourceFile::tokens(); they
+// favor simple, explainable matches plus justified suppressions over parser
+// fidelity. See DESIGN.md Sec. 12 for the rule table and how to add one.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/engine.h"
+
+namespace apple::analysis {
+
+// All six rules, default severity error.
+std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+// Analyzer pre-loaded with make_default_rules().
+Analyzer make_default_analyzer();
+
+}  // namespace apple::analysis

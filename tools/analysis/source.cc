@@ -1,0 +1,238 @@
+#include "analysis/source.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace apple::analysis {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Strips // and /* */ comments and string/char literals from one raw line.
+// Block-comment state carries across lines via `in_block_comment`. The text
+// of a trailing // comment is returned through `line_comment` so the
+// suppression scanner sees it.
+std::string strip_line(const std::string& line, bool& in_block_comment,
+                       std::string* line_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      *line_comment = line.substr(i + 2);
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(' ');
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Parses an `apple-analyze: allow[-file](<rule>): <justification>` directive
+// out of a // comment, if present. The marker must open the comment
+// (modulo whitespace) so prose *about* the grammar — like this sentence —
+// is never parsed as a directive; documentation examples nest a second
+// `//` before the marker.
+bool parse_directive(const std::string& comment, std::size_t line,
+                     Suppression* out) {
+  static const std::string kMarker = "apple-analyze:";
+  const std::string trimmed = trim(comment);
+  if (trimmed.rfind(kMarker, 0) != 0) return false;
+  std::string rest = trim(trimmed.substr(kMarker.size()));
+  bool file_scope = false;
+  static const std::string kAllowFile = "allow-file(";
+  static const std::string kAllow = "allow(";
+  std::size_t open;
+  if (rest.rfind(kAllowFile, 0) == 0) {
+    file_scope = true;
+    open = kAllowFile.size();
+  } else if (rest.rfind(kAllow, 0) == 0) {
+    open = kAllow.size();
+  } else {
+    // A malformed directive (e.g. "apple-analyze: disable(x)") is surfaced
+    // as a suppression with an empty rule; the engine rejects it.
+    out->rule.clear();
+    out->justification.clear();
+    out->directive_line = line;
+    out->file_scope = false;
+    return true;
+  }
+  const std::size_t close = rest.find(')', open);
+  if (close == std::string::npos) {
+    out->rule.clear();
+    out->justification.clear();
+    out->directive_line = line;
+    out->file_scope = false;
+    return true;
+  }
+  out->rule = trim(rest.substr(open, close - open));
+  std::string tail = trim(rest.substr(close + 1));
+  if (!tail.empty() && tail.front() == ':') tail = trim(tail.substr(1));
+  out->justification = tail;
+  out->directive_line = line;
+  out->file_scope = file_scope;
+  return true;
+}
+
+}  // namespace
+
+bool SourceFile::is_header() const {
+  return path_.size() >= 2 && path_.rfind(".h") == path_.size() - 2;
+}
+
+SourceFile SourceFile::from_file(const std::string& fs_path,
+                                 std::string display_path) {
+  SourceFile f;
+  f.path_ = std::move(display_path);
+  std::ifstream in(fs_path);
+  if (!in) {
+    f.ok_ = false;
+    return f;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  f.build(buf.str());
+  return f;
+}
+
+SourceFile SourceFile::from_string(std::string display_path,
+                                   std::string_view content) {
+  SourceFile f;
+  f.path_ = std::move(display_path);
+  f.build(content);
+  return f;
+}
+
+void SourceFile::build(std::string_view content) {
+  // Split into lines (tolerating a missing trailing newline).
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      if (pos < content.size()) {
+        raw_lines_.emplace_back(content.substr(pos));
+      }
+      break;
+    }
+    std::string line(content.substr(pos, nl - pos));
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    raw_lines_.push_back(std::move(line));
+    pos = nl + 1;
+  }
+
+  bool in_block_comment = false;
+  for (std::size_t li = 0; li < raw_lines_.size(); ++li) {
+    const std::size_t lineno = li + 1;
+    std::string comment;
+    const bool started_in_block = in_block_comment;
+    const std::string code =
+        strip_line(raw_lines_[li], in_block_comment, &comment);
+
+    // Includes are matched on the raw line: the stripper blanks string
+    // literals, which would erase the quoted path. The leading-# requirement
+    // already excludes line comments; block comments carry state.
+    if (!started_in_block) {
+      const std::string& raw = raw_lines_[li];
+      std::size_t h = raw.find_first_not_of(" \t");
+      if (h != std::string::npos && raw[h] == '#') {
+        std::size_t k = raw.find("include", h + 1);
+        if (k != std::string::npos) {
+          const std::size_t q1 = raw.find('"', k + 7);
+          if (q1 != std::string::npos) {
+            const std::size_t q2 = raw.find('"', q1 + 1);
+            if (q2 != std::string::npos) {
+              includes_.push_back(
+                  IncludeDirective{raw.substr(q1 + 1, q2 - q1 - 1), lineno});
+            }
+          }
+        }
+      }
+    }
+
+    if (!comment.empty()) {
+      Suppression s;
+      if (parse_directive(comment, lineno, &s)) {
+        // Inline directives (code before the comment) cover their own line;
+        // own-line directives cover the next code line, resolved below.
+        if (trim(code).empty() && !s.file_scope) {
+          s.covered_line = 0;  // resolved after tokenization
+        } else {
+          s.covered_line = lineno;
+        }
+        suppressions_.push_back(std::move(s));
+      }
+    }
+
+    // Tokenize the stripped code.
+    for (std::size_t i = 0; i < code.size();) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_char(c)) {
+        std::size_t j = i + 1;
+        while (j < code.size() && is_ident_char(code[j])) ++j;
+        tokens_.push_back(Token{code.substr(i, j - i), lineno});
+        i = j;
+        continue;
+      }
+      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        tokens_.push_back(Token{"::", lineno});
+        i += 2;
+        continue;
+      }
+      tokens_.push_back(Token{std::string(1, c), lineno});
+      ++i;
+    }
+  }
+
+  // Resolve own-line suppressions to the next line that carries code.
+  for (Suppression& s : suppressions_) {
+    if (s.file_scope || s.covered_line != 0) continue;
+    for (const Token& t : tokens_) {
+      if (t.line > s.directive_line) {
+        s.covered_line = t.line;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace apple::analysis

@@ -1,0 +1,85 @@
+// Lexical source model for apple_analyze (tools/apple_analyze.cc).
+//
+// A SourceFile is a comment- and string-stripped token stream plus the
+// side tables every rule needs: the raw lines (for `#pragma once` and
+// include scans), the project-relative `#include "..."` directives, and
+// the parsed `apple-analyze:` suppression directives. Rules never re-lex;
+// they pattern-match over `tokens()`.
+//
+// Tokenization is deliberately coarse — identifiers/numbers are word
+// tokens, `::` is a single token, every other punctuation character is
+// its own token — because the rules (tools/analysis/rules.cc) are
+// token-sequence heuristics, not a C++ parser. String and character
+// literals are dropped, so diagnostics can never fire on prose.
+//
+// Suppression grammar (DESIGN.md Sec. 12):
+//
+//   // apple-analyze: allow(<rule>): <justification>
+//   // apple-analyze: allow-file(<rule>): <justification>
+//
+// A line-scoped `allow` on a line with code covers that line; on its own
+// line it covers the next line that has code. `allow-file` covers the
+// whole file. Empty justifications and unknown rule names are themselves
+// reported as errors by the engine (tools/analysis/engine.cc).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apple::analysis {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;  // 1-based
+};
+
+struct IncludeDirective {
+  std::string path;  // as written between the quotes, e.g. "net/topology.h"
+  std::size_t line = 0;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string justification;
+  std::size_t directive_line = 0;  // line holding the comment
+  std::size_t covered_line = 0;    // code line it applies to; 0 = none found
+  bool file_scope = false;         // allow-file(...)
+};
+
+class SourceFile {
+ public:
+  // Reads `fs_path` from disk; `display_path` is the repo-relative path
+  // used in diagnostics and scoping (e.g. "src/lp/mip.cc"). A file that
+  // cannot be read yields ok() == false and an empty token stream.
+  static SourceFile from_file(const std::string& fs_path,
+                              std::string display_path);
+
+  // Builds directly from in-memory content (unit-test fixtures).
+  static SourceFile from_string(std::string display_path,
+                                std::string_view content);
+
+  const std::string& path() const { return path_; }
+  bool ok() const { return ok_; }
+  bool is_header() const;
+
+  const std::vector<std::string>& raw_lines() const { return raw_lines_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<IncludeDirective>& includes() const { return includes_; }
+  const std::vector<Suppression>& suppressions() const {
+    return suppressions_;
+  }
+
+ private:
+  void build(std::string_view content);
+
+  std::string path_;
+  bool ok_ = true;
+  std::vector<std::string> raw_lines_;
+  std::vector<Token> tokens_;
+  std::vector<IncludeDirective> includes_;
+  std::vector<Suppression> suppressions_;
+};
+
+}  // namespace apple::analysis

@@ -1,0 +1,166 @@
+// apple_analyze — determinism-hazard static analyzer for the APPLE tree.
+//
+// Successor to (and superset of) the retired apple_lint: one token-level
+// scanner with a pluggable rule engine (tools/analysis/) enforcing the
+// source discipline the repo's reproducibility guarantees rest on —
+// bitwise-identical parallel B&B trees, byte-identical same-seed fault
+// replays, stable plan/rule/metrics serializations. Rules: unordered-iter,
+// ambient-time, ambient-random, pointer-order, layering, contract-config
+// (tools/analysis/rules.h has the table; DESIGN.md Sec. 12 the prose).
+//
+// Findings are suppressed in source with a mandatory justification:
+//
+//   // apple-analyze: allow(<rule>): <why this is safe>
+//
+// Empty justifications, unknown rule names and stale suppressions are
+// themselves diagnostics, so the suppression inventory can only say true
+// things.
+//
+// Usage:
+//   apple_analyze [--repo DIR] [--json PATH] [--severity RULE=LEVEL]...
+//                 [SCAN_DIR...]
+//
+//   --repo DIR        repository root (default: cwd); scan dirs and
+//                     diagnostics are relative to it
+//   --json PATH       write the machine-readable findings report (the CI
+//                     artifact) to PATH
+//   --severity R=L    override a rule's severity: error, warning, or off
+//   SCAN_DIR          default: src bench examples tools tests
+//
+// Exit status: 0 clean (no unsuppressed error findings), 1 findings,
+// 2 usage/IO error. Registered as the `apple_analyze` ctest test.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.h"
+#include "analysis/rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using apple::analysis::Analyzer;
+using apple::analysis::Corpus;
+using apple::analysis::Finding;
+using apple::analysis::Report;
+using apple::analysis::Severity;
+using apple::analysis::SourceFile;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--repo DIR] [--json PATH] [--severity RULE=LEVEL]..."
+               " [SCAN_DIR...]\n";
+  return 2;
+}
+
+bool parse_severity(const std::string& spec, std::string* rule,
+                    Severity* severity) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *rule = spec.substr(0, eq);
+  const std::string level = spec.substr(eq + 1);
+  if (level == "error") {
+    *severity = Severity::kError;
+  } else if (level == "warning" || level == "warn") {
+    *severity = Severity::kWarning;
+  } else if (level == "off") {
+    *severity = Severity::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path repo = fs::current_path();
+  std::string json_path;
+  std::vector<std::pair<std::string, Severity>> overrides;
+  std::vector<std::string> scan_dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      repo = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--severity" && i + 1 < argc) {
+      std::string rule;
+      Severity sev = Severity::kError;
+      if (!parse_severity(argv[++i], &rule, &sev)) {
+        std::cerr << "apple_analyze: bad --severity '" << argv[i]
+                  << "' (want RULE=error|warning|off)\n";
+        return 2;
+      }
+      overrides.emplace_back(std::move(rule), sev);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      scan_dirs.push_back(arg);
+    }
+  }
+  if (scan_dirs.empty()) {
+    scan_dirs = {"src", "bench", "examples", "tools", "tests"};
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& dir : scan_dirs) {
+    const fs::path root = repo / dir;
+    if (!fs::is_directory(root)) {
+      std::cerr << "apple_analyze: scan dir '" << root.string()
+                << "' is not a directory\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path ext = entry.path().extension();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      const std::string display =
+          entry.path().lexically_relative(repo).generic_string();
+      files.push_back(SourceFile::from_file(entry.path().string(), display));
+    }
+  }
+
+  Analyzer analyzer = apple::analysis::make_default_analyzer();
+  for (const auto& [rule, sev] : overrides) {
+    if (!analyzer.has_rule(rule)) {
+      std::cerr << "apple_analyze: --severity names unknown rule '" << rule
+                << "'\n";
+      return 2;
+    }
+    analyzer.set_severity(rule, sev);
+  }
+
+  const Corpus corpus(std::move(files));
+  const Report report = analyzer.run(corpus);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "apple_analyze: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << report.to_json() << "\n";
+  }
+
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    std::cerr << f.file << ":" << f.line << ": "
+              << apple::analysis::severity_name(f.severity) << ": [" << f.rule
+              << "] " << f.message << "\n";
+  }
+  if (!report.clean()) {
+    std::cerr << "apple_analyze: " << report.errors << " error(s), "
+              << report.warnings << " warning(s), " << report.suppressed
+              << " suppressed finding(s) in " << report.files_scanned
+              << " files\n";
+    return 1;
+  }
+  std::cout << "apple_analyze: " << report.files_scanned << " files clean ("
+            << report.suppressed << " suppressed finding(s), "
+            << report.warnings << " warning(s))\n";
+  return 0;
+}

@@ -25,6 +25,49 @@ import json
 import sys
 
 
+def fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def load_counters(path: str, role: str):
+    """Returns the validated "counters" dict of `path`, or an error string.
+
+    Validates everything the gate touches so a malformed file produces one
+    readable diagnostic instead of a traceback: the document must be a JSON
+    object, its "counters" key must exist and hold an object, and every
+    gated value must be a real number (bool is explicitly rejected — JSON
+    `true` compares like 1 and would silently pass the ratio check).
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        return None, f"{role} {path}: cannot read: {err}"
+    except json.JSONDecodeError as err:
+        return None, f"{role} {path}: malformed JSON: {err}"
+    if not isinstance(doc, dict):
+        return None, (
+            f"{role} {path}: top-level JSON must be an object, "
+            f"got {type(doc).__name__}"
+        )
+    if "counters" not in doc:
+        return None, f"{role} {path}: missing required key \"counters\""
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        return None, (
+            f"{role} {path}: \"counters\" must be an object, "
+            f"got {type(counters).__name__}"
+        )
+    for name, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None, (
+                f"{role} {path}: counter \"{name}\" must be a number, "
+                f"got {json.dumps(value)}"
+            )
+    return counters, None
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("snapshot", help="BENCH_*.json produced by the bench")
@@ -36,21 +79,17 @@ def main() -> int:
         help="allowed fractional increase over baseline (default 0.20)",
     )
     args = parser.parse_args()
+    if not args.tolerance >= 0.0:  # also catches NaN
+        return fail(f"--tolerance must be >= 0, got {args.tolerance}")
 
-    try:
-        with open(args.snapshot) as f:
-            snapshot = json.load(f)
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 1
-
-    current = snapshot.get("counters", {})
-    gated = baseline.get("counters", {})
+    current, err = load_counters(args.snapshot, "snapshot")
+    if err:
+        return fail(err)
+    gated, err = load_counters(args.baseline, "baseline")
+    if err:
+        return fail(err)
     if not gated:
-        print(f"error: {args.baseline} lists no gated counters", file=sys.stderr)
-        return 1
+        return fail(f"{args.baseline} lists no gated counters")
 
     failed = False
     for name, base_value in sorted(gated.items()):

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Self-test for bench_baseline_check.py (run by ctest).
+
+Exercises the gate's pass/fail verdicts and, mostly, its input validation:
+every malformed-input case must exit nonzero with a readable diagnostic on
+stderr, never a traceback. Uses only the standard library and temp files.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+CHECKER = pathlib.Path(__file__).resolve().parent / "bench_baseline_check.py"
+FAILURES = []
+
+
+def run_case(name, snapshot_text, baseline_text, *, want_exit,
+             want_stderr="", extra_args=()):
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = pathlib.Path(tmp) / "snapshot.json"
+        base = pathlib.Path(tmp) / "baseline.json"
+        snap.write_text(snapshot_text)
+        base.write_text(baseline_text)
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), str(snap), str(base), *extra_args],
+            capture_output=True,
+            text=True,
+        )
+    problems = []
+    if proc.returncode != want_exit:
+        problems.append(f"exit {proc.returncode}, want {want_exit}")
+    if want_stderr and want_stderr not in proc.stderr:
+        problems.append(f"stderr missing {want_stderr!r}")
+    if "Traceback" in proc.stderr:
+        problems.append("stderr contains a traceback")
+    if problems:
+        FAILURES.append(f"{name}: {'; '.join(problems)}\n"
+                        f"  stdout: {proc.stdout!r}\n"
+                        f"  stderr: {proc.stderr!r}")
+        print(f"FAIL {name}")
+    else:
+        print(f"ok   {name}")
+
+
+def doc(counters):
+    return json.dumps({"counters": counters})
+
+
+def main() -> int:
+    run_case("pass_within_tolerance",
+             doc({"lp.mip.nodes_explored": 110}),
+             doc({"lp.mip.nodes_explored": 100}),
+             want_exit=0)
+    run_case("fail_over_tolerance",
+             doc({"lp.mip.nodes_explored": 130}),
+             doc({"lp.mip.nodes_explored": 100}),
+             want_exit=1)
+    run_case("fail_counter_missing_from_snapshot",
+             doc({"other.counter": 1}),
+             doc({"lp.mip.nodes_explored": 100}),
+             want_exit=1)
+    run_case("snapshot_extra_counters_ignored",
+             doc({"lp.mip.nodes_explored": 100, "untracked.metric": 9999}),
+             doc({"lp.mip.nodes_explored": 100}),
+             want_exit=0)
+    run_case("custom_tolerance_flag",
+             doc({"lp.mip.nodes_explored": 104}),
+             doc({"lp.mip.nodes_explored": 100}),
+             want_exit=1,
+             extra_args=("--tolerance", "0.01"))
+
+    # Input validation: clear errors, nonzero exit, no tracebacks.
+    run_case("malformed_snapshot_json",
+             "{not json",
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr="malformed JSON")
+    run_case("malformed_baseline_json",
+             doc({"a": 1}),
+             "[1, 2,",
+             want_exit=1,
+             want_stderr="malformed JSON")
+    run_case("baseline_missing_counters_key",
+             doc({"a": 1}),
+             json.dumps({"histograms": {}}),
+             want_exit=1,
+             want_stderr='missing required key "counters"')
+    run_case("snapshot_missing_counters_key",
+             json.dumps({"histograms": {}}),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr='missing required key "counters"')
+    run_case("baseline_empty_counters",
+             doc({"a": 1}),
+             doc({}),
+             want_exit=1,
+             want_stderr="no gated counters")
+    run_case("baseline_non_numeric_value",
+             doc({"a": 1}),
+             doc({"a": "fast"}),
+             want_exit=1,
+             want_stderr='counter "a" must be a number')
+    run_case("snapshot_non_numeric_value",
+             doc({"a": [1]}),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr='counter "a" must be a number')
+    run_case("boolean_counter_rejected",
+             doc({"a": True}),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr='counter "a" must be a number')
+    run_case("top_level_not_object",
+             json.dumps([1, 2, 3]),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr="must be an object")
+    run_case("counters_not_object",
+             json.dumps({"counters": [1, 2]}),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr='"counters" must be an object')
+    run_case("negative_tolerance_rejected",
+             doc({"a": 1}),
+             doc({"a": 1}),
+             want_exit=1,
+             want_stderr="--tolerance must be >= 0",
+             extra_args=("--tolerance", "-0.5"))
+
+    # Missing file (no temp content involved): run directly.
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), "/nonexistent/snap.json",
+         "/nonexistent/base.json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode == 1 and "cannot read" in proc.stderr \
+            and "Traceback" not in proc.stderr:
+        print("ok   missing_snapshot_file")
+    else:
+        FAILURES.append(f"missing_snapshot_file: exit {proc.returncode}, "
+                        f"stderr: {proc.stderr!r}")
+        print("FAIL missing_snapshot_file")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} case(s) failed:", file=sys.stderr)
+        for f in FAILURES:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall bench_baseline_check self-test cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hold the apple_analyze suppression count and DESIGN.md in sync.
+
+Usage:
+    suppression_budget_check.py ANALYZE_REPORT_JSON DESIGN_MD
+
+Reads the suppressed-finding count from an apple_analyze JSON report and
+the recorded budget from DESIGN.md Sec. 12 (the line
+`Suppression budget: N`). Exits 1 when they differ: adding a suppression
+without a changelog line in DESIGN.md — or removing one without retiring
+its line — fails CI. Consuming the analyzer's own report (instead of
+grepping the tree) means string literals and documentation examples can
+never miscount.
+"""
+
+import json
+import re
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} ANALYZE_REPORT_JSON DESIGN_MD",
+              file=sys.stderr)
+        return 1
+    report_path, design_path = sys.argv[1], sys.argv[2]
+
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read analyze report {report_path}: {err}",
+              file=sys.stderr)
+        return 1
+    try:
+        suppressed = report["summary"]["suppressed"]
+    except (KeyError, TypeError):
+        print(f"error: {report_path} has no summary.suppressed key — "
+              "is this an apple_analyze report?", file=sys.stderr)
+        return 1
+
+    try:
+        with open(design_path) as f:
+            design = f.read()
+    except OSError as err:
+        print(f"error: cannot read {design_path}: {err}", file=sys.stderr)
+        return 1
+    match = re.search(r"^Suppression budget:\s*(\d+)\s*$", design,
+                      re.MULTILINE)
+    if not match:
+        print(f"error: {design_path} has no 'Suppression budget: N' line "
+              "(see Sec. 12)", file=sys.stderr)
+        return 1
+    budget = int(match.group(1))
+
+    if suppressed != budget:
+        print(
+            f"FAIL: apple_analyze reports {suppressed} suppressed finding(s) "
+            f"but {design_path} records a budget of {budget}.\n"
+            "Every suppression change must land with a matching changelog "
+            "line in DESIGN.md Sec. 12: update the table and the "
+            "'Suppression budget:' count in the same commit.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: {suppressed} suppressed finding(s) == DESIGN.md budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
