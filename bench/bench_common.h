@@ -13,6 +13,7 @@
 
 #include "core/apple_controller.h"
 #include "net/topologies.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "traffic/synthesis.h"
 
@@ -95,8 +96,24 @@ inline void print_rule() {
 // disabled build. Call once at the end of main().
 inline void export_metrics_json(const std::string& name) {
   const std::string path = "BENCH_" + name + ".json";
+  // Fold the flight-recorder event totals into the registry first so every
+  // snapshot carries the obs.event.* counters the baseline gate pins.
+  obs::default_event_log().export_counters(obs::default_registry());
   if (obs::default_registry().write_snapshot_json(path)) {
     std::printf("\nmetrics snapshot: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+// Dumps the flight-recorder journal (DESIGN.md Sec. 13) accumulated by this
+// bench run to flight_<name>.json so apple_trace can merge it into a
+// Chrome-trace view / latency-attribution table. Call once at the end of
+// main(), after the workload.
+inline void export_flight_json(const std::string& name) {
+  const std::string path = "flight_" + name + ".json";
+  if (obs::default_event_log().write_json(path)) {
+    std::printf("flight journal:   %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
   }

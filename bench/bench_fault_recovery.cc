@@ -99,6 +99,9 @@ bool identical(const core::FaultReplayResult& a,
 }  // namespace
 
 int main() {
+  // A crashing APPLE_CHECK mid-replay still leaves a flight journal for CI
+  // to upload (DESIGN.md Sec. 13).
+  obs::install_flight_crash_dump();
   bench::print_header(
       "Fault recovery: seeded schedules vs the control-plane repair loop");
   std::printf("%zu snapshots/cell, faults in [1, 5) s, every cell run twice "
@@ -196,6 +199,7 @@ int main() {
     return fault::LatencyStats::from_samples(std::move(detect)).p50;
   }());
   bench::export_metrics_json("fault_recovery");
+  bench::export_flight_json("fault_recovery");
 
   // Acceptance gates.
   bool ok = true;

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "core/epoch_pipeline.h"
 #include "core/optimization_engine.h"
 #include "core/rule_generator.h"
 #include "core/subclass_assigner.h"
@@ -172,6 +173,26 @@ void BM_RuleGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RuleGeneration);
+
+// Flight-recorder overhead: the same full-epoch assembly with event
+// recording off (/0) vs on (/1). DESIGN.md Sec. 13 budgets the recorder at
+// <5% of epoch wall clock; comparing the two rows checks that budget (the
+// epoch emits a few dozen events against an ~ms solve, so the pair should
+// be indistinguishable to runner noise).
+void BM_EpochFlightRecorder(benchmark::State& state) {
+  const PlacementFixture fx;
+  core::PipelineOptions options;
+  options.engine.strategy = core::PlacementStrategy::kGreedy;
+  const core::EpochPipeline pipeline(options);
+  obs::EventLog& log = obs::default_event_log();
+  const bool was_enabled = log.enabled();
+  log.set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(fx.topo, fx.chains, fx.classes));
+  }
+  log.set_enabled(was_enabled);
+}
+BENCHMARK(BM_EpochFlightRecorder)->Arg(0)->Arg(1);
 
 }  // namespace
 

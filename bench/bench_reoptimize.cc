@@ -169,6 +169,9 @@ SeriesResult run_series(const std::string& label, const net::Topology& topo,
 }  // namespace
 
 int main() {
+  // A crashing APPLE_CHECK mid-series still leaves a flight journal for CI
+  // to upload (DESIGN.md Sec. 13).
+  obs::install_flight_crash_dump();
   bench::print_header(
       "Re-optimization: full recompute vs incremental pipeline (Sec. VI)");
   std::printf("%zu snapshots/topology, per-entry drift U[%.2f, %.2f], "
@@ -216,6 +219,7 @@ int main() {
       "(parallel boots + serial rule installs), averaged per snapshot.\n");
 
   bench::export_metrics_json("reoptimize");
+  bench::export_flight_json("reoptimize");
 
   // Acceptance gate (GEANT, <=10% drift): the incremental path must win
   // wall-clock and churn strictly fewer instances and rules than a full

@@ -16,11 +16,38 @@ void default_handler(const std::string& message) {
 
 std::atomic<CheckFailureHandler> g_handler{&default_handler};
 
+std::atomic<CheckFailureObserver> g_observers[kMaxCheckFailureObservers]{};
+std::atomic<bool> g_in_observers{false};
+
+void run_failure_observers() {
+  // A failure raised while an observer runs (say the dump writer itself
+  // trips a contract) must not re-enter the observer list.
+  if (g_in_observers.exchange(true)) return;
+  for (auto& slot : g_observers) {
+    CheckFailureObserver observer = slot.load(std::memory_order_acquire);
+    if (observer != nullptr) observer();
+  }
+}
+
 }  // namespace
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
   if (handler == nullptr) handler = &default_handler;
   return g_handler.exchange(handler);
+}
+
+bool add_check_failure_observer(CheckFailureObserver observer) {
+  if (observer == nullptr) return false;
+  for (auto& slot : g_observers) {
+    CheckFailureObserver expected = nullptr;
+    if (slot.load(std::memory_order_acquire) == observer) return true;
+    if (slot.compare_exchange_strong(expected, observer,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
+    if (expected == observer) return true;
+  }
+  return false;
 }
 
 namespace internal {
@@ -32,6 +59,8 @@ void check_failed(const char* file, int line, const char* expr,
   g_handler.load()(message);
   // A custom handler normally throws; if it (or the default) returns, the
   // contract is still violated and continuing would run on corrupt state.
+  // Observers (crash dumps) only fire on this aborting path.
+  run_failure_observers();
   std::abort();
 }
 

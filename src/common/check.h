@@ -40,6 +40,20 @@ using CheckFailureHandler = void (*)(const std::string& message);
 // the default (print to stderr and abort).
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
 
+// Last-gasp hooks run when a check failure is actually aborting the
+// process: after the failure handler has returned (a throwing test handler
+// therefore skips them) and before std::abort(). Observers must be
+// signal-safe-ish best effort — the flight recorder uses one to drain its
+// event rings to flight_<pid>.json. Registration is append-only (bounded
+// slots, duplicates ignored); a check failure raised *inside* an observer
+// aborts immediately instead of recursing.
+using CheckFailureObserver = void (*)();
+
+// Returns false when the observer table is full (kMaxCheckFailureObservers
+// slots) — callers treat that as "crash dumps unavailable", not an error.
+inline constexpr int kMaxCheckFailureObservers = 8;
+bool add_check_failure_observer(CheckFailureObserver observer);
+
 namespace internal {
 
 [[noreturn]] void check_failed(const char* file, int line, const char* expr,

@@ -64,6 +64,7 @@ ClassDelta diff_classes(std::span<const traffic::TrafficClass> prev,
                         std::span<const traffic::TrafficClass> next,
                         const ClassDeltaOptions& options) {
   APPLE_OBS_SPAN("core.pipeline.diff_classes_seconds");
+  APPLE_OBS_EVENT_SPAN("core.pipeline.stage.diff_classes");
   // Identity of a class across snapshots: the (src, dst, chain) triple.
   // std::map keeps the scan deterministic regardless of hashing.
   std::map<std::array<std::uint64_t, 3>, std::size_t> index;
@@ -114,6 +115,7 @@ PlanDelta diff_plans(const PlacementPlan& prev,
                      const PlacementPlan& next, const ClassDelta& delta,
                      vnf::InstanceId next_free_id) {
   APPLE_OBS_SPAN("core.pipeline.diff_plans_seconds");
+  APPLE_OBS_EVENT_SPAN("core.pipeline.stage.diff_plans");
   APPLE_CHECK_EQ(prev.instance_count.size(), next.instance_count.size());
   APPLE_CHECK_EQ(prev_inventory.by_node_type.size(),
                  prev.instance_count.size());
@@ -282,6 +284,7 @@ RuleDelta diff_rules(
     const std::vector<std::vector<dataplane::SubclassPlan>>& next_subclasses,
     const ClassDelta& delta) {
   APPLE_OBS_SPAN("core.pipeline.diff_rules_seconds");
+  APPLE_OBS_EVENT_SPAN("core.pipeline.stage.diff_rules");
   APPLE_CHECK_EQ(prev_subclasses.size(), prev_classes.size());
   APPLE_CHECK_EQ(next_subclasses.size(), next_classes.size());
   APPLE_CHECK_EQ(delta.prev_of.size(), next_classes.size());
@@ -315,6 +318,7 @@ void apply_rule_delta(
     const PlanDelta& plan_delta, const RuleDelta& rule_delta,
     dataplane::DataPlane& dp) {
   APPLE_OBS_SPAN("core.pipeline.apply_rules_seconds");
+  APPLE_OBS_EVENT_SPAN("core.pipeline.stage.apply_rules");
   for (const InstanceOp& op : plan_delta.ops) {
     switch (op.kind) {
       case InstanceOp::Kind::kRetire:
@@ -354,10 +358,19 @@ Epoch EpochPipeline::assemble(const net::Topology& topo,
   input.topology = &topo;
   input.classes = epoch.classes;
   input.chains = chains;
-  epoch.inventory = materialize_inventory(input, epoch.plan);
-  epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
-                                       options_.assigner);
-  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.inventory");
+    epoch.inventory = materialize_inventory(input, epoch.plan);
+  }
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.subclasses");
+    epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
+                                         options_.assigner);
+  }
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.rules_account");
+    epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  }
   epoch.next_instance_id =
       static_cast<vnf::InstanceId>(epoch.plan.total_instances()) + 1;
   for (const traffic::TrafficClass& cls : epoch.classes) {
@@ -371,11 +384,17 @@ Epoch EpochPipeline::run(const net::Topology& topo,
                          std::vector<traffic::TrafficClass> classes) const {
   APPLE_OBS_SPAN("core.pipeline.epoch_seconds");
   APPLE_OBS_COUNT("core.pipeline.epochs_full");
+  APPLE_OBS_EVENT_EPOCH();
+  APPLE_OBS_EVENT_SPAN("core.pipeline.epoch");
   PlacementInput input;
   input.topology = &topo;
   input.classes = classes;
   input.chains = chains;
-  PlacementPlan plan = OptimizationEngine(options_.engine).place(input);
+  PlacementPlan plan;
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.place");
+    plan = OptimizationEngine(options_.engine).place(input);
+  }
   return assemble(topo, chains, std::move(classes), std::move(plan));
 }
 
@@ -408,6 +427,8 @@ IncrementalEpoch EpochPipeline::advance(
     std::vector<traffic::TrafficClass> next_classes) const {
   APPLE_OBS_SPAN("core.pipeline.advance_seconds");
   APPLE_OBS_COUNT("core.pipeline.epochs_incremental");
+  APPLE_OBS_EVENT_EPOCH();
+  APPLE_OBS_EVENT_SPAN("core.pipeline.advance");
 
   IncrementalEpoch out;
   // Stage 1: class delta. Surviving classes keep their previous ids (the
@@ -429,10 +450,16 @@ IncrementalEpoch EpochPipeline::advance(
   input.classes = next_classes;
   input.chains = chains;
   const OptimizationEngine engine(options_.engine);
-  PlacementPlan plan = engine.replace(input, prev.plan, out.class_delta);
+  PlacementPlan plan;
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.place_incremental");
+    plan = engine.replace(input, prev.plan, out.class_delta);
+  }
   if (!plan.feasible) {
     APPLE_OBS_COUNT("core.pipeline.fallback_full");
+    APPLE_OBS_EVENT("core.pipeline.fallback_full");
     out.full_recompute = true;
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.place");
     plan = engine.place(input);
     if (!plan.feasible) {
       throw std::runtime_error("placement infeasible: " +
@@ -455,9 +482,15 @@ IncrementalEpoch EpochPipeline::advance(
   input.classes = epoch.classes;
 
   // Stage 4: sub-class decomposition over the patched inventory.
-  epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
-                                       options_.assigner);
-  epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.subclasses");
+    epoch.subclasses = assign_subclasses(input, epoch.plan, epoch.inventory,
+                                         options_.assigner);
+  }
+  {
+    APPLE_OBS_EVENT_SPAN("core.pipeline.stage.rules_account");
+    epoch.rules = RuleGenerator().account(input, epoch.subclasses);
+  }
 
   // Stage 5: rule churn.
   out.rule_delta = diff_rules(prev.classes, prev.subclasses, epoch.classes,

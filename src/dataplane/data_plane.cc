@@ -68,10 +68,12 @@ void DataPlane::install_class(const traffic::TrafficClass& cls,
   validate_plans(cls.path, plans);
   if (rule_fault_hook_ && rule_fault_hook_(cls.id)) {
     APPLE_OBS_COUNT("dataplane.pipeline.rule_install_failures");
+    APPLE_OBS_EVENT_N("dataplane.rules.install_failure", cls.id);
     throw RuleInstallError("injected rule-install failure for class " +
                            std::to_string(cls.id));
   }
   APPLE_OBS_COUNT("dataplane.pipeline.classes_installed");
+  APPLE_OBS_EVENT_N("dataplane.rules.install", cls.id);
   classes_[cls.id] = InstalledClass{cls, std::move(plans)};
 }
 
@@ -84,15 +86,18 @@ void DataPlane::update_class(traffic::ClassId class_id,
   validate_plans(it->second.cls.path, plans);
   if (rule_fault_hook_ && rule_fault_hook_(class_id)) {
     APPLE_OBS_COUNT("dataplane.pipeline.rule_install_failures");
+    APPLE_OBS_EVENT_N("dataplane.rules.install_failure", class_id);
     throw RuleInstallError("injected rule-install failure for class " +
                            std::to_string(class_id));
   }
+  APPLE_OBS_EVENT_N("dataplane.rules.update", class_id);
   it->second.plans = std::move(plans);
 }
 
 bool DataPlane::remove_class(traffic::ClassId class_id) {
   if (classes_.erase(class_id) == 0) return false;
   APPLE_OBS_COUNT("dataplane.pipeline.classes_removed");
+  APPLE_OBS_EVENT_N("dataplane.rules.remove", class_id);
   return true;
 }
 

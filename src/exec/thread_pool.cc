@@ -139,6 +139,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
 void ThreadPool::run_task(Task& task, std::size_t self) {
   std::exception_ptr error;
   try {
+    const obs::ScopedContext ctx(task.ctx);
     task.fn();
   } catch (...) {
     error = std::current_exception();
@@ -173,7 +174,8 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_relaxed);
-  pool_->submit(ThreadPool::Task{std::move(fn), this});
+  pool_->submit(
+      ThreadPool::Task{std::move(fn), this, obs::current_context()});
 }
 
 void TaskGroup::wait() {

@@ -44,6 +44,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+
 namespace apple::exec {
 
 class TaskGroup;
@@ -77,6 +79,10 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    // Flight-recorder causal context captured at submit time and installed
+    // around fn(), so events recorded inside a stolen task attribute to
+    // the epoch/span that spawned it rather than the executing worker's.
+    obs::CausalContext ctx;
   };
 
   struct Worker {

@@ -38,6 +38,7 @@ void FaultInjector::arm(sim::EventQueue& queue, const FaultSchedule& schedule) {
           pending_boot_faults_.pop_front();
           fired_ordinal_.push_back(e);
           APPLE_OBS_COUNT("fault.injected");
+          APPLE_OBS_EVENT_N("fault.inject", e.fault_id);
           if (e.kind == FaultKind::kBootFailure) {
             APPLE_OBS_COUNT("fault.boot_failures");
             if (hooks_.on_injected) hooks_.on_injected(e, now);
@@ -55,6 +56,7 @@ void FaultInjector::arm(sim::EventQueue& queue, const FaultSchedule& schedule) {
     pending_rule_faults_.pop_front();
     fired_ordinal_.push_back(e);
     APPLE_OBS_COUNT("fault.injected");
+    APPLE_OBS_EVENT_N("fault.inject", e.fault_id);
     APPLE_OBS_COUNT("fault.rule_install_failures");
     // NOTE: now is unknown inside the data plane; the driver correlates
     // the fired event via take_fired_ordinal and stamps its own clock.
@@ -119,6 +121,7 @@ void FaultInjector::apply_link_down(const FaultEvent& e, double now) {
   targets_.topo->set_link_state(e.link, false);
   links_down_.insert(e.link);
   APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_EVENT_N("fault.inject", e.fault_id);
   APPLE_OBS_COUNT("fault.link_down");
   std::vector<traffic::ClassId>& severed = severed_[e.fault_id];
   for (const auto& [cls, path] : class_paths_) {
@@ -157,6 +160,7 @@ void FaultInjector::apply_node_down(const FaultEvent& e, double now) {
   nodes_down_.insert(e.node);
   targets_.orch->set_host_down(e.node, true);
   APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_EVENT_N("fault.inject", e.fault_id);
   APPLE_OBS_COUNT("fault.node_down");
   // Every instance on the host dies with it.
   std::vector<vnf::InstanceId> victims;
@@ -177,6 +181,7 @@ void FaultInjector::apply_instance_crash(const FaultEvent& e, double now) {
   }
   const vnf::InstanceId victim = live[e.ordinal % live.size()];
   APPLE_OBS_COUNT("fault.injected");
+  APPLE_OBS_EVENT_N("fault.inject", e.fault_id);
   APPLE_OBS_COUNT("fault.instance_crash");
   kill_instance(e.fault_id, victim);
   if (hooks_.on_injected) hooks_.on_injected(e, now);

@@ -41,6 +41,7 @@ void RecoveryMonitor::on_detected(FaultId fault_id, double now) {
   if (it == records_.end() || it->second.detected()) return;
   it->second.detected_at = now;
   APPLE_OBS_COUNT("fault.detected");
+  APPLE_OBS_EVENT_N("fault.detect", fault_id);
   APPLE_OBS_OBSERVE("fault.time_to_detect_seconds",
                     it->second.time_to_detect());
 }
@@ -53,6 +54,7 @@ void RecoveryMonitor::on_repaired(FaultId fault_id, double now) {
   if (!it->second.detected()) on_detected(fault_id, now);
   it->second.repaired_at = now;
   APPLE_OBS_COUNT("fault.repaired");
+  APPLE_OBS_EVENT_N("fault.repair", fault_id);
   APPLE_OBS_OBSERVE("fault.time_to_repair_seconds",
                     it->second.time_to_repair());
 }
@@ -90,6 +92,7 @@ std::size_t RecoveryMonitor::verify_policies(
       ++violations;
       ++policy_violations_;
       APPLE_OBS_COUNT("fault.policy_violations");
+      APPLE_OBS_EVENT_N("fault.policy_violation", probe.class_id);
     }
   }
   return violations;

@@ -89,6 +89,7 @@ VarId most_fractional(const std::vector<VarId>& int_vars,
 
 MipResult MipSolver::solve(const LpModel& model) const {
   APPLE_OBS_SPAN("lp.mip.solve_seconds");
+  APPLE_OBS_EVENT_SPAN("lp.mip.solve");
   APPLE_OBS_COUNT("lp.mip.solves");
   std::uint64_t nodes_pruned = 0;
   // apple-analyze: allow(ambient-time): opt-in wall-clock budget; with the
@@ -172,6 +173,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
 
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
   std::uint64_t next_seq = 0;
+  APPLE_OBS_EVENT_N("lp.mip.node.enqueue", 0);
   open.push(Node{-kInf, next_seq++, {}, nullptr});
   bool hit_limit = false;
   double best_open_bound = -kInf;
@@ -179,6 +181,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
   const auto solve_slot = [&](std::size_t i) {
     Slot& s = slots[i];
     const Node& node = batch[i];
+    APPLE_OBS_EVENT_N("lp.mip.node.solve", node.seq);
     s.skipped = false;
     if (!options_.deterministic &&
         prunable(node.bound, incumbent_bound.load(std::memory_order_relaxed),
@@ -228,6 +231,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
       // Bound-based prune (bounds can only tighten down the tree).
       if (prunable(node.bound, incumbent_bound.load(std::memory_order_relaxed),
                    options_.relative_gap)) {
+        APPLE_OBS_EVENT_N("lp.mip.node.prune", node.seq);
         ++nodes_pruned;
         continue;
       }
@@ -246,6 +250,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Slot& s = slots[i];
       if (s.skipped) {
+        APPLE_OBS_EVENT_N("lp.mip.node.prune", batch[i].seq);
         ++nodes_pruned;
         continue;
       }
@@ -266,6 +271,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
       // the slot that published a bound this round still has to be folded
       // in here, or its solution would be lost.
       if (prunable(rel.objective, incumbent_obj, options_.relative_gap)) {
+        APPLE_OBS_EVENT_N("lp.mip.node.prune", batch[i].seq);
         ++nodes_pruned;
         continue;
       }
@@ -275,6 +281,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
       if (frac_var < 0) {
         // Integral: new incumbent.
         if (rel.objective < incumbent_obj) {
+          APPLE_OBS_EVENT_N("lp.mip.node.incumbent", batch[i].seq);
           incumbent_obj = rel.objective;
           incumbent_x = rel.x;
           // Snap near-integers exactly.
@@ -294,6 +301,8 @@ MipResult MipSolver::solve(const LpModel& model) const {
       down.deltas.push_back(BoundDelta{frac_var, true, std::floor(val)});
       Node up{rel.objective, next_seq++, std::move(batch[i].deltas), warm};
       up.deltas.push_back(BoundDelta{frac_var, false, std::ceil(val)});
+      APPLE_OBS_EVENT_N("lp.mip.node.enqueue", down.seq);
+      APPLE_OBS_EVENT_N("lp.mip.node.enqueue", up.seq);
       open.push(std::move(down));
       open.push(std::move(up));
     }

@@ -17,9 +17,7 @@ double steady_clock_seconds() {
   return std::chrono::duration<double>(SteadyClock::now() - origin).count();
 }
 
-namespace {
-
-bool valid_metric_name(std::string_view name) {
+bool valid_instrument_name(std::string_view name) {
   if (name.empty()) return false;
   bool has_dot = false;
   for (const char c : name) {
@@ -30,6 +28,8 @@ bool valid_metric_name(std::string_view name) {
   }
   return has_dot && name.front() != '.' && name.back() != '.';
 }
+
+namespace {
 
 class StdRegistryMutex final : public RegistryMutex {
  public:
@@ -195,7 +195,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   Guard guard(mutex_.get());
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  APPLE_CHECK(valid_metric_name(name));
+  APPLE_CHECK(valid_instrument_name(name));
   // try_emplace default-constructs in place: the atomic payload makes the
   // instrument neither movable nor copyable.
   return counters_.try_emplace(std::string(name)).first->second;
@@ -205,7 +205,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   Guard guard(mutex_.get());
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
-  APPLE_CHECK(valid_metric_name(name));
+  APPLE_CHECK(valid_instrument_name(name));
   return gauges_.try_emplace(std::string(name)).first->second;
 }
 
@@ -218,7 +218,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   Guard guard(mutex_.get());
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  APPLE_CHECK(valid_metric_name(name));
+  APPLE_CHECK(valid_instrument_name(name));
   // try_emplace constructs the Histogram in place: it owns a mutex and is
   // therefore neither movable nor copyable.
   return histograms_.try_emplace(std::string(name), std::move(bounds))

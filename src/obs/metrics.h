@@ -55,6 +55,11 @@ using Clock = std::function<double()>;
 // implicitly.
 double steady_clock_seconds();
 
+// The instrument naming scheme shared by the registry and the flight
+// recorder (obs/event_log.h): lowercase [a-z0-9_.] with at least one dot,
+// no leading/trailing dot. Registry/EventLog name creation contracts on it.
+bool valid_instrument_name(std::string_view name);
+
 class Counter {
  public:
   // Saturating add: the counter pins at max() instead of wrapping, so a

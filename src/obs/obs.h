@@ -18,12 +18,26 @@
 //                                         a Chrome trace event when a sink
 //                                         is attached
 //
+// Flight-recorder events (obs/event_log.h) write to
+// `obs::default_event_log()` and cache the interned EventId the same way:
+//
+//   APPLE_OBS_EVENT(name)               — instant event, arg 0
+//   APPLE_OBS_EVENT_N(name, a)          — instant event carrying one
+//                                         integer payload word
+//   APPLE_OBS_EVENT_SPAN(name)          — RAII begin/end event pair for
+//                                         the rest of the scope; allocates
+//                                         a span id and nests via the
+//                                         thread's causal context
+//   APPLE_OBS_EVENT_EPOCH()             — RAII causal-epoch scope: events
+//                                         below it carry a fresh epoch id
+//
 // When the tree is configured with -DAPPLE_ENABLE_METRICS=OFF the macros
 // compile to nothing: arguments are type-checked but evaluated zero times
 // (the canary test in tests/obs/disabled_canary_test.cc holds this), so
 // instrumented hot paths carry no overhead in perf builds.
 #pragma once
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -74,6 +88,34 @@
   ::apple::obs::TraceSpan APPLE_OBS_CONCAT(apple_obs_span_, __LINE__)( \
       ::apple::obs::default_registry(), name)
 
+#define APPLE_OBS_EVENT_N(name, a)                                     \
+  do {                                                                 \
+    static const ::apple::obs::EventId apple_obs_event_id_ =           \
+        ::apple::obs::default_event_log().intern(name);                \
+    ::apple::obs::default_event_log().record(                          \
+        apple_obs_event_id_, ::apple::obs::EventPhase::kInstant,       \
+        static_cast<std::uint64_t>(a));                                \
+  } while (false)
+
+#define APPLE_OBS_EVENT(name) APPLE_OBS_EVENT_N(name, 0)
+
+// Expands to two declarations (cached id + RAII span), so it is a
+// statement for the rest of the enclosing block — same usage rule as
+// APPLE_OBS_SPAN.
+#define APPLE_OBS_EVENT_SPAN(name)                                       \
+  static const ::apple::obs::EventId APPLE_OBS_CONCAT(                   \
+      apple_obs_event_id_, __LINE__) =                                   \
+      ::apple::obs::default_event_log().intern(name);                    \
+  const ::apple::obs::EventSpan APPLE_OBS_CONCAT(apple_obs_event_span_,  \
+                                                 __LINE__)(              \
+      ::apple::obs::default_event_log(),                                 \
+      APPLE_OBS_CONCAT(apple_obs_event_id_, __LINE__))
+
+#define APPLE_OBS_EVENT_EPOCH()                                         \
+  const ::apple::obs::EpochScope APPLE_OBS_CONCAT(apple_obs_epoch_,     \
+                                                  __LINE__)(            \
+      ::apple::obs::default_event_log())
+
 #else  // APPLE_ENABLE_METRICS off: type-check, never evaluate.
 
 // The arguments are folded into the body of a lambda that is never
@@ -106,5 +148,9 @@
 #define APPLE_OBS_OBSERVE(name, v) APPLE_OBS_UNEVALUATED_2(name, v)
 #define APPLE_OBS_OBSERVE_SIZE(name, v) APPLE_OBS_UNEVALUATED_2(name, v)
 #define APPLE_OBS_SPAN(name) APPLE_OBS_UNEVALUATED_1(name)
+#define APPLE_OBS_EVENT_N(name, a) APPLE_OBS_UNEVALUATED_2(name, a)
+#define APPLE_OBS_EVENT(name) APPLE_OBS_UNEVALUATED_1(name)
+#define APPLE_OBS_EVENT_SPAN(name) APPLE_OBS_UNEVALUATED_1(name)
+#define APPLE_OBS_EVENT_EPOCH() static_cast<void>(0)
 
 #endif  // APPLE_ENABLE_METRICS

@@ -109,6 +109,7 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
       used_cores_[v] -= spec.cores_required;
       instances_.erase(inst.id);
       APPLE_OBS_COUNT("orch.lifecycle.boot_failures");
+      APPLE_OBS_EVENT_N("orch.lifecycle.boot_failure", inst.id);
       result.status = LaunchStatus::kBootFailure;
       result.instance = inst;
       return result;
@@ -120,6 +121,7 @@ LaunchResult ResourceOrchestrator::launch(vnf::NfType type, net::NodeId v,
   }
   // Boot latency is MODELED time (the Table-2 timings), not wall time.
   APPLE_OBS_OBSERVE("orch.lifecycle.boot_seconds", boot);
+  APPLE_OBS_EVENT_N("orch.lifecycle.launch", inst.id);
   result.instance = inst;
   result.ready_at = now + boot;
   return result;
@@ -156,6 +158,7 @@ LaunchResult ResourceOrchestrator::adopt(const vnf::VnfInstance& instance,
   // Later launches must not collide with adopted ids.
   next_id_ = std::max(next_id_, instance.id + 1);
   APPLE_OBS_COUNT("orch.lifecycle.adoptions");
+  APPLE_OBS_EVENT_N("orch.lifecycle.adopt", instance.id);
   result.instance = instance;
   result.ready_at = now;  // already running: no boot to pay
   return result;
@@ -189,6 +192,7 @@ LaunchResult ResourceOrchestrator::reconfigure(vnf::InstanceId id,
   inst.type = new_type;
   inst.capacity_mbps = new_spec.capacity_mbps;
   APPLE_OBS_COUNT("orch.lifecycle.reconfigures");
+  APPLE_OBS_EVENT_N("orch.lifecycle.reconfigure", id);
   result.instance = inst;
   result.ready_at = now + timings_.clickos_reconfigure;
   return result;
@@ -204,6 +208,7 @@ bool ResourceOrchestrator::cancel(vnf::InstanceId id) {
   APPLE_DCHECK_GE(used_cores_[it->second.host_switch], -1e-9);
   instances_.erase(it);
   APPLE_OBS_COUNT("orch.lifecycle.cancellations");
+  APPLE_OBS_EVENT_N("orch.lifecycle.retire", id);
   return true;
 }
 
@@ -216,6 +221,7 @@ bool ResourceOrchestrator::fail_instance(vnf::InstanceId id) {
   instances_.erase(it);
   failed_.insert(id);
   APPLE_OBS_COUNT("orch.lifecycle.instance_failures");
+  APPLE_OBS_EVENT_N("orch.lifecycle.instance_failure", id);
   return true;
 }
 

@@ -1,13 +1,21 @@
 // Death tests for the APPLE contract-check library (common/check.h): the
 // failure path aborts with a file:line diagnostic, operand values are
-// printed, the failure handler is replaceable, and passing checks are free
-// of side effects on control flow.
+// printed, the failure handler is replaceable, passing checks are free of
+// side effects on control flow, and failure observers (the flight-recorder
+// crash-dump hook) fire on the abort path.
 #include "common/check.h"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
 
 namespace {
 
@@ -66,6 +74,69 @@ TEST(Check, DcheckCompiledOutWhenChecksDisabled) {
   EXPECT_EQ(evaluations, 0);
 }
 #endif
+
+std::vector<std::filesystem::path> flight_dumps_with_prefix(
+    const std::string& prefix) {
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::filesystem::current_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix + "_", 0) == 0) dumps.push_back(entry.path());
+  }
+  return dumps;
+}
+
+TEST(CheckDeathTest, AbortingCheckWritesFlightDump) {
+  // The dying child process writes <prefix>_<its pid>.json; the parent
+  // can't know that pid up front, so it pins a distinctive prefix and
+  // globs afterwards.
+  const std::string prefix = "flight_checkdeath";
+  for (const auto& stale : flight_dumps_with_prefix(prefix)) {
+    std::filesystem::remove(stale);
+  }
+  EXPECT_DEATH(
+      {
+        apple::obs::set_flight_dump_prefix(prefix);
+        apple::obs::install_flight_crash_dump();
+        apple::obs::EventLog& log = apple::obs::default_event_log();
+        log.record(log.intern("obs.test.before_crash"),
+                   apple::obs::EventPhase::kInstant, 42);
+        APPLE_CHECK(false);
+      },
+      "check failed: false");
+
+  const auto dumps = flight_dumps_with_prefix(prefix);
+  ASSERT_EQ(dumps.size(), 1u) << "crash observer left no (or stale) dumps";
+  std::ifstream in(dumps[0]);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ASSERT_FALSE(text.empty());
+
+  // The dump is a parseable journal that retained the pre-crash event.
+  const auto doc = apple::obs::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  const apple::obs::json::Value* journal = doc->find("journal");
+  ASSERT_NE(journal, nullptr);
+  const apple::obs::json::Value* names = journal->find("names");
+  ASSERT_NE(names, nullptr);
+  bool found = false;
+  for (const auto& name : names->items) {
+    if (name.string == "obs.test.before_crash") found = true;
+  }
+  EXPECT_TRUE(found) << text;
+  std::filesystem::remove(dumps[0]);
+}
+
+TEST(Check, ObserverRegistrationIsIdempotentAndBounded) {
+  // Registering the same observer twice holds one slot; the fixed table
+  // tolerates (ignores) overflow instead of failing the process.
+  static int observer_calls = 0;
+  (void)observer_calls;
+  const auto observer = [] { ++observer_calls; };
+  EXPECT_TRUE(apple::common::add_check_failure_observer(observer));
+  EXPECT_TRUE(apple::common::add_check_failure_observer(observer));
+}
 
 // RAII guard so a throwing handler never leaks into later tests.
 class ScopedThrowingHandler {

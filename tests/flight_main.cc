@@ -1,0 +1,18 @@
+// gtest main for the APPLE test binaries.
+//
+// Identical to GTest::gtest_main except that it installs the flight-recorder
+// crash dump first: a test that dies on an APPLE_CHECK (as opposed to a
+// plain EXPECT failure) drains the per-thread event rings to
+// flight_<pid>.json before aborting, so CI's failed-job artifact upload
+// carries the last few thousand events leading up to the check. Ordinary
+// passing/failing runs write nothing — the observer only fires on the
+// abort path.
+#include <gtest/gtest.h>
+
+#include "obs/event_log.h"
+
+int main(int argc, char** argv) {
+  apple::obs::install_flight_crash_dump();
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -6,6 +6,10 @@
 // type-check their arguments but evaluate them ZERO times — if any
 // argument runs, the canary counters move and the test fails. This is
 // what makes it safe to instrument hot paths.
+//
+// apple-analyze: allow-file(metric-name): the canary deliberately feeds
+// runtime-built names to every macro to prove the disabled build evaluates
+// them zero times; no interned id is ever created here.
 #ifdef APPLE_ENABLE_METRICS
 #undef APPLE_ENABLE_METRICS
 #endif

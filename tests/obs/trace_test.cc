@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -87,6 +90,80 @@ TEST(TraceSink, ClearDropsEvents) {
   sink.record({"a.b", "", 0.0, 1.0});
   sink.clear();
   EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TraceSink, EmptySinkExportsAValidEmptyTrace) {
+  // An untouched sink must still serialize to a loadable document — CI
+  // uploads whatever the run produced, including "nothing happened".
+  const TraceSink sink;
+  const auto doc = json::parse(sink.chrome_trace_json());
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_TRUE(events->items.empty());
+  const json::Value* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+}
+
+TEST(TraceSink, RetainsSpansNestedFarDeeperThanAnyBuffer) {
+  // The sink is unbounded by design (the bounded structure is the flight
+  // recorder's ring); 1000-deep recursion must keep every span, ordered by
+  // completion (innermost first, since TraceSpan records on destruction).
+  MetricsRegistry reg;
+  double t = 0.0;
+  reg.set_clock([&t] { return t += 0.001; });
+  TraceSink sink;
+  reg.set_trace_sink(&sink);
+  constexpr int kDepth = 1000;
+  const std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) return;
+    TraceSpan span(reg, "obs.test.nested_seconds");
+    recurse(depth - 1);
+  };
+  recurse(kDepth);
+  reg.set_trace_sink(nullptr);
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kDepth));
+  // Completion order: every later event is an enclosing span, so starts
+  // decrease and durations increase strictly.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i].start_seconds, events[i - 1].start_seconds);
+    EXPECT_GT(events[i].duration_seconds, events[i - 1].duration_seconds);
+  }
+  EXPECT_EQ(reg.histogram("obs.test.nested_seconds").count(),
+            static_cast<std::uint64_t>(kDepth));
+}
+
+TEST(TraceSink, ConcurrentSpansFromPoolWorkersAllLand) {
+  // tsan workload: spans closing simultaneously on exec-pool workers while
+  // the owning thread polls events(). record() serializes behind the
+  // sink's mutex, so every span must land exactly once.
+  MetricsRegistry reg;
+  reg.set_clock([] { return 1.0; });
+  TraceSink sink;
+  reg.set_trace_sink(&sink);
+  exec::ThreadPool pool(4);
+  exec::TaskGroup group(pool);
+  constexpr int kTasks = 64;
+  constexpr int kSpansPerTask = 25;
+  for (int i = 0; i < kTasks; ++i) {
+    group.run([&reg] {
+      for (int n = 0; n < kSpansPerTask; ++n) {
+        TraceSpan span(reg, "obs.test.pool_span_seconds");
+      }
+    });
+  }
+  (void)sink.events();  // racing snapshot while workers record
+  group.wait();
+  reg.set_trace_sink(nullptr);
+
+  EXPECT_EQ(sink.events().size(),
+            static_cast<std::size_t>(kTasks * kSpansPerTask));
+  EXPECT_EQ(reg.histogram("obs.test.pool_span_seconds").count(),
+            static_cast<std::uint64_t>(kTasks * kSpansPerTask));
 }
 
 TEST(ScopedTimer, RecordsAgainstExplicitClock) {

@@ -439,6 +439,89 @@ TEST(ContractConfigRule, EmptyJustificationDoesNotSuppress) {
 }
 
 // ---------------------------------------------------------------------------
+// metric-name
+// ---------------------------------------------------------------------------
+
+TEST(MetricNameRule, FlagsRuntimeBuiltAndMalformedNames) {
+  const Report r = run_analyzer(
+      {{"src/sim/stats.cc",
+        "#include \"obs/obs.h\"\n"
+        "void tick(const std::string& who) {\n"
+        "  APPLE_OBS_COUNT(\"sim.queue.\" + who);\n"      // runtime-built
+        "  APPLE_OBS_COUNT(make_name());\n"               // runtime-built
+        "  APPLE_OBS_EVENT(\"Sim.Queue.Tick\");\n"        // uppercase
+        "  APPLE_OBS_GAUGE_SET(\"nodots\", 1.0);\n"       // no dot
+        "}\n"}});
+  EXPECT_EQ(count_unsuppressed(r, "metric-name"), 4u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(MetricNameRule, LiteralLowercaseDottedNamesAreClean) {
+  const Report r = run_analyzer(
+      {{"src/sim/stats.cc",
+        "#include \"obs/obs.h\"\n"
+        "void tick() {\n"
+        "  APPLE_OBS_COUNT(\"sim.queue.ticks\");\n"
+        "  APPLE_OBS_COUNT_N(\"sim.queue.depth_total\", 3);\n"
+        "  APPLE_OBS_EVENT_N(\"sim.queue.pop\", 7);\n"
+        "  APPLE_OBS_SPAN(\"sim.queue.drain_seconds\");\n"
+        "  APPLE_OBS_EVENT_SPAN(\"sim.queue.drain\");\n"
+        "}\n"}});
+  EXPECT_TRUE(findings_of(r, "metric-name").empty());
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(MetricNameRule, NameSpanningAContinuationLineIsStillChecked) {
+  const Report r = run_analyzer(
+      {{"src/sim/stats.cc",
+        "#include \"obs/obs.h\"\n"
+        "void tick() {\n"
+        "  APPLE_OBS_COUNT_N(\n"
+        "      \"sim.queue.depth_total\", 3);\n"
+        "  APPLE_OBS_COUNT_N(\n"
+        "      \"Sim.Queue.Bad\", 3);\n"
+        "}\n"}});
+  EXPECT_EQ(count_unsuppressed(r, "metric-name"), 1u);
+}
+
+TEST(MetricNameRule, JustifiedSuppressionSuppresses) {
+  const Report r = run_analyzer(
+      {{"src/sim/stats.cc",
+        "#include \"obs/obs.h\"\n"
+        "void tick(const char* who) {\n"
+        "  // apple-analyze: allow(metric-name): bounded test-only cardinality\n"
+        "  APPLE_OBS_COUNT(who);\n"
+        "}\n"}});
+  const auto found = findings_of(r, "metric-name");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_TRUE(found[0]->suppressed);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(MetricNameRule, EmptyJustificationDoesNotSuppress) {
+  const Report r = run_analyzer(
+      {{"src/sim/stats.cc",
+        "#include \"obs/obs.h\"\n"
+        "void tick(const char* who) {\n"
+        "  // apple-analyze: allow(metric-name):\n"
+        "  APPLE_OBS_COUNT(who);\n"
+        "}\n"}});
+  EXPECT_EQ(count_unsuppressed(r, "metric-name"), 1u);
+  ASSERT_EQ(findings_of(r, "suppression").size(), 1u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(MetricNameRule, ObsMacroLayerItselfIsExempt) {
+  // src/obs/ defines the macros; the forwarding identifiers there are not
+  // call sites.
+  const Report r = run_analyzer(
+      {{"src/obs/obs.h",
+        "#pragma once\n"
+        "#define APPLE_OBS_COUNT(name) apple::obs::count(name)\n"}});
+  EXPECT_TRUE(findings_of(r, "metric-name").empty());
+}
+
+// ---------------------------------------------------------------------------
 // suppression meta rule + engine behavior
 // ---------------------------------------------------------------------------
 

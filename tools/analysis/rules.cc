@@ -626,6 +626,121 @@ class ContractConfigRule : public Rule {
   std::set<std::string> callers_;
 };
 
+// ---------------------------------------------------------------------------
+// metric-name — APPLE_OBS_* instrument/event names must be lowercase dotted
+// string literals. Runtime-built names defeat the interned-id cache (the
+// macros resolve the instrument once per call site into a static) and break
+// snapshot/journal determinism; names that fail the obs scheme
+// ([a-z0-9_.] with an interior dot) would abort at first use via the
+// registry's APPLE_CHECK. The token stream drops string literals, so the
+// rule locates call sites in tokens() and inspects raw_lines() for the
+// literal itself.
+// ---------------------------------------------------------------------------
+
+class MetricNameRule : public Rule {
+ public:
+  std::string_view name() const override { return "metric-name"; }
+  std::string_view description() const override {
+    return "APPLE_OBS_* name arguments must be lowercase dotted string "
+           "literals";
+  }
+
+  void analyze(const SourceFile& file, const Corpus& corpus,
+               Sink& sink) override {
+    (void)corpus;
+    // src/obs defines the macros (and forwards `name` between them); only
+    // call sites elsewhere carry actual metric names.
+    if (starts_with(file.path(), "src/obs/")) return;
+    // Per-line scan offsets so two macro calls on one raw line each match
+    // their own occurrence.
+    std::map<std::size_t, std::size_t> line_offset;
+    for (const Token& t : file.tokens()) {
+      if (!name_taking_macros().contains(t.text)) continue;
+      check_call_site(file, t, line_offset, sink);
+    }
+  }
+
+ private:
+  static const std::set<std::string, std::less<>>& name_taking_macros() {
+    static const std::set<std::string, std::less<>> macros = {
+        "APPLE_OBS_COUNT",       "APPLE_OBS_COUNT_N",
+        "APPLE_OBS_GAUGE_SET",   "APPLE_OBS_GAUGE_MAX",
+        "APPLE_OBS_OBSERVE",     "APPLE_OBS_OBSERVE_SIZE",
+        "APPLE_OBS_SPAN",        "APPLE_OBS_EVENT",
+        "APPLE_OBS_EVENT_N",     "APPLE_OBS_EVENT_SPAN",
+    };
+    return macros;
+  }
+
+  // Mirrors obs::valid_instrument_name (src/obs/metrics.cc): lowercase
+  // [a-z0-9_.], at least one dot, no leading/trailing dot.
+  static bool valid_metric_name(std::string_view name) {
+    if (name.empty()) return false;
+    bool has_dot = false;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_' || c == '.';
+      if (!ok) return false;
+      if (c == '.') has_dot = true;
+    }
+    return has_dot && name.front() != '.' && name.back() != '.';
+  }
+
+  void check_call_site(const SourceFile& file, const Token& t,
+                       std::map<std::size_t, std::size_t>& line_offset,
+                       Sink& sink) {
+    const std::vector<std::string>& lines = file.raw_lines();
+    if (t.line == 0 || t.line > lines.size()) return;
+    const std::string& line = lines[t.line - 1];
+    std::size_t& offset = line_offset[t.line];
+    const std::size_t pos = line.find(t.text, offset);
+    if (pos == std::string::npos) return;  // e.g. token-pasted; don't guess
+    offset = pos + t.text.size();
+    // Window: rest of this line plus two continuation lines, enough for a
+    // wrapped call site.
+    std::string tail = line.substr(pos + t.text.size());
+    for (std::size_t k = 0; k < 2 && t.line + k < lines.size(); ++k) {
+      tail += ' ';
+      tail += lines[t.line + k];
+    }
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+      while (i < tail.size() &&
+             std::isspace(static_cast<unsigned char>(tail[i])) != 0) {
+        ++i;
+      }
+    };
+    skip_ws();
+    // Not a call (mention in a comment that shares the line, macro list in
+    // this rule, ...): nothing to check.
+    if (i >= tail.size() || tail[i] != '(') return;
+    ++i;
+    skip_ws();
+    if (i >= tail.size()) return;  // window too small; don't guess
+    if (tail[i] != '"') {
+      sink.report(file, t.line,
+                  "'" + t.text +
+                      "' name argument must be a string literal "
+                      "(runtime-built metric names defeat the interned-id "
+                      "cache and break snapshot determinism)");
+      return;
+    }
+    ++i;
+    std::string literal;
+    while (i < tail.size() && tail[i] != '"') {
+      literal += tail[i];
+      ++i;
+    }
+    if (i >= tail.size()) return;  // literal spans past the window
+    if (!valid_metric_name(literal)) {
+      sink.report(file, t.line,
+                  "metric name \"" + literal +
+                      "\" must be lowercase dotted ([a-z0-9_.] with an "
+                      "interior dot) — the obs registry contracts on it");
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -636,6 +751,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<PointerOrderRule>());
   rules.push_back(std::make_unique<LayeringRule>());
   rules.push_back(std::make_unique<ContractConfigRule>());
+  rules.push_back(std::make_unique<MetricNameRule>());
   return rules;
 }
 

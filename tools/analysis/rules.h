@@ -15,6 +15,9 @@
 //               | headers, raw new/delete (migrated from apple_lint)
 // contract-config| *Config/*Options structs that define validate() nobody
 //               | invokes
+// metric-name   | APPLE_OBS_* / APPLE_OBS_EVENT* name arguments that are
+//               | not lowercase dotted string literals (runtime-built
+//               | names defeat the interned-id cache)
 //
 // All rules are token-sequence heuristics over SourceFile::tokens(); they
 // favor simple, explainable matches plus justified suppressions over parser
@@ -28,7 +31,7 @@
 
 namespace apple::analysis {
 
-// All six rules, default severity error.
+// All seven rules, default severity error.
 std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 // Analyzer pre-loaded with make_default_rules().

@@ -17,6 +17,8 @@
 #include <string>
 
 #include "core/apple_controller.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "core/fault_replay.h"
 #include "core/ilp_builder.h"
 #include "fault/fault_schedule.h"
@@ -43,6 +45,8 @@ struct Options {
   std::size_t reoptimize = 0;
   std::uint64_t seed = 1;
   std::string faults;  // schedule spec, e.g. "crashes=2,link-flaps=1"
+  std::string metrics_path;  // write the metrics snapshot here after the run
+  std::string flight_path;   // write the flight-recorder journal here
 };
 
 void usage() {
@@ -60,6 +64,14 @@ void usage() {
       "  --reoptimize <n>                          re-run the engine every n snapshots\n"
       "  --export-lp <path>                        dump the placement ILP in LP format\n"
       "  --seed <s>                                synthesis seed\n"
+      "  --metrics <path>                          write the metrics snapshot\n"
+      "                                            (counters/gauges/histograms\n"
+      "                                            as JSON) after the run\n"
+      "  --flight <path>                           write the flight-recorder\n"
+      "                                            event journal after the run;\n"
+      "                                            also arms the crash dump\n"
+      "                                            (flight_<pid>.json on any\n"
+      "                                            APPLE_CHECK failure)\n"
       "  --faults <spec>                           replay under a seeded fault schedule;\n"
       "                                            spec is key=value[,...] with keys\n"
       "                                            crashes, node-failures, link-flaps,\n"
@@ -132,6 +144,14 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.faults = v;
+    } else if (arg == "--metrics") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.metrics_path = v;
+    } else if (arg == "--flight") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.flight_path = v;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -166,6 +186,29 @@ core::PlacementStrategy strategy_of(const std::string& name) {
 int main(int argc, char** argv) {
   const auto opt = parse(argc, argv);
   if (!opt) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  if (!opt->flight_path.empty()) obs::install_flight_crash_dump();
+  // Observability artifacts are written on every exit path (including the
+  // fault-replay gate failing) — a failed run is exactly when the flight
+  // journal matters.
+  const auto write_observability = [&opt] {
+    if (!opt->metrics_path.empty()) {
+      obs::default_event_log().export_counters(obs::default_registry());
+      if (obs::default_registry().write_snapshot_json(opt->metrics_path)) {
+        std::printf("metrics snapshot written to %s\n",
+                    opt->metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opt->metrics_path.c_str());
+      }
+    }
+    if (!opt->flight_path.empty()) {
+      if (obs::default_event_log().write_json(opt->flight_path)) {
+        std::printf("flight journal written to %s\n",
+                    opt->flight_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opt->flight_path.c_str());
+      }
+    }
+  };
   try {
     const net::Topology topo = load_topology(*opt);
     std::printf("topology: %s (%zu switches, %zu links, %.0f cores/host)\n",
@@ -264,8 +307,10 @@ int main(int argc, char** argv) {
                   rec.policy_violations == 0 ? " (interference-free)" : "");
       if (!rec.all_repaired() || rec.policy_violations != 0) {
         std::fprintf(stderr, "fault replay FAILED the recovery gate\n");
+        write_observability();
         return 1;
       }
+      write_observability();
       return 0;
     }
 
@@ -288,7 +333,9 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    write_observability();
     return 1;
   }
+  write_observability();
   return 0;
 }

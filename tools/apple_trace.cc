@@ -1,0 +1,336 @@
+// apple_trace — flight-recorder journal post-processor.
+//
+// Reads one or more flight dumps (obs::EventLog::journal_json() documents:
+// crash dumps named flight_<pid>.json, bench artifacts named
+// flight_<bench>.json) and produces:
+//
+//   * a merged Chrome trace-event file (--chrome OUT.json): load it in
+//     chrome://tracing or Perfetto. Each input file becomes a pid, each
+//     recording thread a tid; span begin/end pairs map to B/E events
+//     (strictly nested per thread by construction) and instants to "i".
+//   * a per-epoch latency-attribution table (default, or --table): for
+//     every causal epoch, the wall-clock of each pipeline stage span, the
+//     solver share (lp.mip.solve) and the rule-install share
+//     (core.pipeline.stage.apply_rules), flagging the stage that ate the
+//     largest slice of the epoch budget.
+//
+// Timestamps are whatever clock the producing run injected — wall seconds
+// in benches, constant 0 in determinism tests (where the table degenerates
+// to counts, which is fine: the table is for bench/crash dumps).
+//
+// Exit status: 0 on success, 2 on usage errors, 1 when any input fails to
+// parse.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace {
+
+using apple::obs::json::Value;
+
+struct JournalEvent {
+  std::size_t id = 0;
+  int phase = 0;  // 0 instant, 1 begin, 2 end
+  double t = 0.0;
+  std::uint64_t epoch = 0;
+  std::uint64_t span = 0;
+  std::uint64_t arg = 0;
+};
+
+struct JournalThread {
+  std::uint64_t ordinal = 0;
+  std::uint64_t dropped = 0;
+  std::vector<JournalEvent> events;
+};
+
+struct Journal {
+  std::string file;
+  std::vector<std::string> names;
+  std::vector<JournalThread> threads;
+};
+
+std::uint64_t as_u64(const Value& v) {
+  return v.number < 0 ? 0 : static_cast<std::uint64_t>(v.number);
+}
+
+std::optional<Journal> load_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "apple_trace: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<Value> doc = apple::obs::json::parse(buf.str());
+  const Value* journal = doc ? doc->find("journal") : nullptr;
+  const Value* names = journal ? journal->find("names") : nullptr;
+  const Value* threads = journal ? journal->find("threads") : nullptr;
+  if (names == nullptr || !names->is_array() || threads == nullptr ||
+      !threads->is_array()) {
+    std::fprintf(stderr, "apple_trace: %s is not a flight journal\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  Journal out;
+  out.file = path;
+  for (const Value& n : names->items) out.names.push_back(n.string);
+  for (const Value& t : threads->items) {
+    JournalThread thread;
+    if (const Value* ordinal = t.find("ordinal")) {
+      thread.ordinal = as_u64(*ordinal);
+    }
+    if (const Value* dropped = t.find("dropped")) {
+      thread.dropped = as_u64(*dropped);
+    }
+    const Value* events = t.find("events");
+    if (events == nullptr || !events->is_array()) continue;
+    for (const Value& e : events->items) {
+      if (!e.is_array() || e.items.size() != 6) continue;
+      JournalEvent ev;
+      ev.id = static_cast<std::size_t>(as_u64(e.items[0]));
+      ev.phase = static_cast<int>(as_u64(e.items[1]));
+      ev.t = e.items[2].number;
+      ev.epoch = as_u64(e.items[3]);
+      ev.span = as_u64(e.items[4]);
+      ev.arg = as_u64(e.items[5]);
+      if (ev.id >= out.names.size()) continue;  // truncated/corrupt dump
+      thread.events.push_back(ev);
+    }
+    out.threads.push_back(std::move(thread));
+  }
+  return out;
+}
+
+bool write_chrome_trace(const std::vector<Journal>& journals,
+                        const std::string& path) {
+  apple::obs::json::Writer w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t j = 0; j < journals.size(); ++j) {
+    const std::uint64_t pid = j + 1;
+    for (const JournalThread& t : journals[j].threads) {
+      const std::uint64_t tid = t.ordinal + 1;
+      for (const JournalEvent& e : t.events) {
+        w.begin_object();
+        w.key("name");
+        w.value(journals[j].names[e.id]);
+        w.key("ph");
+        w.value(e.phase == 1 ? "B" : (e.phase == 2 ? "E" : "i"));
+        if (e.phase == 0) {
+          w.key("s");
+          w.value("t");
+        }
+        w.key("ts");
+        w.value(e.t * 1e6);  // Chrome wants microseconds
+        w.key("pid");
+        w.value(pid);
+        w.key("tid");
+        w.value(tid);
+        w.key("args");
+        w.begin_object();
+        w.key("epoch");
+        w.value(e.epoch);
+        w.key("span");
+        w.value(e.span);
+        w.key("arg");
+        w.value(e.arg);
+        w.end_object();
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << w.take() << '\n';
+  return out.good();
+}
+
+// A completed span occurrence, attributed to the epoch its begin carried.
+struct SpanSample {
+  std::size_t name = 0;
+  std::uint64_t epoch = 0;
+  double duration = 0.0;
+};
+
+// Pairs begin/end events per thread by span id. Spans are strictly nested
+// per thread, so a stack suffices; an unmatched begin (ring overwrote the
+// end, or the process died inside the span) is dropped from the table.
+void collect_spans(const JournalThread& t, std::vector<SpanSample>& out) {
+  std::vector<JournalEvent> stack;
+  for (const JournalEvent& e : t.events) {
+    if (e.phase == 1) {
+      stack.push_back(e);
+    } else if (e.phase == 2) {
+      while (!stack.empty() && stack.back().span != e.span) stack.pop_back();
+      if (stack.empty()) continue;  // begin fell off the ring
+      out.push_back(SpanSample{e.id, stack.back().epoch,
+                               e.t - stack.back().t});
+      stack.pop_back();
+    }
+  }
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void print_attribution_table(const Journal& journal) {
+  std::vector<SpanSample> spans;
+  for (const JournalThread& t : journal.threads) collect_spans(t, spans);
+
+  // (epoch -> name -> [total seconds, count]); std::map keeps output order
+  // deterministic.
+  std::map<std::uint64_t, std::map<std::string, std::pair<double, int>>>
+      per_epoch;
+  for (const SpanSample& s : spans) {
+    auto& cell = per_epoch[s.epoch][journal.names[s.name]];
+    cell.first += s.duration;
+    cell.second += 1;
+  }
+  // Instant counts per epoch (rule installs, solver node events).
+  std::map<std::uint64_t, std::map<std::string, std::uint64_t>> instants;
+  for (const JournalThread& t : journal.threads) {
+    for (const JournalEvent& e : t.events) {
+      if (e.phase == 0) ++instants[e.epoch][journal.names[e.id]];
+    }
+  }
+
+  std::uint64_t dropped = 0;
+  for (const JournalThread& t : journal.threads) dropped += t.dropped;
+  std::printf("# %s (%zu threads%s)\n", journal.file.c_str(),
+              journal.threads.size(),
+              dropped > 0 ? ", ring dropped oldest events" : "");
+
+  for (const auto& [epoch, stages] : per_epoch) {
+    if (epoch == 0) continue;  // events outside any epoch scope
+    // The epoch budget is the root pipeline span of this epoch.
+    double wall = 0.0;
+    for (const char* root : {"core.pipeline.epoch", "core.pipeline.advance"}) {
+      const auto it = stages.find(root);
+      if (it != stages.end()) wall += it->second.first;
+    }
+    std::printf("epoch %llu  wall %.6fs\n",
+                static_cast<unsigned long long>(epoch), wall);
+
+    // Stage rows, largest first. Only core.pipeline.stage.* spans compete
+    // for the "ate the budget" flag — solver/dataplane spans nest inside
+    // them and would double-count.
+    std::vector<std::pair<std::string, std::pair<double, int>>> rows(
+        stages.begin(), stages.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.first > b.second.first;
+                     });
+    std::string biggest_stage;
+    double biggest = -1.0;
+    for (const auto& [name, cell] : rows) {
+      if (starts_with(name, "core.pipeline.stage.") && cell.first > biggest) {
+        biggest = cell.first;
+        biggest_stage = name;
+      }
+    }
+    for (const auto& [name, cell] : rows) {
+      if (!starts_with(name, "core.pipeline.stage.")) continue;
+      const double share = wall > 0.0 ? 100.0 * cell.first / wall : 0.0;
+      std::printf("  %-40s %10.6fs  x%-5d %5.1f%%%s\n", name.c_str(),
+                  cell.first, cell.second, share,
+                  name == biggest_stage ? "  <- epoch budget" : "");
+    }
+    const auto solver = stages.find("lp.mip.solve");
+    if (solver != stages.end()) {
+      const double share =
+          wall > 0.0 ? 100.0 * solver->second.first / wall : 0.0;
+      std::printf("  %-40s %10.6fs  x%-5d %5.1f%%\n", "solver share",
+                  solver->second.first, solver->second.second, share);
+    }
+    const auto rules = stages.find("core.pipeline.stage.apply_rules");
+    if (rules != stages.end()) {
+      const double share =
+          wall > 0.0 ? 100.0 * rules->second.first / wall : 0.0;
+      std::printf("  %-40s %10.6fs  x%-5d %5.1f%%\n", "rule-install share",
+                  rules->second.first, rules->second.second, share);
+    }
+    const auto inst = instants.find(epoch);
+    if (inst != instants.end()) {
+      std::printf("  instants:");
+      for (const auto& [name, count] : inst->second) {
+        std::printf(" %s=%llu", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: apple_trace [--chrome OUT.json] [--table] "
+               "FLIGHT.json...\n"
+               "  --chrome OUT.json  merge inputs into a Chrome trace file\n"
+               "  --table            print the per-epoch latency attribution\n"
+               "                     table (default when --chrome is absent)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string chrome_path;
+  bool want_table = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chrome") {
+      if (i + 1 >= argc) return usage();
+      chrome_path = argv[++i];
+    } else if (arg == "--table") {
+      want_table = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+  if (chrome_path.empty()) want_table = true;
+
+  std::vector<Journal> journals;
+  for (const std::string& file : files) {
+    std::optional<Journal> journal = load_journal(file);
+    if (!journal) return 1;
+    journals.push_back(std::move(*journal));
+  }
+  if (!chrome_path.empty()) {
+    if (!write_chrome_trace(journals, chrome_path)) {
+      std::fprintf(stderr, "apple_trace: cannot write %s\n",
+                   chrome_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu journal%s)\n", chrome_path.c_str(),
+                journals.size(), journals.size() == 1 ? "" : "s");
+  }
+  if (want_table) {
+    for (const Journal& journal : journals) print_attribution_table(journal);
+  }
+  return 0;
+}
