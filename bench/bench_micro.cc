@@ -4,6 +4,11 @@
 // Not a paper artifact — used to watch for performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "bench_common.h"
 #include "core/epoch_pipeline.h"
 #include "core/optimization_engine.h"
@@ -88,6 +93,87 @@ void BM_SimplexTransportation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexTransportation)->Arg(8)->Arg(16);
+
+// Random sparse LP with mixed row senses, feasible at x = 1 by
+// construction (<= rows get slack above the row sum at 1, >= rows slack
+// below, = rows pin it exactly). Density is the probability a variable
+// appears in a row, so the revised engine's CSC advantage scales with it.
+lp::LpModel make_random_sparse_lp(std::size_t vars, std::size_t rows,
+                                  double density, std::uint64_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> cost(0.5, 3.0);
+  std::uniform_real_distribution<double> coef(0.5, 2.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  lp::LpModel model;
+  std::vector<lp::VarId> x;
+  x.reserve(vars);
+  for (std::size_t j = 0; j < vars; ++j) x.push_back(model.add_var(cost(rng)));
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < vars; ++j) {
+      if (coin(rng) >= density) continue;
+      const double a = coef(rng);
+      row.emplace_back(x[j], a);
+      sum += a;
+    }
+    if (row.empty()) {
+      const double a = coef(rng);
+      row.emplace_back(x[i % vars], a);
+      sum = a;
+    }
+    const int sense = static_cast<int>(i % 3);
+    if (sense == 0) {
+      model.add_row(lp::Sense::kLessEqual, sum + 1.0, row);
+    } else if (sense == 1) {
+      model.add_row(lp::Sense::kGreaterEqual, sum - 1.0, row);
+    } else {
+      model.add_row(lp::Sense::kEqual, sum, row);
+    }
+  }
+  return model;
+}
+
+// Dense tableau vs revised sparse simplex on the same random LP, across
+// three sparsity tiers. Reported counters: pivots/s (rate of
+// lp.simplex.iterations across the timed region) and refactorizations per
+// iteration (revised only; the dense engine reads 0). Both read 0 when
+// metrics are compiled out — the wall-clock comparison still stands.
+// These are COLD solves: at this size the dense tableau's contiguous
+// sweeps can outrun the revised engine's BTRAN/FTRAN machinery, and that
+// is fine — the revised engine earns its keep on warm-restarted B&B
+// re-solves (gated in bench_table5_solver_time). This family watches the
+// cold-solve overhead so it never drifts silently.
+void BM_SimplexRandomSparse(benchmark::State& state) {
+  constexpr double kDensities[] = {0.05, 0.15, 0.4};
+  const bool revised = state.range(0) != 0;
+  const double density = kDensities[state.range(1)];
+  const lp::LpModel model =
+      make_random_sparse_lp(/*vars=*/90, /*rows=*/70, density,
+                            /*seed=*/1234 + state.range(1));
+  lp::SimplexOptions opt;
+  opt.algorithm = revised ? lp::SimplexAlgorithm::kRevised
+                          : lp::SimplexAlgorithm::kDense;
+  const lp::SimplexSolver solver(opt);
+  obs::MetricsRegistry& reg = obs::default_registry();
+  const std::uint64_t pivots0 = reg.counter("lp.simplex.iterations").value();
+  const std::uint64_t refac0 =
+      reg.counter("lp.simplex.refactorizations").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+  const auto pivots = static_cast<double>(
+      reg.counter("lp.simplex.iterations").value() - pivots0);
+  const auto refac = static_cast<double>(
+      reg.counter("lp.simplex.refactorizations").value() - refac0);
+  state.counters["pivots/s"] =
+      benchmark::Counter(pivots, benchmark::Counter::kIsRate);
+  state.counters["refac/iter"] =
+      benchmark::Counter(pivots > 0.0 ? refac / pivots : 0.0);
+}
+BENCHMARK(BM_SimplexRandomSparse)
+    ->ArgNames({"revised", "density_tier"})
+    ->ArgsProduct({{0, 1}, {0, 1, 2}});
 
 void BM_EventQueue(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

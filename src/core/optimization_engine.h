@@ -30,6 +30,10 @@ const char* to_string(PlacementStrategy s);
 
 struct EngineOptions {
   PlacementStrategy strategy = PlacementStrategy::kGreedy;
+  // Both option blocks carry a SimplexOptions::algorithm knob (lp/simplex.h):
+  // kAuto (default) runs the revised sparse simplex with dual warm restarts
+  // between B&B nodes and falls back to the dense tableau on numerical
+  // trouble; kDense forces the old dense-only behaviour.
   lp::MipOptions mip;          // used by kExact
   lp::SimplexOptions simplex;  // used by kLpRound
 };

@@ -13,9 +13,21 @@
 
 #include "common/check.h"
 #include "exec/thread_pool.h"
+#include "lp/revised_simplex.h"
 #include "obs/obs.h"
 
 namespace apple::lp {
+
+void MipOptions::validate() const {
+  APPLE_CHECK(std::isfinite(integrality_eps));
+  APPLE_CHECK_GT(integrality_eps, 0.0);
+  APPLE_CHECK(std::isfinite(relative_gap));
+  APPLE_CHECK_GE(relative_gap, 0.0);
+  APPLE_CHECK_GE(max_nodes, 1u);
+  APPLE_CHECK_GT(time_limit_sec, 0.0);
+  APPLE_CHECK_GE(warm_tolerance, 0.0);
+  simplex.validate();
+}
 
 namespace {
 
@@ -35,8 +47,12 @@ struct Node {
   std::uint64_t seq = 0;  // creation index: deterministic heap tie-break
   std::vector<BoundDelta> deltas;
   // Structural basis at the parent's optimum, shared by both children and
-  // crashed into each child's initial basis (warm start).
+  // crashed into each child's initial basis if the child's LP runs on the
+  // dense tableau (warm start).
   std::shared_ptr<const std::vector<VarId>> warm;
+  // Full parent basis for the revised solver's dual warm restart. Null
+  // for the root and for children of dense-fallback nodes (cold start).
+  std::shared_ptr<const SimplexBasis> rbasis;
 };
 
 struct NodeOrder {
@@ -51,6 +67,9 @@ struct Slot {
   std::vector<double> lower;
   std::vector<double> upper;
   LpSolution rel;
+  // Optimal basis of this node's revised solve, handed to its children
+  // for a dual warm restart. Null after a dense fallback.
+  std::shared_ptr<const SimplexBasis> basis;
   bool skipped = false;  // pruned against a mid-round incumbent (non-det)
 };
 
@@ -91,6 +110,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
   APPLE_OBS_SPAN("lp.mip.solve_seconds");
   APPLE_OBS_EVENT_SPAN("lp.mip.solve");
   APPLE_OBS_COUNT("lp.mip.solves");
+  options_.validate();
   std::uint64_t nodes_pruned = 0;
   // apple-analyze: allow(ambient-time): opt-in wall-clock budget; with the
   // default infinite time_limit_sec the deadline never fires, and a finite
@@ -163,10 +183,20 @@ MipResult MipSolver::solve(const LpModel& model) const {
   if (num_workers > 1) {
     pool = std::make_unique<exec::ThreadPool>(num_workers - 1);
   }
-  // One solver per slot: workers never share solver state (the solver is
-  // stateless apart from its options, but per-slot instances keep that a
-  // non-assumption).
-  std::vector<SimplexSolver> solvers(num_workers, SimplexSolver(sopt));
+  // One solver per slot: workers never share solver state. The revised
+  // instances each lower the model to sparse form once and are reused for
+  // every node the slot solves; the dense solvers are the per-slot
+  // numerical-trouble fallback (and the whole path when kDense is forced).
+  const bool revised_mode = sopt.algorithm != SimplexAlgorithm::kDense;
+  SimplexOptions dense_opt = sopt;
+  dense_opt.algorithm = SimplexAlgorithm::kDense;
+  std::vector<SimplexSolver> solvers(num_workers, SimplexSolver(dense_opt));
+  std::vector<std::unique_ptr<RevisedSimplex>> rsolvers(num_workers);
+  if (revised_mode) {
+    for (std::size_t i = 0; i < num_workers; ++i) {
+      rsolvers[i] = std::make_unique<RevisedSimplex>(model, sopt);
+    }
+  }
   std::vector<Slot> slots(num_workers);
   std::vector<Node> batch;
   batch.reserve(num_workers);
@@ -174,7 +204,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
   std::uint64_t next_seq = 0;
   APPLE_OBS_EVENT_N("lp.mip.node.enqueue", 0);
-  open.push(Node{-kInf, next_seq++, {}, nullptr});
+  open.push(Node{-kInf, next_seq++, {}, nullptr, nullptr});
   bool hit_limit = false;
   double best_open_bound = -kInf;
 
@@ -183,6 +213,7 @@ MipResult MipSolver::solve(const LpModel& model) const {
     const Node& node = batch[i];
     APPLE_OBS_EVENT_N("lp.mip.node.solve", node.seq);
     s.skipped = false;
+    s.basis = nullptr;
     if (!options_.deterministic &&
         prunable(node.bound, incumbent_bound.load(std::memory_order_relaxed),
                  options_.relative_gap)) {
@@ -199,12 +230,35 @@ MipResult MipSolver::solve(const LpModel& model) const {
         s.lower[v] = std::max(s.lower[v], d.value);
       }
     }
-    SolveContext ctx;
-    ctx.lower = s.lower;
-    ctx.upper = s.upper;
-    ctx.warm_basis = node.warm.get();
-    ctx.want_basis = true;
-    s.rel = solvers[i].solve(model, ctx);
+    bool solved_revised = false;
+    if (revised_mode) {
+      RevisedSimplex& rs = *rsolvers[i];
+      s.rel = node.rbasis != nullptr
+                  ? rs.solve_warm(s.lower, s.upper, *node.rbasis)
+                  : rs.solve(s.lower, s.upper);
+      solved_revised = !(rs.numerical_trouble() &&
+                         sopt.algorithm == SimplexAlgorithm::kAuto);
+      if (solved_revised && s.rel.status == SolveStatus::kOptimal) {
+        auto basis = std::make_shared<SimplexBasis>(rs.basis());
+        // Derive the dense crash hints too, so a child that later falls
+        // back to the tableau still warm-starts.
+        for (std::size_t v = 0; v < n_vars; ++v) {
+          if (basis->status[v] == VarStatus::kBasic) {
+            s.rel.basic_vars.push_back(static_cast<VarId>(v));
+          }
+        }
+        s.basis = std::move(basis);
+      }
+    }
+    if (!solved_revised) {
+      if (revised_mode) APPLE_OBS_COUNT("lp.mip.dense_fallbacks");
+      SolveContext ctx;
+      ctx.lower = s.lower;
+      ctx.upper = s.upper;
+      ctx.warm_basis = node.warm.get();
+      ctx.want_basis = true;
+      s.rel = solvers[i].solve(model, ctx);
+    }
     if (!options_.deterministic && s.rel.status == SolveStatus::kOptimal &&
         most_fractional(int_vars, s.rel.x, options_.integrality_eps) < 0) {
       atomic_min(incumbent_bound, s.rel.objective);
@@ -297,9 +351,10 @@ MipResult MipSolver::solve(const LpModel& model) const {
       const double val = rel.x[static_cast<std::size_t>(frac_var)];
       auto warm = std::make_shared<const std::vector<VarId>>(
           std::move(s.rel.basic_vars));
-      Node down{rel.objective, next_seq++, batch[i].deltas, warm};
+      Node down{rel.objective, next_seq++, batch[i].deltas, warm, s.basis};
       down.deltas.push_back(BoundDelta{frac_var, true, std::floor(val)});
-      Node up{rel.objective, next_seq++, std::move(batch[i].deltas), warm};
+      Node up{rel.objective, next_seq++, std::move(batch[i].deltas), warm,
+              s.basis};
       up.deltas.push_back(BoundDelta{frac_var, false, std::ceil(val)});
       APPLE_OBS_EVENT_N("lp.mip.node.enqueue", down.seq);
       APPLE_OBS_EVENT_N("lp.mip.node.enqueue", up.seq);

@@ -5,9 +5,17 @@
 // Strategy: best-first search on the LP-relaxation bound, branching on the
 // most fractional integer variable. A branch is a variable-bound tightening
 // recorded as a compact diff against the root (no constraint rows are ever
-// appended, and the model is never copied per node); each node's LP is
-// solved through SimplexSolver's bound overlay, warm-started from the
-// parent node's optimal basis.
+// appended, and the model is never copied per node).
+//
+// Node LPs run on the revised sparse simplex by default (see
+// lp/revised_simplex.h): a child node differs from its parent only in one
+// variable bound, so the parent's optimal basis stays *dual feasible* and
+// the child warm-restarts with a handful of dual-simplex pivots instead of
+// a full cold solve. A node whose revised solve reports numerical trouble
+// falls back to the dense tableau (crash-warm-started from the parent's
+// basic variables); its children then cold-start the revised solver.
+// Forcing SimplexOptions::algorithm = kDense restores the previous
+// dense-only behaviour.
 //
 // Parallelism (MipOptions::num_workers > 1): the search proceeds in epochs.
 // Each round the coordinator pops up to num_workers best-bound nodes, their
@@ -58,6 +66,10 @@ struct MipOptions {
   std::vector<double> warm_solution;
   double warm_tolerance = 1e-6;
   SimplexOptions simplex;
+
+  // Dies (APPLE_CHECK) on out-of-range values; MipSolver::solve calls this
+  // (and transitively simplex.validate()) before the search starts.
+  void validate() const;
 };
 
 struct MipResult {

@@ -7,9 +7,20 @@
 #include <vector>
 
 #include "common/check.h"
+#include "lp/revised_simplex.h"
 #include "obs/obs.h"
 
 namespace apple::lp {
+
+void SimplexOptions::validate() const {
+  APPLE_CHECK(std::isfinite(feasibility_eps));
+  APPLE_CHECK_GT(feasibility_eps, 0.0);
+  APPLE_CHECK(std::isfinite(optimality_eps));
+  APPLE_CHECK_GT(optimality_eps, 0.0);
+  APPLE_CHECK_GE(stall_limit, 1u);
+  APPLE_CHECK_GE(deadline_poll_pivots, 1u);
+  APPLE_CHECK_GE(refactor_interval, 1u);
+}
 
 namespace {
 
@@ -328,12 +339,24 @@ PhaseResult run_phase(Tableau& tab, std::vector<double>& cost,
 void crash_basis(Tableau& tab, const std::vector<VarId>& warm,
                  std::vector<double>& cost1, std::vector<double>& cost2,
                  const SimplexOptions& opt, std::size_t& iterations) {
+  const bool has_deadline =
+      opt.deadline != std::chrono::steady_clock::time_point::max();
+  const std::size_t poll = std::max<std::size_t>(1, opt.deadline_poll_pivots);
   std::vector<char> in_basis(tab.num_cols(), 0);
   for (std::size_t r = 0; r < tab.num_rows(); ++r) {
     const int b = tab.basis(r);
     if (b >= 0) in_basis[static_cast<std::size_t>(b)] = 1;
   }
   for (const VarId v : warm) {
+    // A long warm-hint list is pivot work like any other: it honors the
+    // same deadline as run_phase, so crashing cannot overshoot the MIP
+    // time budget before phase 1 even starts.
+    if (has_deadline && iterations % poll == 0 &&
+        // apple-analyze: allow(ambient-time): same opt-in deadline escape
+        // hatch as run_phase below; never polled at the default deadline
+        std::chrono::steady_clock::now() >= opt.deadline) {
+      return;  // run_phase notices the deadline immediately after
+    }
     if (v < 0 || static_cast<std::size_t>(v) >= tab.num_struct()) continue;
     const auto col = static_cast<std::size_t>(v);
     if (tab.is_fixed(col) || in_basis[col] != 0) continue;
@@ -375,6 +398,31 @@ LpSolution SimplexSolver::solve(const LpModel& model) const {
 
 LpSolution SimplexSolver::solve(const LpModel& model,
                                 const SolveContext& ctx) const {
+  options_.validate();
+  if (options_.algorithm != SimplexAlgorithm::kDense) {
+    // The revised solver instruments itself (same lp.simplex.* names), so
+    // this path must not add the wrapper counters: one solve, one count.
+    RevisedSimplex revised(model, options_);
+    LpSolution out = revised.solve(ctx.lower, ctx.upper);
+    if (options_.algorithm == SimplexAlgorithm::kAuto &&
+        revised.numerical_trouble()) {
+      return solve_dense(model, ctx);
+    }
+    if (ctx.want_basis && out.status == SolveStatus::kOptimal) {
+      const SimplexBasis& basis = revised.basis();
+      for (std::size_t v = 0; v < model.num_vars(); ++v) {
+        if (basis.status[v] == VarStatus::kBasic) {
+          out.basic_vars.push_back(static_cast<VarId>(v));
+        }
+      }
+    }
+    return out;
+  }
+  return solve_dense(model, ctx);
+}
+
+LpSolution SimplexSolver::solve_dense(const LpModel& model,
+                                      const SolveContext& ctx) const {
   APPLE_OBS_SPAN("lp.simplex.solve_seconds");
   LpSolution out = solve_impl(model, ctx);
   APPLE_OBS_COUNT("lp.simplex.solves");

@@ -1,4 +1,9 @@
-// Two-phase primal simplex on a dense tableau.
+// LP-relaxation solver entry point: dispatches between the revised sparse
+// simplex (lp/revised_simplex.h, the default hot path) and the two-phase
+// primal simplex on a dense tableau implemented here, per
+// SimplexOptions::algorithm. The comments below describe the dense path;
+// it remains the reference implementation and the kAuto fallback when the
+// revised solver reports numerical trouble.
 //
 // Solves the LP relaxation of an LpModel (integrality markers are ignored).
 // Designed for the sizes the APPLE Optimization Engine produces for small
@@ -37,6 +42,14 @@
 
 namespace apple::lp {
 
+// Which simplex implementation a solve runs on.
+// * kAuto: the revised sparse simplex (lp/revised_simplex.h); if it
+//   reports numerical trouble the solve silently re-runs on the dense
+//   tableau. The fallback decision depends only on the solve's own
+//   deterministic arithmetic, so kAuto keeps the determinism contract.
+// * kDense / kRevised: force one implementation (tests, benchmarks).
+enum class SimplexAlgorithm { kAuto, kDense, kRevised };
+
 struct SimplexOptions {
   std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
   double feasibility_eps = 1e-7;
@@ -49,6 +62,14 @@ struct SimplexOptions {
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   std::size_t deadline_poll_pivots = 64;
+  SimplexAlgorithm algorithm = SimplexAlgorithm::kAuto;
+  // Revised simplex: pivots between basis refactorizations (the eta chain
+  // is discarded and B = LU recomputed; see lp/basis_lu.h).
+  std::size_t refactor_interval = 64;
+
+  // Dies (APPLE_CHECK) on out-of-range values; every solver entry point
+  // calls this before using the options.
+  void validate() const;
 };
 
 // Per-solve overlay for branch-and-bound nodes; see header comment.
@@ -76,8 +97,9 @@ class SimplexSolver {
   LpSolution solve(const LpModel& model, const SolveContext& ctx) const;
 
  private:
-  // The uninstrumented solve; solve() wraps it in the obs span/counters
-  // (lp.simplex.* — see DESIGN.md Sec. 7).
+  // The dense-tableau path with its obs span/counters (lp.simplex.* — see
+  // DESIGN.md Sec. 7) around the uninstrumented solve_impl.
+  LpSolution solve_dense(const LpModel& model, const SolveContext& ctx) const;
   LpSolution solve_impl(const LpModel& model, const SolveContext& ctx) const;
 
   SimplexOptions options_;

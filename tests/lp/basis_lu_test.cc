@@ -1,0 +1,221 @@
+#include "lp/basis_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace apple::lp {
+namespace {
+
+// Random sparse m x cols matrix in CSC form. Every column j < m carries a
+// dominant diagonal entry at row j (so the basis [0..m) is well
+// conditioned); extra columns j >= m carry their dominant entry at row
+// j - m. Off-dominant entries appear with probability `density`.
+SparseMatrix random_matrix(std::size_t m, std::size_t cols, double density,
+                           std::mt19937& rng) {
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> diag(2.0, 4.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<std::int32_t> col_start{0};
+  std::vector<SparseMatrix::Entry> entries;
+  for (std::size_t j = 0; j < cols; ++j) {
+    const std::size_t dom = j % m;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == dom) {
+        entries.push_back({static_cast<std::int32_t>(r), diag(rng)});
+      } else if (coin(rng) < density) {
+        entries.push_back({static_cast<std::int32_t>(r), value(rng)});
+      }
+    }
+    col_start.push_back(static_cast<std::int32_t>(entries.size()));
+  }
+  return SparseMatrix(m, cols, std::move(col_start), std::move(entries));
+}
+
+std::vector<std::vector<double>> dense_basis(const SparseMatrix& matrix,
+                                             const std::vector<std::int32_t>&
+                                                 basic) {
+  const std::size_t m = matrix.rows();
+  std::vector<std::vector<double>> b(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& e : matrix.column(static_cast<std::size_t>(basic[i]))) {
+      b[static_cast<std::size_t>(e.row)][i] = e.value;
+    }
+  }
+  return b;
+}
+
+// Reference solve via dense Gaussian elimination with partial pivoting.
+// `transpose` solves B' x = rhs instead of B x = rhs.
+std::vector<double> dense_solve(std::vector<std::vector<double>> a,
+                                std::vector<double> rhs, bool transpose) {
+  const std::size_t m = rhs.size();
+  if (transpose) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) std::swap(a[i][j], a[j][i]);
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < m; ++r) {
+      if (std::abs(a[r][k]) > std::abs(a[pivot][k])) pivot = r;
+    }
+    std::swap(a[k], a[pivot]);
+    std::swap(rhs[k], rhs[pivot]);
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const double f = a[r][k] / a[k][k];
+      if (f == 0.0) continue;
+      for (std::size_t c = k; c < m; ++c) a[r][c] -= f * a[k][c];
+      rhs[r] -= f * rhs[k];
+    }
+  }
+  std::vector<double> x(m, 0.0);
+  for (std::size_t k = m; k-- > 0;) {
+    double acc = rhs[k];
+    for (std::size_t c = k + 1; c < m; ++c) acc -= a[k][c] * x[c];
+    x[k] = acc / a[k][k];
+  }
+  return x;
+}
+
+TEST(BasisLu, FtranBtranMatchDenseReference) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> value(-2.0, 2.0);
+  for (const std::size_t m : {1u, 3u, 10u, 40u}) {
+    for (const double density : {0.05, 0.3, 0.8}) {
+      const SparseMatrix matrix = random_matrix(m, m, density, rng);
+      std::vector<std::int32_t> basic(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        basic[i] = static_cast<std::int32_t>(i);
+      }
+      BasisLu lu;
+      ASSERT_TRUE(lu.factorize(matrix, basic));
+      const auto dense = dense_basis(matrix, basic);
+
+      std::vector<double> rhs(m);
+      for (double& v : rhs) v = value(rng);
+      std::vector<double> w = rhs;
+      lu.ftran(w);
+      const std::vector<double> w_ref = dense_solve(dense, rhs, false);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(w[i], w_ref[i], 1e-9) << "m=" << m << " d=" << density;
+      }
+
+      std::vector<double> c(m);
+      for (double& v : c) v = value(rng);
+      std::vector<double> y = c;
+      lu.btran(y);
+      const std::vector<double> y_ref = dense_solve(dense, c, true);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(y[i], y_ref[i], 1e-9) << "m=" << m << " d=" << density;
+      }
+      EXPECT_GT(lu.fill_nnz(), 0u);
+      EXPECT_EQ(lu.eta_count(), 0u);
+    }
+  }
+}
+
+TEST(BasisLu, EtaUpdatesMatchFreshFactorization) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> value(-2.0, 2.0);
+  const std::size_t m = 25;
+  // 2m columns: [0, m) is the starting basis, [m, 2m) the replacements
+  // (column m + p is dominant in row p, keeping every swap nonsingular).
+  const SparseMatrix matrix = random_matrix(m, 2 * m, 0.2, rng);
+  std::vector<std::int32_t> basic(m);
+  for (std::size_t i = 0; i < m; ++i) basic[i] = static_cast<std::int32_t>(i);
+
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(matrix, basic));
+  // Pivot k columns in through the eta file, one basis position at a time.
+  const std::size_t k = 8;
+  for (std::size_t p = 0; p < k; ++p) {
+    const auto enter = static_cast<std::int32_t>(m + p);
+    std::vector<double> w(m, 0.0);
+    for (const auto& e : matrix.column(static_cast<std::size_t>(enter))) {
+      w[static_cast<std::size_t>(e.row)] = e.value;
+    }
+    lu.ftran(w);
+    ASSERT_TRUE(lu.update(w, p));
+    basic[p] = enter;
+  }
+  EXPECT_EQ(lu.eta_count(), k);
+
+  BasisLu fresh;
+  ASSERT_TRUE(fresh.factorize(matrix, basic));
+
+  // The eta-extended factorization and the fresh one represent the same
+  // basis: FTRAN and BTRAN must agree on random vectors.
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> rhs(m);
+    for (double& v : rhs) v = value(rng);
+    std::vector<double> a = rhs;
+    std::vector<double> b = rhs;
+    lu.ftran(a);
+    fresh.ftran(b);
+    for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(a[i], b[i], 1e-8);
+    a = rhs;
+    b = rhs;
+    lu.btran(a);
+    fresh.btran(b);
+    for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(a[i], b[i], 1e-8);
+  }
+}
+
+TEST(BasisLu, SingularBasisReportsFailureNotNaN) {
+  // Two identical columns: rank m-1.
+  std::vector<std::int32_t> col_start{0, 2, 4, 5};
+  std::vector<SparseMatrix::Entry> entries{
+      {0, 1.0}, {1, 2.0}, {0, 1.0}, {1, 2.0}, {2, 1.0}};
+  const SparseMatrix matrix(3, 3, std::move(col_start), std::move(entries));
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(matrix, std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(BasisLu, NearSingularPivotRejected) {
+  // A column whose only entry is far below the singular tolerance.
+  std::vector<std::int32_t> col_start{0, 1, 2};
+  std::vector<SparseMatrix::Entry> entries{{0, 1.0}, {1, 1e-13}};
+  const SparseMatrix matrix(2, 2, std::move(col_start), std::move(entries));
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(matrix, std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(BasisLu, UnstableEtaPivotRejectedAndFactorizationUnchanged) {
+  std::mt19937 rng(3);
+  const std::size_t m = 6;
+  const SparseMatrix matrix = random_matrix(m, m, 0.4, rng);
+  std::vector<std::int32_t> basic(m);
+  for (std::size_t i = 0; i < m; ++i) basic[i] = static_cast<std::int32_t>(i);
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(matrix, basic));
+  std::vector<double> before(m, 1.0);
+  lu.ftran(before);
+
+  // w with a ~zero pivot element must be rejected without side effects.
+  std::vector<double> w(m, 1.0);
+  w[2] = 1e-14;
+  EXPECT_FALSE(lu.update(w, 2));
+  EXPECT_EQ(lu.eta_count(), 0u);
+  std::vector<double> after(m, 1.0);
+  lu.ftran(after);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(BasisLu, EmptyBasisIsTriviallyFactorized) {
+  const SparseMatrix matrix(0, 0, {0}, {});
+  BasisLu lu;
+  EXPECT_TRUE(lu.factorize(matrix, {}));
+  EXPECT_TRUE(lu.factorized());
+  std::vector<double> x;
+  lu.ftran(x);
+  lu.btran(x);
+}
+
+}  // namespace
+}  // namespace apple::lp

@@ -39,6 +39,7 @@ struct Options {
   double total_mbps = 6000.0;
   std::size_t snapshots = 32;
   std::string strategy = "greedy";
+  std::string simplex = "auto";
   std::size_t workers = 1;
   bool failover = true;
   double policied = 0.5;
@@ -58,6 +59,7 @@ void usage() {
       "  --total-mbps <x>                          synthetic load (default 6000)\n"
       "  --snapshots <n>                           synthetic snapshots (default 32; 0 = no replay)\n"
       "  --strategy greedy|lp-round|exact          placement strategy\n"
+      "  --simplex auto|dense|revised              LP engine for lp-round/exact (default auto)\n"
       "  --workers <n>                             parallel B&B workers for exact (default 1)\n"
       "  --no-failover                             disable the Dynamic Handler\n"
       "  --policied <f>                            policied OD fraction (default 0.5)\n"
@@ -118,6 +120,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.strategy = v;
+    } else if (arg == "--simplex") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.simplex = v;
     } else if (arg == "--workers") {
       const char* v = value();
       if (!v) return std::nullopt;
@@ -181,6 +187,13 @@ core::PlacementStrategy strategy_of(const std::string& name) {
   throw std::runtime_error("unknown strategy " + name);
 }
 
+lp::SimplexAlgorithm simplex_of(const std::string& name) {
+  if (name == "auto") return lp::SimplexAlgorithm::kAuto;
+  if (name == "dense") return lp::SimplexAlgorithm::kDense;
+  if (name == "revised") return lp::SimplexAlgorithm::kRevised;
+  throw std::runtime_error("unknown simplex engine " + name);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +231,10 @@ int main(int argc, char** argv) {
     core::ControllerConfig cfg;
     cfg.engine.strategy = strategy_of(opt->strategy);
     cfg.engine.mip.num_workers = opt->workers;
+    // One knob drives both LP entry points: the exact path's node LPs and
+    // the lp-round relaxation (see lp/simplex.h SimplexAlgorithm).
+    cfg.engine.mip.simplex.algorithm = simplex_of(opt->simplex);
+    cfg.engine.simplex.algorithm = cfg.engine.mip.simplex.algorithm;
     cfg.policied_fraction = opt->policied;
     cfg.reoptimize_every = opt->reoptimize;
     cfg.snapshot_duration = 0.5;
