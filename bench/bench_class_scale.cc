@@ -1,0 +1,320 @@
+// Class-scale benchmark: the sharded ClassStore build, the parallel
+// atomic-predicate refinement and the per-shard epoch diff at 100k+ flow
+// classes (DESIGN.md Sec. 15; ROADMAP million-flow item).
+//
+// Scenario: the AS-3679 ISP topology (79 nodes, ~6.2k OD pairs) with every
+// OD pair fanning its demand out over 18 policy chains from a 32-chain
+// synthetic catalog — ~111k traffic classes per snapshot, the scale regime
+// the flat std::vector<TrafficClass> representation was replaced for.
+//
+// Phases and gates (exit 1 on violation; wall-clock is only ever compared
+// within this run, never against a recorded baseline):
+//  A  Store build, serial vs worker counts {1, 2, 4, 8} (external pools, so
+//     thread spawn cost stays out of the measured section). Gates: >=100k
+//     classes; every parallel store fingerprint-identical (ids included) to
+//     the serial store; the 4-worker build beats the serial wall-clock.
+//  B  Atomic-predicate refinement over a 384-predicate ACL-style catalog,
+//     serial vs {1, 2, 4, 8} workers. Determinism is checked in one shared
+//     manager (hash-consing makes equal atoms literally equal refs); the
+//     timed runs each use a fresh manager rebuilt from scratch, so neither
+//     side inherits warm apply/memo caches. Gates: atoms and memberships
+//     identical across every worker count; 4 workers beat serial.
+//  C  Epoch assembly (greedy placement) over the store plus a per-shard
+//     diff against a perturbation confined to 8 of the 64 shards. Gates:
+//     exactly the perturbed shards diff dirty, the rest short-circuit via
+//     fingerprint equality.
+//
+// The two wall-clock gates need real parallelism: they are enforced only
+// when the machine offers >= 4 hardware threads (CI runners do) and are
+// reported-but-skipped on smaller machines, where beating serial is
+// physically impossible. The determinism, scale and shard gates always run.
+//
+// Deterministic counters (class/path/atom/shard counts) are pinned in
+// baselines/BENCH_class_scale.baseline.json.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/epoch_pipeline.h"
+#include "exec/thread_pool.h"
+#include "hsa/atomic.h"
+#include "hsa/predicate.h"
+#include "net/routing.h"
+#include "traffic/class_store.h"
+#include "vnf/nf_types.h"
+
+namespace {
+
+using namespace apple;
+
+constexpr std::size_t kShards = 64;
+constexpr std::size_t kCatalogChains = 32;   // synthetic policy-chain catalog
+constexpr std::size_t kChainsPerPair = 18;   // fan-out -> ~111k classes
+constexpr std::size_t kMinClasses = 100000;  // gate
+constexpr double kTotalMbps = 20000.0;
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::size_t kGateWorkers = 4;  // the worker count the gates time
+constexpr std::size_t kReps = 3;         // best-of reps per timed config
+
+constexpr std::size_t kPredicates = 384;  // phase B catalog size
+constexpr std::size_t kBlocks = 24;       // disjoint (src/8, dst/8) blocks
+constexpr std::size_t kDirtyShards = 8;   // phase C perturbation span
+
+double now_seconds(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Best-of-kReps wall-clock of `body` (noise floors at the minimum).
+template <typename Body>
+double best_of(Body&& body) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double s = now_seconds(t0);
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+// ACL-style predicate catalog: kBlocks pairwise-disjoint
+// (src /8 AND dst /8) blocks; every predicate is the union of a seeded
+// random subset. The atom count stays bounded by kBlocks + 1, which is the
+// regime where slice-parallel refinement pays (small slices, cheap merge).
+std::vector<hsa::BddRef> make_predicates(hsa::BddManager& mgr) {
+  const hsa::PredicateBuilder b(mgr);
+  std::vector<hsa::BddRef> blocks;
+  blocks.reserve(kBlocks);
+  for (std::size_t k = 0; k < kBlocks; ++k) {
+    const auto src = static_cast<std::uint32_t>(k) << 24;
+    const auto dst = static_cast<std::uint32_t>((k * 5 + 1) % kBlocks) << 24;
+    blocks.push_back(mgr.apply_and(b.prefix(hsa::Field::kSrcIp, src, 8),
+                                   b.prefix(hsa::Field::kDstIp, dst, 8)));
+  }
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> coin(0, 2);
+  std::vector<hsa::BddRef> preds;
+  preds.reserve(kPredicates);
+  while (preds.size() < kPredicates) {
+    hsa::BddRef p = hsa::kBddFalse;
+    for (const hsa::BddRef block : blocks) {
+      if (coin(rng) == 0) p = mgr.apply_or(p, block);
+    }
+    if (!mgr.is_false(p)) preds.push_back(p);
+  }
+  return preds;
+}
+
+}  // namespace
+
+int main() {
+  obs::install_flight_crash_dump();
+  bench::print_header(
+      "Class scale: sharded store, parallel refinement, per-shard diff");
+
+  const bool gate_wall = std::thread::hardware_concurrency() >= kGateWorkers;
+  if (!gate_wall) {
+    std::printf(
+        "note: %u hardware thread(s) < %zu — wall-clock gates reported but "
+        "not enforced\n",
+        std::thread::hardware_concurrency(), kGateWorkers);
+  }
+
+  const net::Topology topo = bench::large_topology();
+  const net::AllPairsPaths routing(topo);
+  const auto chains = vnf::scaled_policy_chains(kCatalogChains);
+  const traffic::ChainAssignment assignment =
+      traffic::scaled_chain_assignment(kCatalogChains, kChainsPerPair,
+                                       /*seed=*/0, /*policied_fraction=*/1.0);
+  const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+      topo.num_nodes(), {.total_mbps = kTotalMbps, .seed = 1});
+
+  bool ok = true;
+
+  // -------------------------------------------------------------- Phase A
+  traffic::StoreBuildOptions opt;
+  opt.num_shards = kShards;
+  traffic::ClassStore serial_store =
+      traffic::build_class_store(topo, routing, tm, assignment, opt);
+  const double serial_build_s = best_of([&] {
+    serial_store = traffic::build_class_store(topo, routing, tm, assignment, opt);
+  });
+  const std::uint64_t want_fp = serial_store.fingerprint();
+  const std::size_t classes = serial_store.size();
+
+  std::printf("\n%s: %zu classes over %zu shards, %zu interned paths\n",
+              topo.name().c_str(), classes, serial_store.num_shards(),
+              serial_store.paths().size());
+  std::printf("\n%-22s %-12s %-12s %-10s %-12s\n", "Store build", "workers",
+              "best (s)", "speedup", "classes/s");
+  bench::print_rule();
+  std::printf("%-22s %-12s %-12.4f %-10s %-12.0f\n", "serial", "-",
+              serial_build_s, "1.00",
+              static_cast<double>(classes) / serial_build_s);
+
+  double build_gate_s = serial_build_s;
+  for (const std::size_t w : kWorkerCounts) {
+    exec::ThreadPool pool(w - 1);
+    traffic::StoreBuildOptions popt = opt;
+    popt.pool = &pool;
+    traffic::ClassStore store =
+        traffic::build_class_store(topo, routing, tm, assignment, popt);
+    const double s = best_of([&] {
+      store = traffic::build_class_store(topo, routing, tm, assignment, popt);
+    });
+    if (store.fingerprint() != want_fp) {
+      std::fprintf(stderr,
+                   "error: %zu-worker store fingerprint diverged from the "
+                   "serial build\n",
+                   w);
+      ok = false;
+    }
+    if (w == kGateWorkers) build_gate_s = s;
+    std::printf("%-22s %-12zu %-12.4f %-10.2f %-12.0f\n", "parallel", w, s,
+                serial_build_s / s, static_cast<double>(classes) / s);
+  }
+  if (classes < kMinClasses) {
+    std::fprintf(stderr, "error: %zu classes assembled, need >= %zu\n",
+                 classes, kMinClasses);
+    ok = false;
+  }
+  if (build_gate_s >= serial_build_s) {
+    std::fprintf(stderr,
+                 "%s: %zu-worker store build %.4fs did not beat the serial "
+                 "build %.4fs\n",
+                 gate_wall ? "error" : "note (not enforced)", kGateWorkers,
+                 build_gate_s, serial_build_s);
+    if (gate_wall) ok = false;
+  }
+
+  // -------------------------------------------------------------- Phase B
+  // Determinism sweep in one shared manager: hash-consing makes
+  // structurally equal atoms the same BddRef, so identical output means
+  // identical vectors.
+  {
+    hsa::BddManager mgr = hsa::make_header_space_manager();
+    const std::vector<hsa::BddRef> preds = make_predicates(mgr);
+    const hsa::AtomicPredicates serial_atoms =
+        hsa::compute_atomic_predicates(mgr, preds);
+    for (const std::size_t w : kWorkerCounts) {
+      hsa::AtomicOptions aopt;
+      aopt.num_workers = w;
+      const hsa::AtomicPredicates atoms =
+          hsa::compute_atomic_predicates(mgr, preds, aopt);
+      if (atoms.atoms != serial_atoms.atoms ||
+          atoms.membership != serial_atoms.membership) {
+        std::fprintf(stderr,
+                     "error: %zu-worker refinement diverged from the serial "
+                     "atoms/memberships\n",
+                     w);
+        ok = false;
+      }
+    }
+  }
+
+  // Timed runs: every rep rebuilds a fresh manager so neither side starts
+  // with warm apply/memo caches (the serial path would otherwise replay
+  // from the shared manager's memo table for free).
+  const auto time_refine = [&](std::size_t workers) {
+    return best_of([&] {
+      hsa::BddManager mgr = hsa::make_header_space_manager();
+      const std::vector<hsa::BddRef> preds = make_predicates(mgr);
+      hsa::AtomicOptions aopt;
+      aopt.num_workers = workers;
+      const hsa::AtomicPredicates atoms =
+          hsa::compute_atomic_predicates(mgr, preds, aopt);
+      if (atoms.atoms.size() != kBlocks + 1) {
+        std::fprintf(stderr, "error: expected %zu atoms, got %zu\n",
+                     kBlocks + 1, atoms.atoms.size());
+        ok = false;
+      }
+    });
+  };
+  const double serial_refine_s = time_refine(1);
+  std::printf("\n%-22s %-12s %-12s %-10s %-12s\n", "Atomic refinement",
+              "workers", "best (s)", "speedup", "predicates");
+  bench::print_rule();
+  std::printf("%-22s %-12s %-12.4f %-10s %-12zu\n", "serial", "-",
+              serial_refine_s, "1.00", kPredicates);
+  double refine_gate_s = serial_refine_s;
+  for (const std::size_t w : kWorkerCounts) {
+    if (w == 1) continue;  // the serial row above
+    const double s = time_refine(w);
+    if (w == kGateWorkers) refine_gate_s = s;
+    std::printf("%-22s %-12zu %-12.4f %-10.2f %-12zu\n", "parallel", w, s,
+                serial_refine_s / s, kPredicates);
+  }
+  if (refine_gate_s >= serial_refine_s) {
+    std::fprintf(stderr,
+                 "%s: %zu-worker refinement %.4fs did not beat the serial "
+                 "refinement %.4fs\n",
+                 gate_wall ? "error" : "note (not enforced)", kGateWorkers,
+                 refine_gate_s, serial_refine_s);
+    if (gate_wall) ok = false;
+  }
+
+  // -------------------------------------------------------------- Phase C
+  core::PipelineOptions poptions;
+  poptions.engine.strategy = core::PlacementStrategy::kGreedy;
+  const core::EpochPipeline pipeline(poptions);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  traffic::ClassStore epoch_store =
+      traffic::build_class_store(topo, routing, tm, assignment, opt);
+  const core::Epoch epoch =
+      pipeline.run(topo, chains, std::move(epoch_store));
+  const double epoch_s = now_seconds(t0);
+  std::printf("\n%-22s %-12s %-12s %-12s\n", "Epoch assembly", "classes",
+              "wall (s)", "classes/s");
+  bench::print_rule();
+  std::printf("%-22s %-12zu %-12.3f %-12.0f\n", "store -> epoch",
+              epoch.classes.size(), epoch_s,
+              static_cast<double>(epoch.classes.size()) / epoch_s);
+
+  // Perturbation confined to the OD pairs of shards [0, kDirtyShards): every
+  // other shard must short-circuit on fingerprint equality.
+  traffic::TrafficMatrix moved = tm;
+  for (net::NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (net::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      if (traffic::ClassStore::shard_of(s, d, kShards) < kDirtyShards) {
+        moved.set(s, d, tm.at(s, d) * 1.5);
+      }
+    }
+  }
+  const traffic::ClassStore next =
+      traffic::build_class_store(topo, routing, moved, assignment, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  const core::ClassDelta delta = core::diff_classes(epoch.store, next);
+  const double diff_s = now_seconds(t1);
+  std::printf("\n%-22s %-12s %-12s %-12s %-12s\n", "Per-shard diff",
+              "dirty", "clean", "changed", "wall (s)");
+  bench::print_rule();
+  std::printf("%-22s %-12zu %-12zu %-12zu %-12.4f\n", "8/64-shard drift",
+              delta.shards_dirty, delta.shards_clean,
+              delta.rate_changed.size(), diff_s);
+  if (delta.shards_dirty != kDirtyShards ||
+      delta.shards_clean != kShards - kDirtyShards) {
+    std::fprintf(stderr,
+                 "error: expected exactly %zu dirty / %zu clean shards, got "
+                 "%zu / %zu\n",
+                 kDirtyShards, kShards - kDirtyShards, delta.shards_dirty,
+                 delta.shards_clean);
+    ok = false;
+  }
+  if (!delta.added.empty() || !delta.removed.empty()) {
+    std::fprintf(stderr,
+                 "error: pure re-rating produced %zu added / %zu removed "
+                 "classes\n",
+                 delta.added.size(), delta.removed.size());
+    ok = false;
+  }
+
+  bench::export_metrics_json("class_scale");
+  bench::export_flight_json("class_scale");
+  return ok ? 0 : 1;
+}

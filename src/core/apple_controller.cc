@@ -77,20 +77,33 @@ AppleController::AppleController(const net::Topology& topo,
       config_.num_chains == 0
           ? chains_.size()
           : std::min<std::size_t>(config_.num_chains, chains_.size());
-  assign_ = traffic::uniform_chain_assignment(usable, config_.chain_seed,
-                                              config_.policied_fraction);
+  assign_ =
+      config_.chains_per_pair <= 1
+          ? traffic::uniform_chain_assignment(usable, config_.chain_seed,
+                                              config_.policied_fraction)
+          : traffic::scaled_chain_assignment(usable, config_.chains_per_pair,
+                                             config_.chain_seed,
+                                             config_.policied_fraction);
+}
+
+traffic::ClassStore AppleController::build_class_store(
+    const traffic::TrafficMatrix& tm) const {
+  traffic::StoreBuildOptions options;
+  options.num_shards = config_.class_shards;
+  options.num_workers = config_.class_build_workers;
+  options.min_rate_mbps = config_.min_class_rate_mbps;
+  return traffic::build_class_store(*topo_, routing_, tm, assign_, options);
 }
 
 std::vector<traffic::TrafficClass> AppleController::build_classes(
     const traffic::TrafficMatrix& tm) const {
-  return traffic::build_classes(*topo_, routing_, tm, assign_,
-                                config_.min_class_rate_mbps);
+  return build_class_store(tm).materialize_view();
 }
 
 Epoch AppleController::optimize(const traffic::TrafficMatrix& tm) const {
   APPLE_OBS_SPAN("core.controller.optimize_seconds");
   APPLE_OBS_COUNT("core.controller.epochs_optimized");
-  return pipeline_.run(*topo_, chains_, build_classes(tm));
+  return pipeline_.run(*topo_, chains_, build_class_store(tm));
 }
 
 Epoch AppleController::optimize_excluding_host(
@@ -183,8 +196,18 @@ ReplayReport AppleController::replay(
       const auto& timings = control.timings();
       if (config_.incremental_reoptimize) {
         try {
+          // Store-backed epochs diff per shard (only dirty shards are
+          // touched); epochs built outside the store path fall back to the
+          // flat diff.
+          const bool store_backed =
+              current->store.size() == current->classes.size() &&
+              !current->classes.empty();
           IncrementalEpoch inc =
-              pipeline_.advance(*current, *topo_, chains_, build_classes(mean));
+              store_backed
+                  ? pipeline_.advance(*current, *topo_, chains_,
+                                      build_class_store(mean))
+                  : pipeline_.advance(*current, *topo_, chains_,
+                                      build_classes(mean));
           const double makespan =
               apply_plan_delta(control, inc.plan_delta, now);
           const double latency =

@@ -35,6 +35,13 @@ struct ControllerConfig {
   std::size_t num_chains = 0;      // 0 = all default chains
   std::uint64_t chain_seed = 0;    // OD-pair -> chain hashing seed
   double policied_fraction = 1.0;  // share of OD pairs carrying a policy
+  // Chains each policied OD pair fans out over (scale scenarios; 1 = the
+  // classic one-chain-per-pair assignment).
+  std::size_t chains_per_pair = 1;
+  // Shard count of the canonical ClassStore and worker lanes for its
+  // parallel build (traffic/class_store.h; 1 builds serially).
+  std::size_t class_shards = 64;
+  std::size_t class_build_workers = 1;
   // Re-run the Optimization Engine every N snapshots during replay
   // (0 = never). This is the paper's large-time-scale mechanism (Sec. VI):
   // slow daily/weekly patterns tolerate full VNF installation, so the
@@ -84,7 +91,12 @@ class AppleController {
   const traffic::ChainAssignment& chain_assignment() const { return assign_; }
   const EpochPipeline& pipeline() const { return pipeline_; }
 
-  // Builds equivalence classes for a traffic matrix (Sec. IV-A granularity).
+  // Builds the canonical sharded class store for a traffic matrix
+  // (Sec. IV-A granularity; traffic/class_store.h).
+  traffic::ClassStore build_class_store(const traffic::TrafficMatrix& tm) const;
+
+  // Flat compatibility form of build_class_store: the store's materialized
+  // view, in its stable shard-major order.
   std::vector<traffic::TrafficClass> build_classes(
       const traffic::TrafficMatrix& tm) const;
 

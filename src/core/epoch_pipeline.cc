@@ -110,6 +110,88 @@ ClassDelta diff_classes(std::span<const traffic::TrafficClass> prev,
   return delta;
 }
 
+ClassDelta diff_classes(const traffic::ClassStore& prev,
+                        const traffic::ClassStore& next,
+                        const ClassDeltaOptions& options) {
+  APPLE_OBS_SPAN("core.pipeline.diff_classes_seconds");
+  APPLE_OBS_EVENT_SPAN("core.pipeline.stage.diff_classes");
+  // The (src, dst) shard partition is a pure hash, so matching classes can
+  // only ever sit in the shard of the same index — diffing shard-against-
+  // shard yields exactly the flat diff's buckets, in the same (global
+  // stable-iteration-order) index order.
+  APPLE_CHECK_EQ(prev.num_shards(), next.num_shards());
+
+  ClassDelta delta;
+  delta.prev_of.assign(next.size(), kNoClass);
+  for (std::size_t s = 0; s < next.num_shards(); ++s) {
+    const traffic::ClassStore::Shard& ps = prev.shard(s);
+    const traffic::ClassStore::Shard& ns = next.shard(s);
+    const std::size_t poff = prev.shard_offset(s);
+    const std::size_t noff = next.shard_offset(s);
+    // Clean-shard fast path: identical content (ids excluded — survivors
+    // may carry ids from older epochs) means every class is an exact
+    // survivor with zero drift, i.e. pinned.
+    if (ps.size() == ns.size() &&
+        prev.shard_fingerprint(s) == next.shard_fingerprint(s)) {
+      ++delta.shards_clean;
+      for (std::size_t i = 0; i < ns.size(); ++i) {
+        delta.prev_of[noff + i] = poff + i;
+        delta.unchanged.push_back(noff + i);
+      }
+      continue;
+    }
+    ++delta.shards_dirty;
+    std::map<std::array<std::uint64_t, 3>, std::size_t> index;
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      index.emplace(
+          std::array<std::uint64_t, 3>{ps.srcs[p], ps.dsts[p], ps.chains[p]},
+          p);
+    }
+    std::vector<bool> matched(ps.size(), false);
+    for (std::size_t h = 0; h < ns.size(); ++h) {
+      const auto it = index.find({ns.srcs[h], ns.dsts[h], ns.chains[h]});
+      bool rerouted = true;
+      if (it != index.end()) {
+        const std::span<const net::NodeId> prev_path =
+            prev.paths().nodes(ps.paths[it->second]);
+        const std::span<const net::NodeId> next_path =
+            next.paths().nodes(ns.paths[h]);
+        rerouted = !std::equal(prev_path.begin(), prev_path.end(),
+                               next_path.begin(), next_path.end());
+      }
+      if (rerouted) {
+        delta.added.push_back(noff + h);
+        continue;
+      }
+      const std::size_t p = it->second;
+      matched[p] = true;
+      delta.prev_of[noff + h] = poff + p;
+      const double prev_rate = ps.rates[p];
+      const double next_rate = ns.rates[h];
+      const double base =
+          std::max(std::abs(prev_rate), options.zero_rate_mbps);
+      if (std::abs(next_rate - prev_rate) / base >
+          options.rate_change_threshold) {
+        delta.rate_changed.push_back(noff + h);
+      } else {
+        delta.unchanged.push_back(noff + h);
+      }
+    }
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      if (!matched[p]) delta.removed.push_back(poff + p);
+    }
+  }
+
+  APPLE_OBS_COUNT_N("core.pipeline.classes_added", delta.added.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_removed", delta.removed.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_rate_changed",
+                    delta.rate_changed.size());
+  APPLE_OBS_COUNT_N("core.pipeline.classes_pinned", delta.unchanged.size());
+  APPLE_OBS_COUNT_N("core.pipeline.shards_clean", delta.shards_clean);
+  APPLE_OBS_COUNT_N("core.pipeline.shards_dirty", delta.shards_dirty);
+  return delta;
+}
+
 PlanDelta diff_plans(const PlacementPlan& prev,
                      const InstanceInventory& prev_inventory,
                      const PlacementPlan& next, const ClassDelta& delta,
@@ -398,6 +480,14 @@ Epoch EpochPipeline::run(const net::Topology& topo,
   return assemble(topo, chains, std::move(classes), std::move(plan));
 }
 
+Epoch EpochPipeline::run(const net::Topology& topo,
+                         std::span<const vnf::PolicyChain> chains,
+                         traffic::ClassStore store) const {
+  Epoch epoch = run(topo, chains, store.materialize_view());
+  epoch.store = std::move(store);
+  return epoch;
+}
+
 std::vector<Epoch> EpochPipeline::run_many(
     const net::Topology& topo, std::span<const vnf::PolicyChain> chains,
     std::vector<std::vector<traffic::TrafficClass>> class_sets,
@@ -430,17 +520,61 @@ IncrementalEpoch EpochPipeline::advance(
   APPLE_OBS_EVENT_EPOCH();
   APPLE_OBS_EVENT_SPAN("core.pipeline.advance");
 
-  IncrementalEpoch out;
   // Stage 1: class delta. Surviving classes keep their previous ids (the
   // installed TCAM tags stay valid); added classes take fresh ids so a
   // retired id is never reused while its rules may still be draining.
-  out.class_delta = diff_classes(prev.classes, next_classes, options_.delta);
+  ClassDelta delta = diff_classes(prev.classes, next_classes, options_.delta);
   traffic::ClassId next_class_id = prev.next_class_id;
   for (std::size_t h = 0; h < next_classes.size(); ++h) {
-    const std::size_t p = out.class_delta.prev_of[h];
+    const std::size_t p = delta.prev_of[h];
     next_classes[h].id =
         p != kNoClass ? prev.classes[p].id : next_class_id++;
   }
+  return advance_with_delta(prev, topo, chains, std::move(next_classes),
+                            std::move(delta), next_class_id);
+}
+
+IncrementalEpoch EpochPipeline::advance(const Epoch& prev,
+                                        const net::Topology& topo,
+                                        std::span<const vnf::PolicyChain> chains,
+                                        traffic::ClassStore next_store) const {
+  APPLE_OBS_SPAN("core.pipeline.advance_seconds");
+  APPLE_OBS_COUNT("core.pipeline.epochs_incremental");
+  APPLE_OBS_EVENT_EPOCH();
+  APPLE_OBS_EVENT_SPAN("core.pipeline.advance");
+
+  // The previous epoch must be store-backed: prev_of indices of the store
+  // diff address prev.classes through the store's stable iteration order.
+  APPLE_CHECK_EQ(prev.store.size(), prev.classes.size());
+
+  // Stage 1, sharded: per-shard diff (clean shards skip matching), then id
+  // carry-over written straight into the sharded id arrays before the view
+  // is materialized.
+  ClassDelta delta = diff_classes(prev.store, next_store, options_.delta);
+  traffic::ClassId next_class_id = prev.next_class_id;
+  std::size_t h = 0;
+  for (std::size_t s = 0; s < next_store.num_shards(); ++s) {
+    const std::size_t count = next_store.shard(s).size();
+    for (std::size_t i = 0; i < count; ++i, ++h) {
+      const std::size_t p = delta.prev_of[h];
+      next_store.set_id(s, i,
+                        p != kNoClass ? prev.classes[p].id : next_class_id++);
+    }
+  }
+  IncrementalEpoch out =
+      advance_with_delta(prev, topo, chains, next_store.materialize_view(),
+                         std::move(delta), next_class_id);
+  out.epoch.store = std::move(next_store);
+  return out;
+}
+
+IncrementalEpoch EpochPipeline::advance_with_delta(
+    const Epoch& prev, const net::Topology& topo,
+    std::span<const vnf::PolicyChain> chains,
+    std::vector<traffic::TrafficClass> next_classes, ClassDelta delta,
+    traffic::ClassId next_class_id) const {
+  IncrementalEpoch out;
+  out.class_delta = std::move(delta);
 
   // Stage 2: incremental placement — pin unchanged classes, water-fill the
   // dirty ones over residual capacity (kExact re-proves optimality with the

@@ -40,6 +40,7 @@
 #include "core/rule_generator.h"
 #include "core/subclass_assigner.h"
 #include "orch/timings.h"
+#include "traffic/class_store.h"
 
 namespace apple::core {
 
@@ -68,6 +69,10 @@ struct ClassDelta {
   std::vector<std::size_t> removed;       // prev indices with no next match
   // prev_of[next index] = matching prev index, or kNoClass for added.
   std::vector<std::size_t> prev_of;
+  // Shard accounting of the store-based diff (zero on the flat path): how
+  // many shards were diffed at all vs skipped via fingerprint equality.
+  std::size_t shards_dirty = 0;
+  std::size_t shards_clean = 0;
 
   // Classes whose assignment must be re-solved.
   std::size_t dirty_count() const { return added.size() + rate_changed.size(); }
@@ -78,6 +83,16 @@ struct ClassDelta {
 
 ClassDelta diff_classes(std::span<const traffic::TrafficClass> prev,
                         std::span<const traffic::TrafficClass> next,
+                        const ClassDeltaOptions& options = {});
+
+// Sharded diff over two ClassStores with the same shard count. Shards whose
+// content fingerprints match short-circuit to "all pinned" without any
+// per-class matching — an incremental epoch only pays for dirty shards.
+// Indices in the delta are global stable-iteration-order indices (matching
+// the stores' materialized views), and the delta buckets are identical to
+// what the flat diff over the two views would produce.
+ClassDelta diff_classes(const traffic::ClassStore& prev,
+                        const traffic::ClassStore& next,
                         const ClassDeltaOptions& options = {});
 
 // ---------------------------------------------------------------------------
@@ -183,6 +198,11 @@ void apply_rule_delta(
 // definition.)
 struct Epoch {
   std::vector<traffic::TrafficClass> classes;
+  // Canonical sharded representation (traffic/class_store.h). Populated by
+  // the store-based run/advance overloads — `classes` is then its
+  // materialized view in the store's stable order; empty (size 0) on the
+  // legacy flat path.
+  traffic::ClassStore store;
   PlacementPlan plan;
   InstanceInventory inventory;
   std::vector<std::vector<dataplane::SubclassPlan>> subclasses;
@@ -230,6 +250,13 @@ class EpochPipeline {
             std::span<const vnf::PolicyChain> chains,
             std::vector<traffic::TrafficClass> classes) const;
 
+  // Store-based full epoch: the engine ingests the store's materialized
+  // view (PlacementInput is span-of-struct) and the epoch keeps the store
+  // as its canonical class representation.
+  Epoch run(const net::Topology& topo,
+            std::span<const vnf::PolicyChain> chains,
+            traffic::ClassStore store) const;
+
   // Several independent epochs (e.g. the per-segment epochs of a replay
   // series) through OptimizationEngine::place_many on a work-stealing
   // pool; artifact assembly is the exact code path `run` uses. Results
@@ -250,11 +277,28 @@ class EpochPipeline {
                            std::vector<traffic::TrafficClass> next_classes)
       const;
 
+  // Store-based incremental epoch: per-shard diff against prev's store
+  // (clean shards skip per-class matching entirely), id carry-over written
+  // straight into the sharded arrays, then the same delta-driven stages.
+  // `prev` must have been produced by a store-based run/advance.
+  IncrementalEpoch advance(const Epoch& prev, const net::Topology& topo,
+                           std::span<const vnf::PolicyChain> chains,
+                           traffic::ClassStore next_store) const;
+
  private:
   Epoch assemble(const net::Topology& topo,
                  std::span<const vnf::PolicyChain> chains,
                  std::vector<traffic::TrafficClass> classes,
                  PlacementPlan plan) const;
+
+  // Stages 2-5 shared by both advance overloads: incremental placement over
+  // a precomputed class delta (ids already carried over in next_classes),
+  // plan/inventory/rule patching.
+  IncrementalEpoch advance_with_delta(
+      const Epoch& prev, const net::Topology& topo,
+      std::span<const vnf::PolicyChain> chains,
+      std::vector<traffic::TrafficClass> next_classes, ClassDelta delta,
+      traffic::ClassId next_class_id) const;
 
   PipelineOptions options_;
 };

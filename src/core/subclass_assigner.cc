@@ -11,6 +11,11 @@ namespace apple::core {
 namespace {
 
 constexpr double kEps = 1e-9;
+// Per-stage fraction the supply builder may leave unassigned (ledger
+// take/frac round-trips drift at 100k-class scale); the decomposition
+// folds a remainder of this order into the last sub-class instead of
+// treating it as missing supply.
+constexpr double kFracSlack = 1e-5;
 
 // One indivisible supply unit of a chain stage: `frac` of the class handled
 // by `instance` at path position `pos`.
@@ -161,12 +166,21 @@ std::vector<std::vector<dataplane::SubclassPlan>> assign_subclasses(
     double remaining = 1.0;
     while (remaining > options.min_weight) {
       double w = remaining;
+      bool exhausted = false;
       for (std::size_t j = 0; j < chain.size(); ++j) {
         if (head[j] >= supply[j].size()) {
+          // A stage may come up short by the builder's floating-point
+          // slack; that remainder folds into the last sub-class below.
+          // Anything larger means the placement really under-supplied.
+          if (remaining <= kFracSlack && !result[h].empty()) {
+            exhausted = true;
+            break;
+          }
           throw std::logic_error("sub-class decomposition ran out of supply");
         }
         w = std::min(w, supply[j][head[j]].frac - consumed[j]);
       }
+      if (exhausted) break;
       if (w <= kEps) {
         // Exhausted head unit(s): advance them and retry; bail out if no
         // progress is possible (degenerate fractions).

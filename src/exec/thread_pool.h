@@ -153,4 +153,19 @@ class TaskGroup {
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+// Partitions [begin, end) into exactly `chunks` contiguous slices (sizes
+// differing by at most one; trailing slices are empty when the range is
+// smaller than `chunks`) and runs body(chunk, lo, hi) once per slice across
+// the pool; the calling thread participates. Unlike parallel_for — whose
+// chunk count derives from the pool's lane count — the slice boundaries
+// here are a pure function of (range, chunks), so callers that fill one
+// output slot per chunk and merge the slots in chunk order get a result
+// that does not depend on how many workers the pool happens to have (the
+// split/refine/merge of hsa's parallel atomic predicates rides on this).
+// Rethrows the first exception a body invocation threw.
+void parallel_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunks,
+    const std::function<void(std::size_t chunk, std::size_t lo,
+                             std::size_t hi)>& body);
+
 }  // namespace apple::exec

@@ -1,5 +1,6 @@
 #include "traffic/flow_classes.h"
 
+#include <map>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -8,12 +9,13 @@ namespace apple::traffic {
 
 namespace {
 
-// SplitMix64: small, deterministic, well-mixed integer hash.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+void check_assignment_args(std::size_t num_chains, double policied_fraction) {
+  if (num_chains == 0) {
+    throw std::invalid_argument("need at least one chain template");
+  }
+  if (policied_fraction < 0.0 || policied_fraction > 1.0) {
+    throw std::invalid_argument("policied_fraction out of [0,1]");
+  }
 }
 
 }  // namespace
@@ -21,23 +23,45 @@ std::uint64_t mix64(std::uint64_t x) {
 ChainAssignment uniform_chain_assignment(std::size_t num_chains,
                                          std::uint64_t seed,
                                          double policied_fraction) {
-  if (num_chains == 0) {
-    throw std::invalid_argument("need at least one chain template");
-  }
-  if (policied_fraction < 0.0 || policied_fraction > 1.0) {
-    throw std::invalid_argument("policied_fraction out of [0,1]");
-  }
+  check_assignment_args(num_chains, policied_fraction);
   return [num_chains, seed,
           policied_fraction](net::NodeId src, net::NodeId dst) {
     const std::uint64_t h =
-        mix64((static_cast<std::uint64_t>(src) << 32) | (dst ^ seed));
+        detail::mix64((static_cast<std::uint64_t>(src) << 32) | (dst ^ seed));
     // Upper bits decide whether the pair is policied at all; lower bits
     // pick the chain, so the two decisions stay independent.
     const double coin =
         static_cast<double>(h >> 11) * 0x1.0p-53;
-    if (coin >= policied_fraction) return std::vector<std::pair<ChainId, double>>{};
-    const ChainId chain = static_cast<ChainId>(mix64(h) % num_chains);
-    return std::vector<std::pair<ChainId, double>>{{chain, 1.0}};
+    if (coin >= policied_fraction) return ChainMix{};
+    const ChainId chain = static_cast<ChainId>(detail::mix64(h) % num_chains);
+    return ChainMix{{chain, 1.0}};
+  };
+}
+
+ChainAssignment scaled_chain_assignment(std::size_t num_chains,
+                                        std::size_t chains_per_pair,
+                                        std::uint64_t seed,
+                                        double policied_fraction) {
+  check_assignment_args(num_chains, policied_fraction);
+  if (chains_per_pair == 0) {
+    throw std::invalid_argument("chains_per_pair must be at least 1");
+  }
+  // Chain ids are the class identity within a pair, so the fan-out must be
+  // over *distinct* chains: a contiguous run of the catalog, wrapped.
+  const std::size_t fan = std::min(chains_per_pair, num_chains);
+  const double share = 1.0 / static_cast<double>(chains_per_pair);
+  return [num_chains, fan, share, seed,
+          policied_fraction](net::NodeId src, net::NodeId dst) {
+    const std::uint64_t h =
+        detail::mix64((static_cast<std::uint64_t>(src) << 32) | (dst ^ seed));
+    const double coin = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (coin >= policied_fraction) return ChainMix{};
+    const std::uint64_t start = detail::mix64(h) % num_chains;
+    ChainMix mix;
+    for (std::size_t k = 0; k < fan; ++k) {
+      mix.push_back({static_cast<ChainId>((start + k) % num_chains), share});
+    }
+    return mix;
   };
 }
 
@@ -56,7 +80,7 @@ std::vector<TrafficClass> build_classes(const net::Topology& topo,
       if (s == d) continue;
       const double demand = tm.at(s, d);
       if (demand < min_rate_mbps) continue;
-      const auto mix = chains_for(s, d);
+      const ChainMix mix = chains_for(s, d);
       for (const auto& [chain, share] : mix) {
         const double rate = demand * share;
         if (rate < min_rate_mbps) continue;
@@ -73,9 +97,26 @@ std::vector<TrafficClass> build_classes(const net::Topology& topo,
 
 void update_rates(std::span<TrafficClass> classes, const TrafficMatrix& tm,
                   const ChainAssignment& chains_for) {
+  // One assignment lookup per OD pair, not per class: class sets are
+  // (src, dst)-sorted in practice, so the last-pair fast path covers almost
+  // every class; the memo map catches interleaved orders.
+  constexpr std::uint64_t kNoPair = ~0ULL;
+  std::uint64_t last_key = kNoPair;
+  const ChainMix* mix = nullptr;
+  std::map<std::uint64_t, ChainMix> memo;
   for (TrafficClass& c : classes) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(c.src) << 32) | c.dst;
+    if (key != last_key) {
+      auto it = memo.find(key);
+      if (it == memo.end()) {
+        it = memo.emplace(key, chains_for(c.src, c.dst)).first;
+      }
+      mix = &it->second;
+      last_key = key;
+    }
     double share = 0.0;
-    for (const auto& [chain, s] : chains_for(c.src, c.dst)) {
+    for (const auto& [chain, s] : *mix) {
       if (chain == c.chain_id) share += s;
     }
     c.rate_mbps = tm.at(c.src, c.dst) * share;

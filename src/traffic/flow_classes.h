@@ -6,10 +6,16 @@
 // (source, destination, chain) triple routed on the fixed shortest path;
 // packet-level classification into these classes is done by the atomic
 // predicate machinery in src/hsa.
+//
+// The flat `build_classes` below is the simple serial assembly kept for
+// small scenarios and as the reference semantics; the sharded, parallel
+// canonical representation lives in traffic/class_store.h.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <span>
 #include <utility>
 #include <vector>
@@ -23,6 +29,20 @@ namespace apple::traffic {
 using ClassId = std::uint32_t;
 using ChainId = std::uint32_t;
 
+namespace detail {
+
+// SplitMix64: small, deterministic, well-mixed integer hash. Shared by the
+// chain assignments below and ClassStore's shard partition — both must be a
+// pure function of their inputs (DESIGN.md Sec. 15 determinism contract).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
 // One equivalence class h: all flows sharing `path` and `chain_id`.
 struct TrafficClass {
   ClassId id = 0;
@@ -33,11 +53,62 @@ struct TrafficClass {
   double rate_mbps = 0;  // T_h
 };
 
+// The (chain, traffic share) mix of one OD pair. Small-buffer value type:
+// the assignment is called for every OD pair of every build/update, and the
+// common answers are "no policy" (empty) or a single chain, so neither may
+// touch the heap. Mixes wider than the inline buffer spill to a vector
+// (scale scenarios fan one pair out over many chains).
+class ChainMix {
+ public:
+  using value_type = std::pair<ChainId, double>;
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  ChainMix() = default;
+  ChainMix(std::initializer_list<value_type> items) {
+    for (const value_type& item : items) push_back(item);
+  }
+
+  void push_back(value_type item) {
+    if (size_ < kInlineCapacity) {
+      inline_[size_++] = item;
+      return;
+    }
+    if (overflow_.empty()) {
+      overflow_.assign(inline_.begin(), inline_.end());
+      overflow_.reserve(size_ + 1);
+    }
+    overflow_.push_back(item);
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const value_type* begin() const {
+    return size_ <= kInlineCapacity ? inline_.data() : overflow_.data();
+  }
+  const value_type* end() const { return begin() + size_; }
+  const value_type& operator[](std::size_t i) const { return begin()[i]; }
+
+ private:
+  std::array<value_type, kInlineCapacity> inline_{};
+  std::vector<value_type> overflow_;
+  std::size_t size_ = 0;
+};
+
+inline bool operator==(const ChainMix& a, const ChainMix& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
 // Returns the (chain, traffic share) mix for an OD pair; shares must sum to
-// at most 1 (the remainder is unpolicied traffic APPLE ignores).
+// at most 1 (the remainder is unpolicied traffic APPLE ignores). Assignments
+// must be pure functions of (src, dst): the parallel class build
+// (traffic/class_store.h) calls them concurrently from pool workers.
 using ChainAssignment =
-    std::function<std::vector<std::pair<ChainId, double>>(net::NodeId src,
-                                                          net::NodeId dst)>;
+    std::function<ChainMix(net::NodeId src, net::NodeId dst)>;
 
 // Deterministic default assignment: a `policied_fraction` of OD pairs gets
 // exactly one chain, chosen by hashing (src, dst) over `num_chains`
@@ -47,6 +118,18 @@ using ChainAssignment =
 ChainAssignment uniform_chain_assignment(std::size_t num_chains,
                                          std::uint64_t seed = 0,
                                          double policied_fraction = 1.0);
+
+// Scale-scenario assignment: each policied OD pair fans out over
+// `chains_per_pair` distinct chains with equal shares (contiguous run of
+// the catalog starting at a hashed offset). With chains_per_pair == 1 the
+// shape matches uniform_chain_assignment (one chain, share 1), which is how
+// AppleController drives both from one config knob. Used to synthesize
+// 100k+ class workloads on AS-scale topologies (bench_class_scale,
+// apple_cli --scale-classes).
+ChainAssignment scaled_chain_assignment(std::size_t num_chains,
+                                        std::size_t chains_per_pair,
+                                        std::uint64_t seed = 0,
+                                        double policied_fraction = 1.0);
 
 // Builds equivalence classes from a traffic matrix. OD pairs whose demand is
 // below `min_rate_mbps` are dropped (they would round to zero instances
@@ -59,7 +142,9 @@ std::vector<TrafficClass> build_classes(const net::Topology& topo,
 
 // Re-rates an existing class set against a different snapshot, preserving
 // ids, paths and chains (used when replaying time-varying matrices over a
-// placement computed from the mean matrix).
+// placement computed from the mean matrix). The assignment is consulted
+// once per OD pair, not once per class: consecutive classes of one pair
+// share the lookup, and a small memo covers interleaved orders.
 void update_rates(std::span<TrafficClass> classes, const TrafficMatrix& tm,
                   const ChainAssignment& chains_for);
 

@@ -50,6 +50,56 @@ std::span<const PolicyChain> default_policy_chains() {
   return kChains;
 }
 
+std::vector<PolicyChain> scaled_policy_chains(std::size_t count) {
+  std::vector<PolicyChain> chains;
+  chains.reserve(count);
+  const auto defaults = default_policy_chains();
+  for (const PolicyChain& c : defaults) {
+    if (chains.size() == count) return chains;
+    chains.push_back(c);
+  }
+  // Enumerate length-2, then length-3, then length-4 sequences over the
+  // NF types in index order, skipping immediate repeats and sequences
+  // already present among the defaults.
+  for (std::size_t len = 2; len <= 4 && chains.size() < count; ++len) {
+    std::vector<std::size_t> digits(len, 0);
+    for (;;) {
+      bool ok = true;
+      for (std::size_t i = 1; i < len; ++i) {
+        if (digits[i] == digits[i - 1]) ok = false;
+      }
+      if (ok) {
+        PolicyChain chain;
+        chain.reserve(len);
+        for (const std::size_t d : digits) {
+          chain.push_back(static_cast<NfType>(d));
+        }
+        bool dup = false;
+        for (const PolicyChain& c : defaults) {
+          if (c == chain) dup = true;
+        }
+        if (!dup) {
+          chains.push_back(std::move(chain));
+          if (chains.size() == count) return chains;
+        }
+      }
+      // Odometer increment over base-kNumNfTypes digits.
+      std::size_t pos = len;
+      while (pos > 0 && ++digits[pos - 1] == kNumNfTypes) {
+        digits[pos - 1] = 0;
+        --pos;
+      }
+      if (pos == 0) break;
+    }
+  }
+  // More chains requested than distinct templates exist: cycle the
+  // catalog so every ChainId stays valid.
+  const std::size_t distinct = chains.size();
+  if (distinct == 0) return chains;
+  while (chains.size() < count) chains.push_back(chains[chains.size() % distinct]);
+  return chains;
+}
+
 std::string chain_to_string(const PolicyChain& chain) {
   std::string out;
   for (std::size_t i = 0; i < chain.size(); ++i) {

@@ -53,6 +53,14 @@ using PolicyChain = std::vector<NfType>;
 // Index = ChainId used by traffic::TrafficClass.
 std::span<const PolicyChain> default_policy_chains();
 
+// Deterministic synthetic catalog of `count` chains for scale scenarios
+// (100k+ flow classes need far more than the six default templates). The
+// first default_policy_chains() entries come first, then length-2..4
+// sequences over the four NF types in a fixed enumeration order, with no
+// NF repeated back-to-back (a chain never revisits the function it just
+// left). Same `count` always yields the same catalog.
+std::vector<PolicyChain> scaled_policy_chains(std::size_t count);
+
 // Human-readable "FW->IDS->Proxy" form.
 std::string chain_to_string(const PolicyChain& chain);
 

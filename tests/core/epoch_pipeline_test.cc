@@ -11,6 +11,7 @@
 #include "dataplane/data_plane.h"
 #include "net/routing.h"
 #include "net/topologies.h"
+#include "traffic/synthesis.h"
 
 namespace apple::core {
 namespace {
@@ -136,6 +137,118 @@ TEST(DiffClasses, ThresholdZeroMarksAnyDriftDirty) {
                 .rate_changed.size(),
             1u);
   EXPECT_EQ(diff_classes(prev, next).unchanged.size(), 1u);
+}
+
+// Store-based diff scenario: Internet2 gravity traffic in an 8-shard store,
+// with the perturbation confined to the OD pairs of shard 0.
+struct StoreScenario {
+  net::Topology topo = net::make_internet2(64.0);
+  net::AllPairsPaths routing{topo};
+  traffic::TrafficMatrix base =
+      traffic::make_gravity_matrix(topo.num_nodes(), {.total_mbps = 4000.0});
+  traffic::ChainAssignment assign = traffic::uniform_chain_assignment(2, 3);
+  traffic::StoreBuildOptions opt{.num_shards = 8};
+
+  traffic::ClassStore build(const traffic::TrafficMatrix& tm) const {
+    return traffic::build_class_store(topo, routing, tm, assign, opt);
+  }
+  traffic::TrafficMatrix perturbed_shard0() const {
+    traffic::TrafficMatrix moved = base;
+    for (net::NodeId s = 0; s < topo.num_nodes(); ++s) {
+      for (net::NodeId d = 0; d < topo.num_nodes(); ++d) {
+        if (s != d && traffic::ClassStore::shard_of(s, d, 8) == 0) {
+          moved.set(s, d, base.at(s, d) * 1.5);
+        }
+      }
+    }
+    return moved;
+  }
+};
+
+TEST(DiffClassesStore, MatchesFlatDiffBucketForBucket) {
+  const StoreScenario sc;
+  const traffic::ClassStore prev = sc.build(sc.base);
+  const traffic::ClassStore next = sc.build(sc.perturbed_shard0());
+
+  const ClassDelta sharded = diff_classes(prev, next);
+  const ClassDelta flat =
+      diff_classes(prev.materialize_view(), next.materialize_view());
+  EXPECT_EQ(sharded.added, flat.added);
+  EXPECT_EQ(sharded.removed, flat.removed);
+  EXPECT_EQ(sharded.rate_changed, flat.rate_changed);
+  EXPECT_EQ(sharded.unchanged, flat.unchanged);
+  EXPECT_EQ(sharded.prev_of, flat.prev_of);
+  // The flat path never touches shard accounting; the store path diffs only
+  // the one shard whose traffic moved.
+  EXPECT_EQ(flat.shards_dirty + flat.shards_clean, 0u);
+  EXPECT_EQ(sharded.shards_dirty, 1u);
+  EXPECT_EQ(sharded.shards_clean, 7u);
+  EXPECT_FALSE(sharded.rate_changed.empty());
+}
+
+TEST(DiffClassesStore, IdenticalStoresAreAllCleanShards) {
+  const StoreScenario sc;
+  const traffic::ClassStore prev = sc.build(sc.base);
+  const traffic::ClassStore next = sc.build(sc.base);
+  const ClassDelta delta = diff_classes(prev, next);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.shards_clean, 8u);
+  EXPECT_EQ(delta.shards_dirty, 0u);
+  EXPECT_EQ(delta.unchanged.size(), prev.size());
+}
+
+TEST(EpochPipeline, StoreRunMatchesFlatRun) {
+  const StoreScenario sc;
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat, NfType::kIds}};
+  traffic::ClassStore store = sc.build(sc.base);
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch flat =
+      pipeline.run(sc.topo, chains, store.materialize_view());
+  const Epoch stored = pipeline.run(sc.topo, chains, std::move(store));
+  // The store-based epoch keeps the sharded representation and its classes
+  // are the materialized view, so both paths see identical inputs.
+  EXPECT_EQ(stored.store.size(), stored.classes.size());
+  EXPECT_EQ(flat.store.size(), 0u);
+  ASSERT_EQ(stored.classes.size(), flat.classes.size());
+  for (std::size_t i = 0; i < flat.classes.size(); ++i) {
+    EXPECT_EQ(stored.classes[i].id, flat.classes[i].id);
+    EXPECT_EQ(stored.classes[i].path, flat.classes[i].path);
+  }
+  EXPECT_EQ(stored.plan.instance_count, flat.plan.instance_count);
+  EXPECT_EQ(stored.inventory.by_node_type, flat.inventory.by_node_type);
+  EXPECT_EQ(stored.rules.tcam_with_tagging, flat.rules.tcam_with_tagging);
+  EXPECT_EQ(stored.rules.vswitch_rules, flat.rules.vswitch_rules);
+}
+
+TEST(EpochPipeline, StoreAdvanceCarriesIdsAndSkipsCleanShards) {
+  const StoreScenario sc;
+  const std::vector<vnf::PolicyChain> chains{{NfType::kFirewall},
+                                             {NfType::kNat, NfType::kIds}};
+  const EpochPipeline pipeline(options_for(PlacementStrategy::kGreedy));
+  const Epoch prev = pipeline.run(sc.topo, chains, sc.build(sc.base));
+  const IncrementalEpoch inc =
+      pipeline.advance(prev, sc.topo, chains, sc.build(sc.perturbed_shard0()));
+
+  EXPECT_EQ(inc.class_delta.shards_dirty, 1u);
+  EXPECT_EQ(inc.class_delta.shards_clean, 7u);
+  EXPECT_TRUE(inc.class_delta.added.empty());
+  EXPECT_TRUE(inc.class_delta.removed.empty());
+  EXPECT_FALSE(inc.class_delta.rate_changed.empty());
+  // Every class survives, so every class keeps its previous epoch's id —
+  // in the store and in the materialized view alike.
+  ASSERT_EQ(inc.epoch.classes.size(), prev.classes.size());
+  for (std::size_t i = 0; i < prev.classes.size(); ++i) {
+    EXPECT_EQ(inc.epoch.classes[i].id, prev.classes[i].id);
+  }
+  EXPECT_EQ(inc.epoch.store.size(), inc.epoch.classes.size());
+  EXPECT_EQ(inc.epoch.next_class_id, prev.next_class_id);
+  // The store advance must agree with the flat advance over the same data.
+  const IncrementalEpoch flat = pipeline.advance(
+      prev, sc.topo, chains, sc.build(sc.perturbed_shard0()).materialize_view());
+  EXPECT_EQ(inc.class_delta.rate_changed, flat.class_delta.rate_changed);
+  EXPECT_EQ(inc.epoch.plan.instance_count, flat.epoch.plan.instance_count);
+  EXPECT_EQ(inc.epoch.inventory.by_node_type, flat.epoch.inventory.by_node_type);
 }
 
 class PipelineStrategies

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "net/topologies.h"
 #include "traffic/stats.h"
 #include "traffic/synthesis.h"
@@ -21,6 +23,63 @@ TEST(UniformChainAssignment, DeterministicAndInRange) {
 
 TEST(UniformChainAssignment, RejectsZeroChains) {
   EXPECT_THROW(uniform_chain_assignment(0), std::invalid_argument);
+}
+
+TEST(ChainMix, SpillsPastInlineCapacityWithoutReordering) {
+  ChainMix mix;
+  constexpr std::size_t kCount = ChainMix::kInlineCapacity * 3;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    mix.push_back({static_cast<ChainId>(i), 1.0 / kCount});
+  }
+  ASSERT_EQ(mix.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(mix[i].first, static_cast<ChainId>(i));
+  }
+  // Equality spans the inline/overflow boundary.
+  ChainMix same;
+  for (const auto& item : mix) same.push_back(item);
+  EXPECT_EQ(mix, same);
+}
+
+TEST(ScaledChainAssignment, FansOutDistinctChainsWithEqualShares) {
+  const auto assign = scaled_chain_assignment(32, 18, /*seed=*/5);
+  const auto mix = assign(3, 7);
+  ASSERT_EQ(mix.size(), 18u);
+  std::set<ChainId> distinct;
+  double total = 0.0;
+  for (const auto& [chain, share] : mix) {
+    EXPECT_LT(chain, 32u);
+    EXPECT_DOUBLE_EQ(share, 1.0 / 18.0);
+    distinct.insert(chain);
+    total += share;
+  }
+  EXPECT_EQ(distinct.size(), 18u);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(assign(3, 7), mix);  // pure function of (src, dst)
+}
+
+TEST(ScaledChainAssignment, SingleChainMatchesUniformShape) {
+  const auto scaled = scaled_chain_assignment(4, 1, /*seed=*/9, 0.5);
+  const auto uniform = uniform_chain_assignment(4, /*seed=*/9, 0.5);
+  for (net::NodeId s = 0; s < 16; ++s) {
+    for (net::NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(scaled(s, d), uniform(s, d)) << s << "->" << d;
+    }
+  }
+}
+
+TEST(ScaledChainAssignment, RejectsBadCatalogAndClampsFanOut) {
+  EXPECT_THROW(scaled_chain_assignment(0, 1), std::invalid_argument);
+  EXPECT_THROW(scaled_chain_assignment(4, 0), std::invalid_argument);
+  // A fan-out wider than the catalog is clamped to distinct chains; each
+  // still carries share 1/chains_per_pair (the remainder is unpolicied).
+  const auto clamped = scaled_chain_assignment(4, 5);
+  const auto mix = clamped(1, 2);
+  ASSERT_EQ(mix.size(), 4u);
+  double total = 0.0;
+  for (const auto& [chain, share] : mix) total += share;
+  EXPECT_NEAR(total, 4.0 / 5.0, 1e-12);
 }
 
 TEST(BuildClasses, OneClassPerActiveOdPair) {
@@ -55,7 +114,7 @@ TEST(BuildClasses, SplitsAcrossChains) {
   TrafficMatrix tm(3);
   tm.set(0, 2, 100.0);
   const ChainAssignment half_half = [](net::NodeId, net::NodeId) {
-    return std::vector<std::pair<ChainId, double>>{{0, 0.5}, {1, 0.5}};
+    return ChainMix{{0, 0.5}, {1, 0.5}};
   };
   const auto classes = build_classes(topo, routing, tm, half_half);
   ASSERT_EQ(classes.size(), 2u);

@@ -68,9 +68,9 @@ const std::map<std::string, std::set<std::string>>& layering_dag() {
       {"exec", {"common", "obs"}},
       {"net", {"common", "obs"}},
       {"lp", {"common", "obs", "exec"}},
-      {"traffic", {"common", "obs", "net"}},
+      {"traffic", {"common", "obs", "net", "exec"}},
       {"vnf", {"common", "obs", "net"}},
-      {"hsa", {"common", "obs", "net", "traffic"}},
+      {"hsa", {"common", "obs", "net", "traffic", "exec"}},
       {"orch", {"common", "obs", "net", "vnf"}},
       {"dataplane", {"common", "obs", "net", "traffic", "vnf", "hsa"}},
       {"sim", {"common", "obs", "net", "vnf", "traffic", "hsa", "dataplane"}},

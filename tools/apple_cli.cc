@@ -44,6 +44,7 @@ struct Options {
   bool failover = true;
   double policied = 0.5;
   std::size_t reoptimize = 0;
+  std::size_t scale_classes = 0;  // target class count (0 = classic regime)
   std::uint64_t seed = 1;
   std::string faults;  // schedule spec, e.g. "crashes=2,link-flaps=1"
   std::string metrics_path;  // write the metrics snapshot here after the run
@@ -64,6 +65,11 @@ void usage() {
       "  --no-failover                             disable the Dynamic Handler\n"
       "  --policied <f>                            policied OD fraction (default 0.5)\n"
       "  --reoptimize <n>                          re-run the engine every n snapshots\n"
+      "  --scale-classes <n>                       target at least n traffic classes by\n"
+      "                                            fanning each policied OD pair over a\n"
+      "                                            synthetic policy-chain catalog (the\n"
+      "                                            sharded-store scale regime; also uses\n"
+      "                                            --workers lanes for the class build)\n"
       "  --export-lp <path>                        dump the placement ILP in LP format\n"
       "  --seed <s>                                synthesis seed\n"
       "  --metrics <path>                          write the metrics snapshot\n"
@@ -138,6 +144,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.reoptimize = std::stoul(v);
+    } else if (arg == "--scale-classes") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.scale_classes = std::stoul(v);
     } else if (arg == "--export-lp") {
       const char* v = value();
       if (!v) return std::nullopt;
@@ -239,8 +249,33 @@ int main(int argc, char** argv) {
     cfg.reoptimize_every = opt->reoptimize;
     cfg.snapshot_duration = 0.5;
     cfg.tick = 0.05;
-    const core::AppleController controller(
-        topo, vnf::default_policy_chains(), cfg);
+
+    // Scale regime (--scale-classes): fan every policied OD pair out over
+    // enough chains from a synthetic catalog to reach the target count, and
+    // build the sharded class store with --workers lanes.
+    std::vector<vnf::PolicyChain> scaled_chains;
+    std::span<const vnf::PolicyChain> chain_set = vnf::default_policy_chains();
+    if (opt->scale_classes > 0) {
+      const std::size_t pairs = topo.num_nodes() * (topo.num_nodes() - 1);
+      const auto policied_pairs = static_cast<std::size_t>(
+          static_cast<double>(pairs) * opt->policied);
+      if (policied_pairs == 0) {
+        throw std::runtime_error(
+            "--scale-classes needs policied OD pairs (--policied > 0)");
+      }
+      cfg.chains_per_pair =
+          (opt->scale_classes + policied_pairs - 1) / policied_pairs;
+      scaled_chains = vnf::scaled_policy_chains(
+          std::max(cfg.chains_per_pair, chain_set.size()));
+      chain_set = scaled_chains;
+      cfg.class_build_workers = opt->workers;
+      cfg.min_class_rate_mbps = 1e-6;
+      std::printf("scale: >= %zu classes over %zu policied pairs x %zu "
+                  "chains/pair (%zu-chain catalog, %zu store shards)\n",
+                  opt->scale_classes, policied_pairs, cfg.chains_per_pair,
+                  chain_set.size(), cfg.class_shards);
+    }
+    const core::AppleController controller(topo, chain_set, cfg);
 
     // Traffic: either a CSV series or synthetic diurnal snapshots.
     std::vector<traffic::TrafficMatrix> series;
