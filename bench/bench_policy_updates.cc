@@ -1,0 +1,285 @@
+// Policy-update benchmark: the sharded multi-domain control plane
+// (DESIGN.md Sec. 16) absorbing a seeded stream of policy add / remove /
+// modify requests through the admission front-end, at domain counts
+// K in {1, 2, 4} on Internet2, GEANT and AS-3679.
+//
+// Scenario: each topology is brought up from a seeded gravity matrix, then
+// a deterministic request stream (mix of adds, removes and rate modifies
+// over valid OD pairs) is pushed through ctrl::AdmissionQueue on a
+// synthetic clock. Every ready batch two-phase-commits through
+// ctrl::MultiDomainController; throughput is accepted requests over the
+// wall-clock of the apply loop.
+//
+// Gates (exit 1 on violation; wall-clock only ever compared within this
+// run, never against a recorded baseline):
+//  * Throughput: on GEANT, K = 2 and K = 4 must both beat the K = 1
+//    single-controller run — the point of sharding the control plane.
+//    Enforced only with >= 4 hardware threads (CI runners), reported
+//    otherwise, mirroring bench_class_scale.
+//  * Determinism: for fixed (topology, K, seed) the final controller
+//    fingerprint — classes, plans, id counters of every domain — is
+//    byte-identical across {1, 2, 4, 8} pool workers.
+//  * Correctness: after every run, one policy probe per installed class is
+//    walked through its domain's data plane; fault.policy_violations is
+//    pinned at 0 in baselines/BENCH_policy_updates.baseline.json (the
+//    one-sided gate makes any violation at all fail CI).
+//
+// Deterministic counters (requests accepted/applied, batches, conflicts,
+// epochs, probe counts) are pinned in the baseline file.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "ctrl/admission.h"
+#include "ctrl/multi_domain.h"
+#include "exec/thread_pool.h"
+#include "fault/recovery_monitor.h"
+#include "net/routing.h"
+#include "obs/obs.h"
+#include "traffic/flow_classes.h"
+
+namespace {
+
+using namespace apple;
+
+constexpr std::size_t kChains = 8;         // policy-chain catalog size
+constexpr std::size_t kRequests = 480;     // stream length per run
+constexpr double kSubmitGap_s = 0.01;      // synthetic clock step per submit
+constexpr std::uint64_t kSeed = 17;        // partition + stream seed
+constexpr std::size_t kDomainCounts[] = {1, 2, 4};
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::size_t kGateThreads = 4;    // hw threads the wall gate needs
+constexpr std::size_t kDeterminismK = 2;   // domain count of the fp sweep
+
+// Stream mix: mostly adds with a steady trickle of removes and modifies,
+// so the class population grows but batches keep all three paths hot.
+constexpr std::size_t kRemoveEvery = 5;
+constexpr std::size_t kModifyEvery = 3;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The i-th request of the stream: a pure function of (seed, i, n), so every
+// run — any K, any worker count — sees the identical trace.
+ctrl::PolicyRequest request_at(std::uint64_t seed, std::size_t i,
+                               std::size_t n) {
+  ctrl::PolicyRequest r;
+  const std::uint64_t h = mix64(seed ^ (i + 1));
+  r.src = static_cast<net::NodeId>(h % n);
+  r.dst = static_cast<net::NodeId>((h >> 16) % n);
+  if (r.dst == r.src) r.dst = static_cast<net::NodeId>((r.src + 1) % n);
+  r.chain_id = static_cast<traffic::ChainId>((h >> 32) % kChains);
+  r.rate_mbps = 20.0 + static_cast<double>((h >> 40) % 180);
+  if (i % kRemoveEvery == kRemoveEvery - 1) {
+    r.kind = ctrl::PolicyRequest::Kind::kRemove;
+  } else if (i % kModifyEvery == kModifyEvery - 1) {
+    r.kind = ctrl::PolicyRequest::Kind::kModify;
+  } else {
+    r.kind = ctrl::PolicyRequest::Kind::kAdd;
+  }
+  return r;
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::size_t accepted = 0;
+  std::size_t applied = 0;
+  std::size_t batches = 0;
+  std::size_t conflicts = 0;
+  std::size_t rejected = 0;
+  std::size_t final_classes = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t probes = 0;
+  std::size_t violations = 0;
+};
+
+// Brings up the controller from the topology's gravity classes, then
+// replays the request stream through the admission queue, committing every
+// ready batch. The wall-clock covers only the apply loop (the control-plane
+// work under test), not the bring-up.
+RunResult run_stream(const net::Topology& topo,
+                     std::span<const vnf::PolicyChain> chains,
+                     double total_mbps, std::size_t num_domains,
+                     exec::ThreadPool* pool) {
+  const net::AllPairsPaths routing(topo);
+  const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+      topo.num_nodes(), {.total_mbps = total_mbps, .seed = 1});
+  const traffic::ChainAssignment assignment =
+      bench::evaluation_chain_assignment(kChains);
+  std::vector<traffic::TrafficClass> classes =
+      traffic::build_classes(topo, routing, tm, assignment);
+
+  ctrl::DomainConfig config;
+  config.num_domains = num_domains;
+  config.seed = kSeed;
+  ctrl::MultiDomainController controller(topo, chains, config, {}, pool);
+  controller.initialize(std::move(classes));
+
+  ctrl::AdmissionConfig admission;
+  admission.batching_window_s = 0.05;
+  admission.max_batch = 64;
+  ctrl::AdmissionQueue queue(topo, controller.partition(), kChains,
+                             admission);
+
+  RunResult result;
+  double clock = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (queue.submit(request_at(kSeed, i, topo.num_nodes()), clock)) {
+      ++result.accepted;
+    }
+    clock += kSubmitGap_s;
+    if (queue.batch_ready(clock)) {
+      const ctrl::PolicyBatch batch = queue.drain(clock);
+      const ctrl::ApplyReport report = controller.apply(batch);
+      ++result.batches;
+      result.applied += report.requests_applied;
+      result.conflicts += report.conflicts;
+      result.rejected += report.rejected_domains;
+    }
+  }
+  clock += admission.batching_window_s;  // flush the tail batch
+  if (queue.batch_ready(clock)) {
+    const ctrl::PolicyBatch batch = queue.drain(clock);
+    const ctrl::ApplyReport report = controller.apply(batch);
+    ++result.batches;
+    result.applied += report.requests_applied;
+    result.conflicts += report.conflicts;
+    result.rejected += report.rejected_domains;
+  }
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Correctness sweep: every installed class must answer its probe with
+  // exactly the policied chain, in every domain.
+  fault::RecoveryMonitor monitor;
+  for (std::size_t d = 0; d < controller.num_domains(); ++d) {
+    const auto probes = controller.probes_for_domain(d);
+    monitor.verify_policies(controller.domain_dataplane(d), probes);
+    result.probes += probes.size();
+  }
+  result.violations = monitor.policy_violations();
+  result.final_classes = controller.total_classes();
+  result.fingerprint = controller.fingerprint();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  obs::install_flight_crash_dump();
+  bench::print_header(
+      "Policy updates: multi-domain control plane + admission front-end");
+
+  const bool gate_wall =
+      std::thread::hardware_concurrency() >= kGateThreads;
+  if (!gate_wall) {
+    std::printf(
+        "note: %u hardware thread(s) < %zu — throughput gates reported but "
+        "not enforced\n",
+        std::thread::hardware_concurrency(), kGateThreads);
+  }
+
+  struct Case {
+    const char* label;
+    net::Topology topo;
+    double total_mbps;
+  };
+  // 128-core hosts: this bench stresses control-plane throughput, not
+  // capacity pressure, and domain-sliced greedy placement needs headroom on
+  // the few hosts a sliced path crosses (the conflict/resolve paths are
+  // still exercised — the reconcile ledger sees every cross-domain claim).
+  constexpr double kHostCores = 128.0;
+  std::vector<Case> cases;
+  cases.push_back({"Internet2", net::make_internet2(kHostCores), 1200.0});
+  cases.push_back({"GEANT", net::make_geant(kHostCores), 4000.0});
+  cases.push_back({"AS-3679", net::make_as3679(kHostCores), 8000.0});
+
+  const auto chains = vnf::scaled_policy_chains(kChains);
+  bool ok = true;
+
+  std::printf(
+      "\n%-12s %-8s %-10s %-10s %-10s %-10s %-10s %-12s\n", "topology",
+      "domains", "accepted", "applied", "batches", "conflicts", "wall (s)",
+      "req/s");
+  bench::print_rule();
+
+  for (const Case& c : cases) {
+    double single_rps = 0.0;
+    for (const std::size_t k : kDomainCounts) {
+      exec::ThreadPool pool(kGateThreads - 1);
+      const RunResult r =
+          run_stream(c.topo, chains, c.total_mbps, k, &pool);
+      const double rps = static_cast<double>(r.applied) / r.wall_s;
+      std::printf("%-12s %-8zu %-10zu %-10zu %-10zu %-10zu %-10.4f %-12.0f\n",
+                  c.label, k, r.accepted, r.applied, r.batches, r.conflicts,
+                  r.wall_s, rps);
+      if (r.violations != 0) {
+        std::fprintf(stderr,
+                     "error: %s K=%zu served %zu policy violations\n",
+                     c.label, k, r.violations);
+        ok = false;
+      }
+      if (r.probes == 0 || r.applied == 0) {
+        std::fprintf(stderr,
+                     "error: %s K=%zu degenerate run (%zu probes, %zu "
+                     "applied)\n",
+                     c.label, k, r.probes, r.applied);
+        ok = false;
+      }
+      if (k == 1) {
+        single_rps = rps;
+      } else if (std::string(c.label) == "GEANT" && rps <= single_rps) {
+        std::fprintf(stderr,
+                     "%s: GEANT K=%zu throughput %.0f req/s did not beat the "
+                     "single controller's %.0f req/s\n",
+                     gate_wall ? "error" : "note (not enforced)", k, rps,
+                     single_rps);
+        if (gate_wall) ok = false;
+      }
+    }
+  }
+
+  // Determinism sweep: the full bring-up + stream at K = kDeterminismK on
+  // GEANT, across pool widths — every final artifact must be
+  // byte-identical.
+  std::printf("\n%-26s %-10s %-18s\n", "Determinism (GEANT, K=2)", "workers",
+              "fingerprint");
+  bench::print_rule();
+  const net::Topology geant = net::make_geant(128.0);
+  std::uint64_t want_fp = 0;
+  for (const std::size_t w : kWorkerCounts) {
+    exec::ThreadPool pool(w);
+    const RunResult r =
+        run_stream(geant, chains, 4000.0, kDeterminismK, &pool);
+    std::printf("%-26s %-10zu %016llx\n", "stream replay", w,
+                static_cast<unsigned long long>(r.fingerprint));
+    if (w == kWorkerCounts[0]) {
+      want_fp = r.fingerprint;
+    } else if (r.fingerprint != want_fp) {
+      std::fprintf(stderr,
+                   "error: %zu-worker fingerprint diverged from the "
+                   "1-worker run\n",
+                   w);
+      ok = false;
+    }
+  }
+
+  // The explicit zero keeps fault.policy_violations present in the
+  // snapshot even on a clean run, so the baseline's one-sided gate can pin
+  // it at 0.
+  APPLE_OBS_COUNT_N("fault.policy_violations", 0);
+
+  bench::export_metrics_json("policy_updates");
+  bench::export_flight_json("policy_updates");
+  return ok ? 0 : 1;
+}

@@ -461,6 +461,13 @@ Epoch EpochPipeline::assemble(const net::Topology& topo,
   return epoch;
 }
 
+Epoch EpochPipeline::assemble_epoch(const net::Topology& topo,
+                                    std::span<const vnf::PolicyChain> chains,
+                                    std::vector<traffic::TrafficClass> classes,
+                                    PlacementPlan plan) const {
+  return assemble(topo, chains, std::move(classes), std::move(plan));
+}
+
 Epoch EpochPipeline::run(const net::Topology& topo,
                          std::span<const vnf::PolicyChain> chains,
                          std::vector<traffic::TrafficClass> classes) const {

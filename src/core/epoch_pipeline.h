@@ -266,6 +266,18 @@ class EpochPipeline {
       std::vector<std::vector<traffic::TrafficClass>> class_sets,
       std::size_t num_workers) const;
 
+  // Assembles a full epoch from an externally computed placement: the
+  // artifact stages `run` executes after its solve (inventory, sub-class
+  // assignment, rule accounting, id counters), without re-running the
+  // engine. The multi-domain coordinator (src/ctrl) places per-domain
+  // inputs itself — possibly against residual budgets after a reconcile —
+  // and materializes epochs through this seam. Throws std::runtime_error
+  // when `plan` is infeasible.
+  Epoch assemble_epoch(const net::Topology& topo,
+                       std::span<const vnf::PolicyChain> chains,
+                       std::vector<traffic::TrafficClass> classes,
+                       PlacementPlan plan) const;
+
   // Incremental epoch: diff `next_classes` against `prev`, pin unchanged
   // classes, re-solve dirty ones over residual capacity, patch inventory
   // and rule state. Surviving classes keep their previous class ids (their

@@ -1,0 +1,95 @@
+#include "ctrl/admission.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace apple::ctrl {
+
+void AdmissionConfig::validate() const {
+  if (!(batching_window_s >= 0.0) || !std::isfinite(batching_window_s)) {
+    throw std::invalid_argument(
+        "AdmissionConfig.batching_window_s must be finite and >= 0");
+  }
+  if (max_batch == 0) {
+    throw std::invalid_argument("AdmissionConfig.max_batch must be >= 1");
+  }
+}
+
+AdmissionQueue::AdmissionQueue(const net::Topology& topo,
+                               const DomainPartition& partition,
+                               std::size_t num_chains, AdmissionConfig config)
+    : topo_(&topo),
+      partition_(&partition),
+      num_chains_(num_chains),
+      config_(config) {
+  config_.validate();
+  APPLE_CHECK_EQ(partition.domain_of.size(), topo.num_nodes());
+}
+
+bool AdmissionQueue::submit(const PolicyRequest& request, double now) {
+  APPLE_OBS_COUNT("ctrl.admission.submitted");
+  const auto reject = [] {
+    APPLE_OBS_COUNT("ctrl.admission.rejected");
+    return false;
+  };
+  switch (request.kind) {
+    case PolicyRequest::Kind::kAdd:
+    case PolicyRequest::Kind::kRemove:
+    case PolicyRequest::Kind::kModify:
+      break;
+    default:
+      return reject();
+  }
+  const std::size_t n = topo_->num_nodes();
+  if (request.src >= n || request.dst >= n || request.src == request.dst) {
+    return reject();
+  }
+  if (request.chain_id >= num_chains_) return reject();
+  if (request.kind != PolicyRequest::Kind::kRemove &&
+      (!std::isfinite(request.rate_mbps) || request.rate_mbps < 0.0)) {
+    return reject();
+  }
+  if (pending_.empty()) batch_opened_at_ = now;
+  pending_.push_back(request);
+  APPLE_OBS_COUNT("ctrl.admission.accepted");
+  return true;
+}
+
+bool AdmissionQueue::batch_ready(double now) const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= config_.max_batch) return true;
+  return now - batch_opened_at_ >= config_.batching_window_s;
+}
+
+PolicyBatch AdmissionQueue::drain(double now) {
+  PolicyBatch batch;
+  batch.per_domain.resize(partition_->num_domains);
+  if (!batch_ready(now)) return batch;
+
+  // Last-writer-wins per (src, dst, chain): a std::map keyed by the tuple
+  // both coalesces and sorts, so each domain's list comes out in ascending
+  // key order — the deterministic apply order downstream.
+  using Key = std::tuple<net::NodeId, net::NodeId, traffic::ChainId>;
+  std::map<Key, PolicyRequest> latest;
+  for (const PolicyRequest& r : pending_) {
+    latest.insert_or_assign(Key{r.src, r.dst, r.chain_id}, r);
+  }
+  batch.coalesced = pending_.size() - latest.size();
+  batch.accepted = latest.size();
+  for (const auto& [key, r] : latest) {
+    batch.per_domain[partition_->home_domain(r.src)].push_back(r);
+  }
+  pending_.clear();
+  APPLE_OBS_COUNT("ctrl.admission.batches");
+  APPLE_OBS_COUNT_N("ctrl.admission.coalesced", batch.coalesced);
+  APPLE_OBS_OBSERVE_SIZE("ctrl.admission.batch_size", batch.accepted);
+  return batch;
+}
+
+}  // namespace apple::ctrl

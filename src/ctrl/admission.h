@@ -1,0 +1,93 @@
+// Policy-admission front-end (DESIGN.md §16): the API layer that absorbs
+// high-rate add / remove / modify policy requests, validates them against
+// the topology and chain catalog, and batches them — under a configurable
+// batching window — into per-domain request lists the multi-domain
+// controller turns into incremental epochs.
+//
+// Time is the caller's simulation clock (seconds), threaded through
+// submit/drain explicitly: the queue never reads a wall clock, so replaying
+// the same request trace always cuts the same batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctrl/domain_partition.h"
+#include "net/topology.h"
+#include "traffic/flow_classes.h"
+
+namespace apple::ctrl {
+
+struct AdmissionConfig {
+  // Requests accepted within this window of the first pending one are
+  // coalesced into a single batch. 0 makes every drain cut a batch as soon
+  // as anything is pending.
+  double batching_window_s = 0.05;
+  // A batch is also cut early once this many requests are pending.
+  std::size_t max_batch = 4096;
+
+  // Throws std::invalid_argument when the window is negative or non-finite
+  // or max_batch is 0.
+  void validate() const;
+};
+
+// One policy request against an OD pair. Add and modify carry the policied
+// rate; add of an already-policied (src, dst, chain) acts as a modify.
+struct PolicyRequest {
+  enum class Kind : int { kAdd = 0, kRemove = 1, kModify = 2 };
+  Kind kind = Kind::kAdd;
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  traffic::ChainId chain_id = 0;
+  double rate_mbps = 0.0;
+};
+
+// A drained batch: per-domain request lists, coalesced last-writer-wins per
+// (src, dst, chain) key and sorted by that key within each domain.
+struct PolicyBatch {
+  std::vector<std::vector<PolicyRequest>> per_domain;
+  std::size_t accepted = 0;   // requests surviving coalescing
+  std::size_t coalesced = 0;  // requests folded into a later one
+
+  bool empty() const { return accepted == 0; }
+};
+
+class AdmissionQueue {
+ public:
+  // The queue validates node ids against `topo` and chain ids against
+  // `num_chains`, and routes each request to its home domain under
+  // `partition` (which must partition this topology). Both referents must
+  // outlive the queue.
+  AdmissionQueue(const net::Topology& topo, const DomainPartition& partition,
+                 std::size_t num_chains, AdmissionConfig config = {});
+
+  // Validates and enqueues one request at simulation time `now`. Returns
+  // false (and counts ctrl.admission.rejected) when the request is
+  // malformed: node ids out of range or equal, chain id out of range, kind
+  // outside the enum, or a non-finite / negative rate on add / modify.
+  bool submit(const PolicyRequest& request, double now);
+
+  // True when a drain at `now` would cut a non-empty batch: the batching
+  // window has elapsed since the first pending request, or max_batch is
+  // reached.
+  bool batch_ready(double now) const;
+
+  // Cuts the pending requests into a per-domain batch (empty when
+  // batch_ready is false). Later requests for the same (src, dst, chain)
+  // override earlier ones — only the final state per key reaches the
+  // pipeline.
+  PolicyBatch drain(double now);
+
+  std::size_t pending() const { return pending_.size(); }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  const net::Topology* topo_;
+  const DomainPartition* partition_;
+  std::size_t num_chains_;
+  AdmissionConfig config_;
+  std::vector<PolicyRequest> pending_;
+  double batch_opened_at_ = 0.0;
+};
+
+}  // namespace apple::ctrl

@@ -101,4 +101,18 @@ std::vector<NodeId> Topology::host_nodes() const {
   return out;
 }
 
+Topology Topology::with_host_budgets(std::span<const double> host_cores) const {
+  if (host_cores.size() != nodes_.size()) {
+    throw std::invalid_argument("host_cores size != node count");
+  }
+  Topology masked = *this;
+  for (std::size_t i = 0; i < host_cores.size(); ++i) {
+    if (host_cores[i] < 0.0) {
+      throw std::invalid_argument("host budget must be non-negative");
+    }
+    masked.nodes_[i].host_cores = host_cores[i];
+  }
+  return masked;
+}
+
 }  // namespace apple::net

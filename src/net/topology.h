@@ -111,6 +111,14 @@ class Topology {
   // Node ids that have an APPLE host attached.
   std::vector<NodeId> host_nodes() const;
 
+  // Copy of this topology with every node's APPLE-host budget replaced by
+  // `host_cores[v]` (names, links and link states untouched). The
+  // multi-domain coordinator (src/ctrl) resolves placement conflicts by
+  // re-solving a domain against the residual budgets the earlier domains
+  // left behind. Throws std::invalid_argument on a size mismatch or a
+  // negative budget.
+  Topology with_host_budgets(std::span<const double> host_cores) const;
+
  private:
   std::string name_;
   std::vector<Node> nodes_;

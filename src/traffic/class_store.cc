@@ -244,9 +244,34 @@ ClassStore build_class_store(const net::Topology& topo,
   return store;
 }
 
+void RateAgingOptions::validate() const {
+  if (!(decay >= 0.0 && decay <= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument("RateAgingOptions.decay must lie in [0, 1]");
+  }
+  if (!(min_class_rate_mbps >= 0.0) ||
+      min_class_rate_mbps > 1e30) {  // also rejects NaN / inf
+    throw std::invalid_argument(
+        "RateAgingOptions.min_class_rate_mbps must be finite and >= 0");
+  }
+}
+
 void update_rates(ClassStore& store, const TrafficMatrix& tm,
                   const ChainAssignment& chains_for, exec::ThreadPool* pool) {
+  update_rates(store, tm, chains_for, RateAgingOptions{}, pool);
+}
+
+std::size_t update_rates(ClassStore& store, const TrafficMatrix& tm,
+                         const ChainAssignment& chains_for,
+                         const RateAgingOptions& aging,
+                         exec::ThreadPool* pool) {
   APPLE_OBS_SPAN("traffic.store.update_rates_seconds");
+  aging.validate();
+  if (store.num_shards() == 0) return 0;
+  const double decay = aging.decay;
+  const double floor = aging.min_class_rate_mbps;
+  // One eviction count per shard: every lane writes only its own slots, so
+  // the fan-out is worker-count-invariant like the build's.
+  std::vector<std::size_t> evicted(store.num_shards(), 0);
   const auto rerate_shard = [&](std::size_t s) {
     ClassStore::Shard& sh = store.shards_[s];
     // Shards iterate in ascending (src, dst, chain) order, so one pair's
@@ -256,6 +281,7 @@ void update_rates(ClassStore& store, const TrafficMatrix& tm,
     std::uint64_t last_key = kNoPair;
     ChainMix mix;
     double demand = 0.0;
+    std::size_t keep = 0;
     for (std::size_t i = 0; i < sh.size(); ++i) {
       const std::uint64_t key =
           (static_cast<std::uint64_t>(sh.srcs[i]) << 32) | sh.dsts[i];
@@ -268,10 +294,36 @@ void update_rates(ClassStore& store, const TrafficMatrix& tm,
       for (const auto& [chain, sshare] : mix) {
         if (chain == sh.chains[i]) share += sshare;
       }
-      sh.rates[i] = demand * share;
+      const double fresh = demand * share;
+      const double aged =
+          decay == 0.0 ? fresh : decay * sh.rates[i] + (1.0 - decay) * fresh;
+      if (floor > 0.0 && aged < floor) continue;  // evict
+      sh.ids[keep] = sh.ids[i];
+      sh.srcs[keep] = sh.srcs[i];
+      sh.dsts[keep] = sh.dsts[i];
+      sh.chains[keep] = sh.chains[i];
+      sh.paths[keep] = sh.paths[i];
+      sh.rates[keep] = aged;
+      ++keep;
     }
+    evicted[s] = sh.size() - keep;
+    sh.ids.resize(keep);
+    sh.srcs.resize(keep);
+    sh.dsts.resize(keep);
+    sh.chains.resize(keep);
+    sh.paths.resize(keep);
+    sh.rates.resize(keep);
   };
   for_each_index(store.num_shards(), 1, pool, rerate_shard);
+
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < store.num_shards(); ++s) {
+    dropped += evicted[s];
+    store.offsets_[s + 1] = store.offsets_[s] + store.shards_[s].size();
+  }
+  store.total_ = store.offsets_[store.num_shards()];
+  APPLE_OBS_COUNT_N("traffic.store.classes_aged_out", dropped);
+  return dropped;
 }
 
 }  // namespace apple::traffic

@@ -97,6 +97,26 @@ struct StoreBuildOptions {
   double min_rate_mbps = 1e-6;
 };
 
+// Exponential rate aging for the online re-rating path (ROADMAP PR 9
+// leftover): long-lived stores that are re-rated snapshot after snapshot
+// age each class's rate instead of adopting the snapshot outright, and
+// classes whose aged rate decays below a floor are evicted so they surface
+// as `removed` in the next core::diff_classes instead of pinning their
+// shard dirty forever at a near-zero rate.
+struct RateAgingOptions {
+  // aged = decay * previous + (1 - decay) * snapshot. 0 adopts the snapshot
+  // rate outright (the plain update_rates semantics); values toward 1 give
+  // the history more weight. Must lie in [0, 1].
+  double decay = 0.0;
+  // Classes whose aged rate falls below this are dropped from the store.
+  // 0 never drops (pure EWMA smoothing).
+  double min_class_rate_mbps = 0.0;
+
+  // Throws std::invalid_argument when decay is outside [0, 1] or the rate
+  // floor is negative or non-finite.
+  void validate() const;
+};
+
 // The sharded class container. Build with build_class_store; mutate only
 // via update_rates (re-rating) and set_id (the epoch pipeline's id
 // carry-over) so the layout invariants hold.
@@ -162,6 +182,10 @@ class ClassStore {
   friend void update_rates(ClassStore& store, const TrafficMatrix& tm,
                            const ChainAssignment& chains_for,
                            exec::ThreadPool* pool);
+  friend std::size_t update_rates(ClassStore& store, const TrafficMatrix& tm,
+                                  const ChainAssignment& chains_for,
+                                  const RateAgingOptions& aging,
+                                  exec::ThreadPool* pool);
 
   std::vector<Shard> shards_;
   std::vector<std::size_t> offsets_;  // shards_.size() + 1 prefix sums
@@ -187,5 +211,17 @@ ClassStore build_class_store(const net::Topology& topo,
 void update_rates(ClassStore& store, const TrafficMatrix& tm,
                   const ChainAssignment& chains_for,
                   exec::ThreadPool* pool = nullptr);
+
+// Aging re-rate: each class's rate becomes the exponentially weighted
+// blend of its previous rate and the snapshot rate, and classes whose aged
+// rate drops below `aging.min_class_rate_mbps` are evicted in place (shard
+// arrays compacted, offsets recomputed; surviving classes keep their ids
+// and relative order, so the store diffs against its pre-aging self as
+// plain removals). Returns the number of classes evicted. Per-shard work
+// is independent — identical result for every worker count.
+std::size_t update_rates(ClassStore& store, const TrafficMatrix& tm,
+                         const ChainAssignment& chains_for,
+                         const RateAgingOptions& aging,
+                         exec::ThreadPool* pool = nullptr);
 
 }  // namespace apple::traffic

@@ -1,0 +1,172 @@
+#include "ctrl/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "net/topologies.h"
+
+namespace apple::ctrl {
+namespace {
+
+constexpr std::size_t kChains = 4;
+
+struct Fixture {
+  net::Topology topo = net::make_internet2();
+  DomainPartition part = partition_topology(topo, 2, 0);
+};
+
+PolicyRequest add_request(net::NodeId src, net::NodeId dst,
+                          traffic::ChainId chain = 0, double rate = 100.0) {
+  PolicyRequest r;
+  r.kind = PolicyRequest::Kind::kAdd;
+  r.src = src;
+  r.dst = dst;
+  r.chain_id = chain;
+  r.rate_mbps = rate;
+  return r;
+}
+
+TEST(AdmissionConfigTest, ValidateRejectsNegativeWindow) {
+  AdmissionConfig config;
+  config.batching_window_s = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(AdmissionConfigTest, ValidateRejectsNonFiniteWindow) {
+  AdmissionConfig config;
+  config.batching_window_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.batching_window_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(AdmissionConfigTest, ValidateRejectsZeroMaxBatch) {
+  AdmissionConfig config;
+  config.max_batch = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(AdmissionConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(AdmissionConfig{}.validate());
+}
+
+TEST(AdmissionQueueTest, RejectsMalformedRequests) {
+  Fixture f;
+  AdmissionQueue queue(f.topo, f.part, kChains);
+  const net::NodeId n = static_cast<net::NodeId>(f.topo.num_nodes());
+
+  EXPECT_FALSE(queue.submit(add_request(n, 1), 0.0));       // src out of range
+  EXPECT_FALSE(queue.submit(add_request(0, n), 0.0));       // dst out of range
+  EXPECT_FALSE(queue.submit(add_request(2, 2), 0.0));       // src == dst
+  EXPECT_FALSE(queue.submit(add_request(0, 1, kChains), 0.0));  // bad chain
+  EXPECT_FALSE(queue.submit(add_request(0, 1, 0, -5.0), 0.0));  // bad rate
+  EXPECT_FALSE(queue.submit(
+      add_request(0, 1, 0, std::numeric_limits<double>::quiet_NaN()), 0.0));
+  PolicyRequest bad_kind = add_request(0, 1);
+  bad_kind.kind = static_cast<PolicyRequest::Kind>(9);
+  EXPECT_FALSE(queue.submit(bad_kind, 0.0));
+  EXPECT_EQ(queue.pending(), 0u);
+
+  // A remove ignores the rate field entirely.
+  PolicyRequest remove = add_request(0, 1, 0, -1.0);
+  remove.kind = PolicyRequest::Kind::kRemove;
+  EXPECT_TRUE(queue.submit(remove, 0.0));
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(AdmissionQueueTest, BatchingWindowHoldsRequestsBack) {
+  Fixture f;
+  AdmissionConfig config;
+  config.batching_window_s = 1.0;
+  AdmissionQueue queue(f.topo, f.part, kChains, config);
+
+  EXPECT_FALSE(queue.batch_ready(0.0));  // nothing pending
+  ASSERT_TRUE(queue.submit(add_request(0, 1), 0.0));
+  EXPECT_FALSE(queue.batch_ready(0.5));
+  EXPECT_TRUE(queue.batch_ready(1.0));
+
+  // Draining before the window elapses returns an empty batch and keeps
+  // the requests queued.
+  PolicyBatch early = queue.drain(0.5);
+  EXPECT_TRUE(early.empty());
+  EXPECT_EQ(queue.pending(), 1u);
+
+  PolicyBatch batch = queue.drain(1.0);
+  EXPECT_EQ(batch.accepted, 1u);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_FALSE(queue.batch_ready(2.0));  // queue drained
+}
+
+TEST(AdmissionQueueTest, MaxBatchCutsEarly) {
+  Fixture f;
+  AdmissionConfig config;
+  config.batching_window_s = 100.0;
+  config.max_batch = 3;
+  AdmissionQueue queue(f.topo, f.part, kChains, config);
+  ASSERT_TRUE(queue.submit(add_request(0, 1), 0.0));
+  ASSERT_TRUE(queue.submit(add_request(0, 2), 0.0));
+  EXPECT_FALSE(queue.batch_ready(0.0));
+  ASSERT_TRUE(queue.submit(add_request(0, 3), 0.0));
+  EXPECT_TRUE(queue.batch_ready(0.0));
+}
+
+TEST(AdmissionQueueTest, CoalescesLastWriterWinsPerKey) {
+  Fixture f;
+  AdmissionQueue queue(f.topo, f.part, kChains, AdmissionConfig{0.0, 100});
+  ASSERT_TRUE(queue.submit(add_request(0, 1, 0, 100.0), 0.0));
+  PolicyRequest modify = add_request(0, 1, 0, 250.0);
+  modify.kind = PolicyRequest::Kind::kModify;
+  ASSERT_TRUE(queue.submit(modify, 0.0));
+  ASSERT_TRUE(queue.submit(add_request(0, 2, 1, 50.0), 0.0));
+
+  PolicyBatch batch = queue.drain(0.0);
+  EXPECT_EQ(batch.accepted, 2u);
+  EXPECT_EQ(batch.coalesced, 1u);
+  const std::uint32_t home = f.part.home_domain(0);
+  ASSERT_EQ(batch.per_domain[home].size(), 2u);
+  // Only the final state per key survives: the modify's rate.
+  EXPECT_EQ(batch.per_domain[home][0].rate_mbps, 250.0);
+  EXPECT_EQ(batch.per_domain[home][0].kind, PolicyRequest::Kind::kModify);
+}
+
+TEST(AdmissionQueueTest, RoutesRequestsToTheirHomeDomain) {
+  Fixture f;
+  AdmissionQueue queue(f.topo, f.part, kChains, AdmissionConfig{0.0, 100});
+  // One request homed per domain: pick a source in each member list.
+  const net::NodeId src0 = f.part.members[0].front();
+  const net::NodeId src1 = f.part.members[1].front();
+  const net::NodeId dst0 = src0 == 0 ? 1 : 0;
+  const net::NodeId dst1 = src1 == 0 ? 1 : 0;
+  ASSERT_TRUE(queue.submit(add_request(src0, dst0), 0.0));
+  ASSERT_TRUE(queue.submit(add_request(src1, dst1), 0.0));
+
+  PolicyBatch batch = queue.drain(0.0);
+  ASSERT_EQ(batch.per_domain.size(), 2u);
+  ASSERT_EQ(batch.per_domain[0].size(), 1u);
+  ASSERT_EQ(batch.per_domain[1].size(), 1u);
+  EXPECT_EQ(batch.per_domain[0][0].src, src0);
+  EXPECT_EQ(batch.per_domain[1][0].src, src1);
+}
+
+TEST(AdmissionQueueTest, DomainListsComeOutKeySorted) {
+  Fixture f;
+  AdmissionQueue queue(f.topo, f.part, kChains, AdmissionConfig{0.0, 100});
+  ASSERT_TRUE(queue.submit(add_request(5, 3), 0.0));
+  ASSERT_TRUE(queue.submit(add_request(5, 1), 0.0));
+  ASSERT_TRUE(queue.submit(add_request(2, 4), 0.0));
+  PolicyBatch batch = queue.drain(0.0);
+  for (const auto& bucket : batch.per_domain) {
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      const auto key = [](const PolicyRequest& r) {
+        return std::make_tuple(r.src, r.dst, r.chain_id);
+      };
+      EXPECT_LT(key(bucket[i - 1]), key(bucket[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apple::ctrl

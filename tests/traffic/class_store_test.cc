@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "core/epoch_pipeline.h"
 #include "exec/thread_pool.h"
 #include "net/routing.h"
 #include "net/topologies.h"
@@ -229,6 +232,107 @@ TEST_F(ClassStoreTest, UpdateRatesMatchesRebuildOnNewMatrix) {
   exec::ThreadPool pool(3);
   update_rates(pooled, moved, assign_, &pool);
   EXPECT_EQ(pooled.fingerprint(), store.fingerprint());
+}
+
+TEST(RateAgingOptionsTest, ValidateRejectsBadFields) {
+  RateAgingOptions opt;
+  opt.decay = -0.1;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.decay = 1.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.decay = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = RateAgingOptions{};
+  opt.min_class_rate_mbps = -1.0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.min_class_rate_mbps = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(RateAgingOptions{}.validate());
+}
+
+TEST_F(ClassStoreTest, AgingEwmaBlendsOldAndFreshRates) {
+  ClassStore store = build_class_store(topo_, routing_, tm_, assign_);
+  ASSERT_GT(store.size(), 0u);
+  std::vector<double> before;
+  for (const TrafficClass& cls : store.materialize_view()) {
+    before.push_back(cls.rate_mbps);
+  }
+  // Against an all-zero snapshot the EWMA with decay 0.5 halves every rate
+  // (fresh contribution is zero), and nothing is evicted without a floor.
+  const TrafficMatrix zero(topo_.num_nodes());
+  const std::size_t evicted =
+      update_rates(store, zero, assign_, RateAgingOptions{.decay = 0.5});
+  EXPECT_EQ(evicted, 0u);
+  const auto view = store.materialize_view();
+  ASSERT_EQ(view.size(), before.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_DOUBLE_EQ(view[i].rate_mbps, before[i] * 0.5);
+  }
+}
+
+TEST_F(ClassStoreTest, AgingEvictsClassesBelowFloorLikeAFreshBuild) {
+  ClassStore store = build_class_store(topo_, routing_, tm_, assign_);
+  const std::size_t size_before = store.size();
+  // Pick a floor between the extremes so the eviction is non-trivial but
+  // not total.
+  std::vector<double> rates;
+  for (const TrafficClass& cls : store.materialize_view()) {
+    rates.push_back(cls.rate_mbps);
+  }
+  std::sort(rates.begin(), rates.end());
+  const double floor = rates[rates.size() / 2];
+
+  RateAgingOptions aging;
+  aging.decay = 0.0;  // pure re-rate: aged == fresh demand
+  aging.min_class_rate_mbps = floor;
+  const std::size_t evicted = update_rates(store, tm_, assign_, aging);
+  EXPECT_GT(evicted, 0u);
+  EXPECT_EQ(store.size(), size_before - evicted);
+
+  // With decay 0 the survivors are exactly what a fresh build with the same
+  // rate floor produces; shard fingerprints exclude ids, so they match even
+  // though the aged store keeps the survivors' original (gappy) ids.
+  StoreBuildOptions opt;
+  opt.min_rate_mbps = floor;
+  const ClassStore rebuilt =
+      build_class_store(topo_, routing_, tm_, assign_, opt);
+  ASSERT_EQ(store.size(), rebuilt.size());
+  for (std::size_t s = 0; s < store.num_shards(); ++s) {
+    EXPECT_EQ(store.shard_fingerprint(s), rebuilt.shard_fingerprint(s));
+  }
+}
+
+TEST_F(ClassStoreTest, AgedOutClassesSurfaceAsRemovedInTheNextDiff) {
+  const ClassStore previous = build_class_store(topo_, routing_, tm_, assign_);
+  ClassStore aged = build_class_store(topo_, routing_, tm_, assign_);
+  std::vector<double> rates;
+  for (const TrafficClass& cls : aged.materialize_view()) {
+    rates.push_back(cls.rate_mbps);
+  }
+  std::sort(rates.begin(), rates.end());
+  RateAgingOptions aging;
+  aging.min_class_rate_mbps = rates[rates.size() / 2];
+  const std::size_t evicted = update_rates(aged, tm_, assign_, aging);
+  ASSERT_GT(evicted, 0u);
+
+  const core::ClassDelta delta = core::diff_classes(previous, aged);
+  EXPECT_EQ(delta.removed.size(), evicted);
+  EXPECT_TRUE(delta.added.empty());
+}
+
+TEST_F(ClassStoreTest, AgingIsWorkerCountInvariant) {
+  RateAgingOptions aging;
+  aging.decay = 0.25;
+  aging.min_class_rate_mbps = 8.0;
+  ClassStore serial = build_class_store(topo_, routing_, tm_, assign_);
+  const std::size_t evicted_serial = update_rates(serial, tm_, assign_, aging);
+
+  exec::ThreadPool pool(3);
+  ClassStore pooled = build_class_store(topo_, routing_, tm_, assign_);
+  const std::size_t evicted_pooled =
+      update_rates(pooled, tm_, assign_, aging, &pool);
+  EXPECT_EQ(evicted_serial, evicted_pooled);
+  EXPECT_EQ(serial.fingerprint(), pooled.fingerprint());
 }
 
 TEST_F(ClassStoreTest, SetIdRewritesOneClass) {

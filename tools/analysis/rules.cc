@@ -80,6 +80,9 @@ const std::map<std::string, std::set<std::string>>& layering_dag() {
       {"core",
        {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
         "dataplane", "orch", "sim", "fault"}},
+      {"ctrl",
+       {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
+        "dataplane", "orch", "sim", "fault", "core"}},
       {"baselines",
        {"common", "obs", "exec", "net", "traffic", "hsa", "lp", "vnf",
         "dataplane", "orch", "sim", "fault", "core"}},

@@ -17,6 +17,9 @@
 #include <string>
 
 #include "core/apple_controller.h"
+#include "ctrl/admission.h"
+#include "ctrl/multi_domain.h"
+#include "exec/thread_pool.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "core/fault_replay.h"
@@ -45,6 +48,7 @@ struct Options {
   double policied = 0.5;
   std::size_t reoptimize = 0;
   std::size_t scale_classes = 0;  // target class count (0 = classic regime)
+  std::size_t domains = 0;        // multi-domain control plane (0 = off)
   std::uint64_t seed = 1;
   std::string faults;  // schedule spec, e.g. "crashes=2,link-flaps=1"
   std::string metrics_path;  // write the metrics snapshot here after the run
@@ -70,6 +74,11 @@ void usage() {
       "                                            synthetic policy-chain catalog (the\n"
       "                                            sharded-store scale regime; also uses\n"
       "                                            --workers lanes for the class build)\n"
+      "  --domains <k>                             shard the control plane into k domains\n"
+      "                                            (DESIGN.md Sec. 16): partition, per-domain\n"
+      "                                            bring-up, then a seeded policy-update burst\n"
+      "                                            through the admission front-end; exits\n"
+      "                                            nonzero on any policy violation\n"
       "  --export-lp <path>                        dump the placement ILP in LP format\n"
       "  --seed <s>                                synthesis seed\n"
       "  --metrics <path>                          write the metrics snapshot\n"
@@ -148,6 +157,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       opt.scale_classes = std::stoul(v);
+    } else if (arg == "--domains") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.domains = std::stoul(v);
     } else if (arg == "--export-lp") {
       const char* v = value();
       if (!v) return std::nullopt;
@@ -237,6 +250,91 @@ int main(int argc, char** argv) {
     std::printf("topology: %s (%zu switches, %zu links, %.0f cores/host)\n",
                 topo.name().c_str(), topo.num_nodes(), topo.num_links(),
                 topo.num_nodes() ? topo.node(0).host_cores : 0.0);
+
+    // Multi-domain regime (--domains K): partition the topology, bring up K
+    // per-domain controllers, then push a seeded policy-update burst through
+    // the admission front-end (DESIGN.md Sec. 16). Self-contained — the
+    // classic single-controller replay below does not run.
+    if (opt->domains > 0) {
+      const std::span<const vnf::PolicyChain> chains =
+          vnf::default_policy_chains();
+      const net::AllPairsPaths routing(topo);
+      const traffic::TrafficMatrix tm = traffic::make_gravity_matrix(
+          topo.num_nodes(), {.total_mbps = opt->total_mbps, .seed = opt->seed});
+      std::vector<traffic::TrafficClass> classes = traffic::build_classes(
+          topo, routing, tm,
+          traffic::uniform_chain_assignment(chains.size(), /*seed=*/0,
+                                            opt->policied));
+
+      ctrl::DomainConfig config;
+      config.num_domains = opt->domains;
+      config.seed = opt->seed;
+      exec::ThreadPool pool(opt->workers > 0 ? opt->workers - 1 : 0);
+      ctrl::MultiDomainController mdc(topo, chains, config, {}, &pool);
+      const ctrl::ApplyReport boot = mdc.initialize(std::move(classes));
+      std::printf("multi-domain: %zu domains (seed %llu), %zu cut links, "
+                  "%llu instances, %zu conflicts at bring-up\n",
+                  mdc.num_domains(),
+                  static_cast<unsigned long long>(opt->seed),
+                  mdc.partition().cut_links.size(), mdc.total_instances(),
+                  boot.conflicts);
+      for (std::size_t d = 0; d < mdc.num_domains(); ++d) {
+        const ctrl::DomainStatus status = mdc.domain_status(d);
+        std::printf("  domain %zu: %zu nodes, %zu classes (%zu cross-domain), "
+                    "%llu instances\n",
+                    d, status.nodes, status.classes,
+                    status.cross_domain_classes,
+                    static_cast<unsigned long long>(status.instances));
+      }
+
+      // Seeded admission burst: adds/modifies/removes over valid OD pairs,
+      // batched on a synthetic clock and two-phase-committed.
+      ctrl::AdmissionQueue queue(topo, mdc.partition(), chains.size());
+      constexpr std::size_t kBurst = 96;
+      double clock = 0.0;
+      std::size_t applied = 0, batches = 0, conflicts = 0;
+      for (std::size_t i = 0; i <= kBurst; ++i) {
+        if (i < kBurst) {
+          const std::uint64_t h = traffic::detail::mix64(opt->seed ^ (i + 1));
+          ctrl::PolicyRequest r;
+          r.kind = static_cast<ctrl::PolicyRequest::Kind>(h % 3);
+          r.src = static_cast<net::NodeId>(h % topo.num_nodes());
+          r.dst = static_cast<net::NodeId>((h >> 16) % topo.num_nodes());
+          if (r.dst == r.src) {
+            r.dst = static_cast<net::NodeId>((r.src + 1) % topo.num_nodes());
+          }
+          r.chain_id = static_cast<traffic::ChainId>((h >> 32) % chains.size());
+          r.rate_mbps = 10.0 + static_cast<double>((h >> 40) % 90);
+          queue.submit(r, clock);
+          clock += 0.01;
+        } else {
+          clock += queue.config().batching_window_s;  // flush the tail
+        }
+        if (queue.batch_ready(clock)) {
+          const ctrl::ApplyReport report = mdc.apply(queue.drain(clock));
+          ++batches;
+          applied += report.requests_applied;
+          conflicts += report.conflicts;
+        }
+      }
+      std::printf("admission burst: %zu requests -> %zu batches, %zu applied, "
+                  "%zu reconcile conflicts, %zu classes now\n",
+                  kBurst, batches, applied, conflicts, mdc.total_classes());
+
+      fault::RecoveryMonitor monitor;
+      std::size_t probes = 0;
+      for (std::size_t d = 0; d < mdc.num_domains(); ++d) {
+        const auto domain_probes = mdc.probes_for_domain(d);
+        monitor.verify_policies(mdc.domain_dataplane(d), domain_probes);
+        probes += domain_probes.size();
+      }
+      std::printf("policy probes %zu, violations %zu%s\n", probes,
+                  monitor.policy_violations(),
+                  monitor.policy_violations() == 0 ? " (interference-free)"
+                                                   : "");
+      write_observability();
+      return monitor.policy_violations() == 0 ? 0 : 1;
+    }
 
     core::ControllerConfig cfg;
     cfg.engine.strategy = strategy_of(opt->strategy);
